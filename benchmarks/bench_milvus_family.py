@@ -1,0 +1,79 @@
+"""The Milvus family: IVF-Flat, IVF-SQ8, IVF-PQ, HNSW post-filter.
+
+The paper tests four Milvus algorithms and, finding their hybrid-search
+performance similar, plots only the Pareto-optimal one (§7.2).  This
+bench runs all four on the SIFT1M-like benchmark, reports each curve,
+and identifies the Pareto choice — the row the paper's Figure 7 would
+have shown.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines import (
+    IvfFlatIndex,
+    IvfPqIndex,
+    IvfSq8Index,
+    PostFilterSearcher,
+)
+from repro.datasets import make_sift1m_like
+from repro.eval import SweepRunner
+from repro.eval.reporting import render_sweeps
+from repro.hnsw import HnswIndex
+
+
+def scaled(base: int) -> int:
+    return max(200, int(base * float(os.environ.get("REPRO_SCALE", "1"))))
+
+
+@pytest.fixture(scope="module")
+def milvus_sweeps():
+    dataset = make_sift1m_like(n=scaled(3000), dim=48, n_queries=80, seed=14)
+    hnsw = HnswIndex.build(dataset.vectors, m=16, ef_construction=48, seed=0)
+    methods = {
+        "Milvus IVF-Flat": IvfFlatIndex(dataset.vectors, dataset.table,
+                                        seed=0),
+        "Milvus IVF-SQ8": IvfSq8Index(dataset.vectors, dataset.table, seed=0),
+        "Milvus IVF-PQ": IvfPqIndex(dataset.vectors, dataset.table,
+                                    n_subspaces=8, n_centroids=64, seed=0),
+        "Milvus HNSW (post-filter)": PostFilterSearcher(
+            hnsw, dataset.table, max_oversearch=0.5
+        ),
+    }
+    runner = SweepRunner(dataset, k=10)
+    return {
+        name: runner.sweep(name, method, efforts=(10, 40, 160, 640))
+        for name, method in methods.items()
+    }
+
+
+def test_milvus_family(milvus_sweeps, benchmark, report):
+    def render():
+        summary = render_sweeps(list(milvus_sweeps.values()),
+                                recall_target=0.9)
+        reaching = {
+            name: sweep.qps_at_recall(0.9)
+            for name, sweep in milvus_sweeps.items()
+            if sweep.qps_at_recall(0.9) is not None
+        }
+        pareto = max(reaching, key=reaching.get) if reaching else "none"
+        return (
+            "=== Milvus family on SIFT1M-like (the paper plots only the "
+            "Pareto-optimal config) ===\n\n"
+            + summary
+            + f"\n\nPareto-optimal at 0.9 recall: {pareto}"
+        )
+
+    report(benchmark.pedantic(render, rounds=1, iterations=1))
+
+    # At least two configs must reach 0.9 recall, and the exact-storage
+    # IVF must match or beat the quantized ones on accuracy.
+    reaching = [
+        name for name, sweep in milvus_sweeps.items()
+        if sweep.max_recall() >= 0.9
+    ]
+    assert len(reaching) >= 2
+    flat = milvus_sweeps["Milvus IVF-Flat"].max_recall()
+    assert flat >= milvus_sweeps["Milvus IVF-SQ8"].max_recall() - 0.02
+    assert flat >= milvus_sweeps["Milvus IVF-PQ"].max_recall() - 0.02

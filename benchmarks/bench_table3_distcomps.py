@@ -1,0 +1,58 @@
+"""Table 3: distance computations to reach 0.8 recall (SIFT1M, Paper).
+
+The paper's hardware-independent efficiency comparison: the oracle
+partition needs the fewest distance computations, ACORN-γ comes next
+(its KNN-ish levels lack the oracle's RNG pruning), ACORN-1 trails
+ACORN-γ, and HNSW post-filtering is the least efficient (it wastes
+distance computations on nodes failing the predicate).
+"""
+
+
+from repro.eval.reporting import render_table
+
+ROWS = ("oracle partition", "ACORN-gamma", "ACORN-1", "HNSW post-filter")
+
+
+def test_table3_distance_computations(sift_sweeps, paper_sweeps, benchmark,
+                                      report):
+    def run():
+        costs = {}
+        for dataset_name, sweeps in (("SIFT1M-like", sift_sweeps),
+                                     ("Paper-like", paper_sweeps)):
+            per_method = {}
+            for method in ROWS:
+                per_method[method] = sweeps[method].distance_computations_at_recall(0.8)
+            costs[dataset_name] = per_method
+        oracle = {name: c["oracle partition"] for name, c in costs.items()}
+        rows = []
+        for method in ROWS:
+            row = [method]
+            for dataset_name in costs:
+                cost = costs[dataset_name][method]
+                if cost is None:
+                    row.append("n/a")
+                else:
+                    pct = 100.0 * (cost / oracle[dataset_name] - 1.0)
+                    row.append(f"{cost:.1f} ({pct:+.1f}%)")
+            rows.append(row)
+        table = render_table(
+            ["method", "SIFT1M-like", "Paper-like"],
+            rows,
+            title="=== Table 3: # distance computations to reach 0.8 "
+                  "recall (vs oracle) ===",
+        )
+        return table, costs
+
+    table, costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+
+    for dataset_name, per_method in costs.items():
+        oracle = per_method["oracle partition"]
+        acorn = per_method["ACORN-gamma"]
+        post = per_method["HNSW post-filter"]
+        assert oracle is not None and acorn is not None
+        assert oracle <= acorn, f"{dataset_name}: oracle must be cheapest"
+        if post is not None:
+            assert post > acorn, (
+                f"{dataset_name}: post-filtering must cost more than ACORN"
+            )

@@ -1,0 +1,51 @@
+"""Table 6: ACORN-γ average out-degree per level.
+
+Confirms the compression works: the (compressed) level 0 stores far
+shorter lists than the uncompressed upper levels, which may grow up to
+M·γ; the top levels are small and sparsely populated.
+"""
+
+from repro.eval.reporting import render_table
+
+
+def test_table6_average_out_degree(all_suites, benchmark, report):
+    def run():
+        degrees = {
+            name: suite.acorn_gamma.out_degree_by_level()
+            for name, suite in all_suites.items()
+        }
+        max_levels = max(len(d) for d in degrees.values())
+        rows = []
+        for level in range(max_levels):
+            row = [f"Level {level}" + (" (compressed)" if level == 0 else "")]
+            for name in degrees:
+                row.append(degrees[name].get(level, "NA"))
+            rows.append(row)
+        params_row = ["M*gamma"]
+        beta_row = ["M_beta"]
+        for suite in all_suites.values():
+            params_row.append(suite.params.max_degree)
+            beta_row.append(suite.params.m_beta)
+        rows.extend([params_row, beta_row])
+        table = render_table(
+            ["", *degrees.keys()],
+            rows,
+            title="=== Table 6: ACORN-gamma average out-degree per level ===",
+        )
+        return table, degrees
+
+    table, degrees = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+
+    for name, suite in all_suites.items():
+        per_level = degrees[name]
+        budget = suite.params.max_degree
+        # Level 0 is compressed well below the upper levels' expansion.
+        assert per_level[0] < per_level[1], (
+            f"{name}: level 0 ({per_level[0]:.1f}) should be compressed "
+            f"below level 1 ({per_level[1]:.1f})"
+        )
+        # Upper levels never exceed the M*gamma budget.
+        for level, degree in per_level.items():
+            if level >= 1:
+                assert degree <= budget + 1e-9

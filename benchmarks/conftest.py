@@ -1,0 +1,275 @@
+"""Shared benchmark fixtures: scaled datasets and prebuilt method suites.
+
+Every figure/table benchmark draws from the session-scoped fixtures
+here so each index is built exactly once per run.  Scale is controlled
+by the ``REPRO_SCALE`` environment variable (default 1.0): dataset
+sizes multiply by it, so ``REPRO_SCALE=4 pytest benchmarks/`` runs the
+same experiments at 4x the default point counts.
+
+Construction wall-times (TTI, Table 4) are recorded as the fixtures
+build, so the table benchmarks report real measurements without
+rebuilding anything.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import (
+    FilteredVamanaIndex,
+    IvfFlatIndex,
+    NhqIndex,
+    OraclePartitionIndex,
+    PostFilterSearcher,
+    PreFilterSearcher,
+    StitchedVamanaIndex,
+)
+from repro.core import AcornIndex, AcornOneIndex, AcornParams
+from repro.datasets import (
+    make_laion_like,
+    make_paper_like,
+    make_sift1m_like,
+    make_tripclick_like,
+)
+from repro.hnsw import HnswIndex
+from repro.predicates import Equals
+from repro.utils.timer import Timer
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+
+# Paper-vs-here parameter notes: the paper uses M=32 (TripClick: 128),
+# efc=40 (TripClick: 200), gamma = 12 / 30 / 80 per dataset.  At our
+# reduced n we keep gamma tied to 1/s_min per dataset (the paper's
+# rule) but moderate it where the paper's value reflects a selectivity
+# tail our scaled workload doesn't reach.
+EFFORTS = (10, 20, 40, 80, 160, 320)
+K = 10
+
+
+def scaled(base: int) -> int:
+    """Scale a dataset size by REPRO_SCALE."""
+    return max(200, int(base * SCALE))
+
+
+@pytest.fixture(scope="session")
+def _results_file():
+    """Accumulates every experiment table for one benchmark session."""
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "latest.txt")
+    with open(path, "w") as handle:
+        yield handle
+
+
+@pytest.fixture(scope="session")
+def report(pytestconfig, _results_file):
+    """Emit a rendered experiment table.
+
+    pytest captures output at the file-descriptor level, so tables are
+    printed through the capture manager's disabled context (visible in
+    the terminal) and also appended to ``benchmarks/results/latest.txt``
+    so redirected runs keep them.
+    """
+    capture_manager = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _report(text: str) -> None:
+        _results_file.write("\n" + text + "\n")
+        _results_file.flush()
+        with capture_manager.global_and_fixture_disabled():
+            print("\n" + text + "\n", flush=True)
+
+    return _report
+
+
+class MethodSuite:
+    """A dataset plus every benchmarked method built over it."""
+
+    def __init__(self, dataset, acorn_params: AcornParams, hnsw_m: int = 16,
+                 hnsw_efc: int = 48, seed: int = 0, lcps: bool = False):
+        self.dataset = dataset
+        self.params = acorn_params
+        self.tti: dict[str, float] = {}
+        self.methods: dict[str, object] = {}
+
+        with Timer() as t:
+            self.acorn_gamma = AcornIndex.build(
+                dataset.vectors, dataset.table, params=acorn_params, seed=seed
+            )
+        self.tti["ACORN-gamma"] = t.elapsed
+        self.methods["ACORN-gamma"] = self.acorn_gamma
+
+        with Timer() as t:
+            # ACORN-1's search-time 2-hop expansion needs the paper's
+            # larger-M regime (the paper runs both variants at M=32) to
+            # keep sparse predicate subgraphs connected; the γ index
+            # runs at a reduced M to keep its M·γ construction cost
+            # laptop-scale.
+            self.acorn_one = AcornOneIndex.build(
+                dataset.vectors, dataset.table, m=2 * acorn_params.m,
+                ef_construction=acorn_params.ef_construction, seed=seed,
+            )
+        self.tti["ACORN-1"] = t.elapsed
+        self.methods["ACORN-1"] = self.acorn_one
+
+        with Timer() as t:
+            self.hnsw = HnswIndex.build(
+                dataset.vectors, m=hnsw_m, ef_construction=hnsw_efc, seed=seed
+            )
+        self.tti["HNSW"] = t.elapsed
+        self.methods["HNSW post-filter"] = PostFilterSearcher(
+            self.hnsw, dataset.table, max_oversearch=0.5
+        )
+
+        self.prefilter = PreFilterSearcher(dataset.vectors, dataset.table)
+        self.tti["Flat (pre-filter)"] = 0.0
+        self.methods["pre-filter"] = self.prefilter
+
+        self.oracle = None
+        if lcps:
+            label_column = dataset.extras["label_column"]
+            n_labels = dataset.extras["n_labels"]
+            predicates = [
+                Equals(label_column, value) for value in range(1, n_labels + 1)
+            ]
+            with Timer() as t:
+                self.oracle = OraclePartitionIndex(
+                    dataset.vectors, dataset.table, predicates,
+                    m=hnsw_m, ef_construction=hnsw_efc, seed=seed,
+                )
+            self.tti["Oracle partitions"] = t.elapsed
+            self.methods["oracle partition"] = self.oracle
+
+            with Timer() as t:
+                self.filtered_vamana = FilteredVamanaIndex(
+                    dataset.vectors, dataset.table, label_column,
+                    r=24, l=48, seed=seed,
+                )
+            self.tti["FilteredVamana"] = t.elapsed
+            self.methods["FilteredVamana"] = self.filtered_vamana
+
+            with Timer() as t:
+                self.stitched_vamana = StitchedVamanaIndex(
+                    dataset.vectors, dataset.table, label_column,
+                    r_small=16, l_small=40, r_stitched=32, seed=seed,
+                )
+            self.tti["StitchedVamana"] = t.elapsed
+            self.methods["StitchedVamana"] = self.stitched_vamana
+
+            with Timer() as t:
+                self.nhq = NhqIndex(
+                    dataset.vectors, dataset.table, label_column, degree=24
+                )
+            self.tti["NHQ"] = t.elapsed
+            self.methods["NHQ"] = self.nhq
+
+            with Timer() as t:
+                self.ivf = IvfFlatIndex(dataset.vectors, dataset.table,
+                                        seed=seed)
+            self.tti["Milvus IVF-Flat"] = t.elapsed
+            self.methods["IVF-Flat"] = self.ivf
+
+
+@pytest.fixture(scope="session")
+def sift_suite():
+    dataset = make_sift1m_like(
+        n=scaled(4000), dim=48, n_queries=100, seed=0
+    )
+    # gamma = 12 = 1/s_min for the 12-label equality workload (paper).
+    return MethodSuite(
+        dataset,
+        AcornParams(m=12, gamma=12, m_beta=24, ef_construction=40),
+        hnsw_m=16,
+        lcps=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_suite():
+    dataset = make_paper_like(
+        n=scaled(4000), dim=72, n_queries=100, seed=1
+    )
+    return MethodSuite(
+        dataset,
+        AcornParams(m=12, gamma=12, m_beta=24, ef_construction=40),
+        hnsw_m=16,
+        lcps=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def tripclick_suite():
+    dataset = make_tripclick_like(
+        n=scaled(3000), dim=96, n_queries=100, workload="areas", seed=2
+    )
+    # The paper's gamma=80 serves a selectivity tail down to 1/80; our
+    # scaled areas workload bottoms out near s~0.1, so gamma=10.
+    return MethodSuite(
+        dataset,
+        AcornParams(m=12, gamma=10, m_beta=24, ef_construction=40),
+        hnsw_m=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def tripclick_dates():
+    return make_tripclick_like(
+        n=scaled(3000), dim=96, n_queries=150, workload="dates", seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def laion_suite():
+    dataset = make_laion_like(
+        n=scaled(3000), dim=64, n_queries=100, workload="no-cor", seed=3
+    )
+    # gamma = 16 -> s_min ~ 0.063, below the neg-cor workload's 0.069
+    # average selectivity (the paper's LAION gamma=30 plays the same
+    # role relative to its 0.056 floor).
+    return MethodSuite(
+        dataset,
+        AcornParams(m=12, gamma=16, m_beta=24, ef_construction=40),
+        hnsw_m=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def all_suites(sift_suite, paper_suite, tripclick_suite, laion_suite):
+    return {
+        "Sift1M-like": sift_suite,
+        "Paper-like": paper_suite,
+        "TripClick-like": tripclick_suite,
+        "LAION-1M-like": laion_suite,
+    }
+
+
+def run_suite_sweeps(suite: MethodSuite, efforts=EFFORTS, k: int = K):
+    """Recall-QPS sweeps for every method in a suite (cached by callers)."""
+    from repro.eval import SweepRunner
+
+    runner = SweepRunner(suite.dataset, k=k)
+    return {
+        name: runner.sweep(name, method, efforts=efforts)
+        for name, method in suite.methods.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def sift_sweeps(sift_suite):
+    return run_suite_sweeps(sift_suite)
+
+
+@pytest.fixture(scope="session")
+def paper_sweeps(paper_suite):
+    return run_suite_sweeps(paper_suite)
+
+
+@pytest.fixture(scope="session")
+def tripclick_sweeps(tripclick_suite):
+    return run_suite_sweeps(tripclick_suite)
+
+
+@pytest.fixture(scope="session")
+def laion_sweeps(laion_suite):
+    return run_suite_sweeps(laion_suite)

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot build PEP-660 editable
+wheels offline (no `wheel` package available). `pip install -e .` falls
+back to this via `python setup.py develop`."""
+from setuptools import setup
+
+setup()

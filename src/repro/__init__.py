@@ -1,0 +1,95 @@
+"""ACORN: performant, predicate-agnostic hybrid search (SIGMOD 2024).
+
+A from-scratch Python reproduction of *ACORN: Performant and
+Predicate-Agnostic Search Over Vector Embeddings and Structured Data*
+(Patel, Kraft, Guestrin, Zaharia), including the HNSW substrate, the
+ACORN-gamma and ACORN-1 indices, every baseline the paper benchmarks,
+the four evaluation-dataset surrogates, and the measurement harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AcornIndex, AcornParams, AttributeTable, Equals
+
+    vectors = np.random.rand(1000, 64).astype("float32")
+    table = AttributeTable(1000)
+    table.add_int_column("price", np.random.randint(10, 500, size=1000))
+
+    index = AcornIndex.build(
+        vectors, table, params=AcornParams(m=16, gamma=8, m_beta=32)
+    )
+    result = index.search(vectors[0], Equals("price", 42), k=10)
+"""
+
+from repro.attributes import AttributeTable, Bitset, InvertedIndex
+from repro.core import (
+    AcornIndex,
+    AcornOneIndex,
+    AcornParams,
+    FlatAcornIndex,
+    HybridSearcher,
+)
+from repro.core.params import PruningStrategy
+from repro.datasets import (
+    HybridDataset,
+    HybridQuery,
+    make_laion_like,
+    make_paper_like,
+    make_sift1m_like,
+    make_tripclick_like,
+)
+from repro.hnsw import HnswIndex
+from repro.persistence import load_index, save_index
+from repro.hnsw.hnsw import SearchResult
+from repro.predicates import (
+    And,
+    Between,
+    ContainsAll,
+    ContainsAny,
+    Equals,
+    Not,
+    OneOf,
+    Or,
+    Predicate,
+    RegexMatch,
+    TruePredicate,
+)
+from repro.vectors import Metric, VectorStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcornIndex",
+    "AcornOneIndex",
+    "AcornParams",
+    "And",
+    "AttributeTable",
+    "Between",
+    "Bitset",
+    "ContainsAll",
+    "ContainsAny",
+    "Equals",
+    "FlatAcornIndex",
+    "HnswIndex",
+    "HybridDataset",
+    "HybridQuery",
+    "HybridSearcher",
+    "InvertedIndex",
+    "Metric",
+    "Not",
+    "OneOf",
+    "Or",
+    "Predicate",
+    "PruningStrategy",
+    "RegexMatch",
+    "SearchResult",
+    "TruePredicate",
+    "VectorStore",
+    "__version__",
+    "load_index",
+    "make_laion_like",
+    "make_paper_like",
+    "make_sift1m_like",
+    "make_tripclick_like",
+    "save_index",
+]

@@ -1,0 +1,16 @@
+"""Structured-attribute storage.
+
+Entities in a hybrid-search dataset carry an attribute tuple alongside
+their vector (paper §3.1).  This subpackage provides the columnar
+:class:`AttributeTable` those tuples live in, a packed :class:`Bitset`
+used to evaluate ``contains`` predicates over low-cardinality keyword
+domains (paper §7.2's pre-filtering implementation note), and an
+:class:`InvertedIndex` mirroring the Weaviate-style structure discussed
+in §8.
+"""
+
+from repro.attributes.bitset import Bitset
+from repro.attributes.inverted import InvertedIndex
+from repro.attributes.table import AttributeTable, ColumnKind
+
+__all__ = ["AttributeTable", "Bitset", "ColumnKind", "InvertedIndex"]

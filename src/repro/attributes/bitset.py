@@ -1,0 +1,110 @@
+"""Packed bitsets over entity ids.
+
+Predicate evaluation in this library is *vectorized*: a predicate is
+materialized once per query into a boolean mask over all entities, and
+index search consults the mask per node.  ``Bitset`` packs such masks
+8 entities per byte, supports the boolean algebra predicates need, and
+converts to/from numpy boolean arrays at the edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Bitset:
+    """Fixed-size packed bitset with numpy-backed bulk operations."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, bits: np.ndarray | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = int(size)
+        nbytes = (self.size + 7) // 8
+        if bits is None:
+            self._bits = np.zeros(nbytes, dtype=np.uint8)
+        else:
+            if bits.shape != (nbytes,):
+                raise ValueError(f"bits must have shape ({nbytes},), got {bits.shape}")
+            self._bits = bits.astype(np.uint8, copy=True)
+
+    @classmethod
+    def from_bool_array(cls, mask: np.ndarray) -> "Bitset":
+        """Pack a boolean mask into a bitset."""
+        mask = np.asarray(mask, dtype=bool)
+        out = cls(mask.shape[0])
+        out._bits = np.packbits(mask, bitorder="little")
+        # packbits can emit zero bytes for empty input; normalize length.
+        want = (out.size + 7) // 8
+        if out._bits.shape[0] != want:
+            out._bits = np.resize(out._bits, want)
+        return out
+
+    @classmethod
+    def from_indices(cls, indices, size: int) -> "Bitset":
+        """Bitset of ``size`` with the given positions set."""
+        mask = np.zeros(size, dtype=bool)
+        idx = np.asarray(list(indices), dtype=np.intp)
+        if idx.size:
+            if idx.min() < 0 or idx.max() >= size:
+                raise IndexError("index out of bitset range")
+            mask[idx] = True
+        return cls.from_bool_array(mask)
+
+    def to_bool_array(self) -> np.ndarray:
+        """Unpack into a boolean mask of length ``size``."""
+        return np.unpackbits(self._bits, count=self.size, bitorder="little").astype(bool)
+
+    def get(self, i: int) -> bool:
+        """Whether bit ``i`` is set."""
+        if not 0 <= i < self.size:
+            raise IndexError(f"bit {i} out of range [0, {self.size})")
+        return bool((self._bits[i >> 3] >> (i & 7)) & 1)
+
+    def set(self, i: int, value: bool = True) -> None:
+        """Set or clear bit ``i``."""
+        if not 0 <= i < self.size:
+            raise IndexError(f"bit {i} out of range [0, {self.size})")
+        if value:
+            self._bits[i >> 3] |= np.uint8(1 << (i & 7))
+        else:
+            self._bits[i >> 3] &= np.uint8(~(1 << (i & 7)) & 0xFF)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.unpackbits(self._bits, count=self.size, bitorder="little").sum())
+
+    def indices(self) -> np.ndarray:
+        """Ids of set bits, ascending."""
+        return np.flatnonzero(self.to_bool_array())
+
+    def _check_same_size(self, other: "Bitset") -> None:
+        if self.size != other.size:
+            raise ValueError(f"bitset sizes differ: {self.size} vs {other.size}")
+
+    def __and__(self, other: "Bitset") -> "Bitset":
+        self._check_same_size(other)
+        return Bitset(self.size, self._bits & other._bits)
+
+    def __or__(self, other: "Bitset") -> "Bitset":
+        self._check_same_size(other)
+        return Bitset(self.size, self._bits | other._bits)
+
+    def __invert__(self) -> "Bitset":
+        out = Bitset(self.size, ~self._bits)
+        # Clear padding bits past `size` so count()/indices() stay exact.
+        tail = self.size & 7
+        if tail and out._bits.size:
+            out._bits[-1] &= np.uint8((1 << tail) - 1)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self.size == other.size and np.array_equal(
+            self.to_bool_array(), other.to_bool_array()
+        )
+
+    def __repr__(self) -> str:
+        return f"Bitset(size={self.size}, set={self.count()})"

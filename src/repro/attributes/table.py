@@ -1,0 +1,161 @@
+"""Columnar storage for structured attributes.
+
+Each dataset entity ``e_i = (x_i, a_i)`` (paper §3.1) carries an
+attribute tuple ``a_i``.  The :class:`AttributeTable` stores those tuples
+column-wise so predicates can be evaluated as one vectorized pass per
+column: integer/date columns as numpy arrays, string columns as numpy
+object arrays, and keyword-list columns as a CSR-style (offsets, tokens)
+layout with an interned vocabulary, which makes ``contains`` evaluation a
+bitset union over posting lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class ColumnKind(enum.Enum):
+    """Physical layouts an attribute column can use."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    KEYWORDS = "keywords"
+
+
+class _KeywordColumn:
+    """CSR-encoded lists of interned keyword tokens."""
+
+    def __init__(self, lists: Sequence[Iterable[str]]) -> None:
+        self.vocab: dict[str, int] = {}
+        tokens: list[int] = []
+        offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+        for row, kws in enumerate(lists):
+            for kw in kws:
+                token = self.vocab.setdefault(kw, len(self.vocab))
+                tokens.append(token)
+            offsets[row + 1] = len(tokens)
+        self.offsets = offsets
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        # Posting lists: rows containing each token, for inverted lookups.
+        row_of_token = np.repeat(
+            np.arange(len(lists), dtype=np.int64), np.diff(offsets)
+        )
+        order = np.argsort(self.tokens, kind="stable")
+        self._sorted_rows = row_of_token[order]
+        self._sorted_tokens = self.tokens[order]
+        self._posting_bounds = np.searchsorted(
+            self._sorted_tokens, np.arange(len(self.vocab) + 1)
+        )
+
+    def __len__(self) -> int:
+        return self.offsets.shape[0] - 1
+
+    def row_keywords(self, row: int) -> list[str]:
+        inv = {v: k for k, v in self.vocab.items()}
+        lo, hi = self.offsets[row], self.offsets[row + 1]
+        return [inv[t] for t in self.tokens[lo:hi]]
+
+    def rows_containing(self, keyword: str) -> np.ndarray:
+        """Rows whose list contains ``keyword`` (empty if unseen)."""
+        token = self.vocab.get(keyword)
+        if token is None:
+            return np.empty(0, dtype=np.int64)
+        lo, hi = self._posting_bounds[token], self._posting_bounds[token + 1]
+        return self._sorted_rows[lo:hi]
+
+    def mask_containing_any(self, keywords: Iterable[str]) -> np.ndarray:
+        """Boolean mask of rows containing at least one of ``keywords``."""
+        mask = np.zeros(len(self), dtype=bool)
+        for kw in keywords:
+            mask[self.rows_containing(kw)] = True
+        return mask
+
+
+class AttributeTable:
+    """A named collection of attribute columns over ``n`` entities.
+
+    Columns are added once (all with the same length) and then read by
+    predicates.  ``table.column_kind(name)`` lets predicate code verify
+    it is pointed at a compatible layout before evaluating.
+    """
+
+    def __init__(self, num_rows: int) -> None:
+        if num_rows < 0:
+            raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+        self.num_rows = int(num_rows)
+        self._columns: dict[str, tuple[ColumnKind, object]] = {}
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns, in insertion order."""
+        return list(self._columns)
+
+    def _check_new(self, name: str, length: int) -> None:
+        if name in self._columns:
+            raise ValueError(f"column {name!r} already exists")
+        if length != self.num_rows:
+            raise ValueError(
+                f"column {name!r} has {length} rows, table has {self.num_rows}"
+            )
+
+    def add_int_column(self, name: str, values) -> None:
+        """Add an integer column (also used for dates/years)."""
+        values = np.asarray(values, dtype=np.int64)
+        self._check_new(name, values.shape[0])
+        self._columns[name] = (ColumnKind.INT, values)
+
+    def add_float_column(self, name: str, values) -> None:
+        """Add a float column (e.g. prices)."""
+        values = np.asarray(values, dtype=np.float64)
+        self._check_new(name, values.shape[0])
+        self._columns[name] = (ColumnKind.FLOAT, values)
+
+    def add_string_column(self, name: str, values: Sequence[str]) -> None:
+        """Add a string column (e.g. captions for regex predicates)."""
+        arr = np.asarray(list(values), dtype=object)
+        self._check_new(name, arr.shape[0])
+        self._columns[name] = (ColumnKind.STRING, arr)
+
+    def add_keywords_column(self, name: str, lists: Sequence[Iterable[str]]) -> None:
+        """Add a keyword-list column (e.g. clinical areas, CLIP keywords)."""
+        col = _KeywordColumn(lists)
+        self._check_new(name, len(col))
+        self._columns[name] = (ColumnKind.KEYWORDS, col)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named ``name`` exists."""
+        return name in self._columns
+
+    def column_kind(self, name: str) -> ColumnKind:
+        """The :class:`ColumnKind` of column ``name``."""
+        return self._columns[self._require(name)][0]
+
+    def column(self, name: str):
+        """The raw column payload (array or keyword column)."""
+        return self._columns[self._require(name)][1]
+
+    def _require(self, name: str) -> str:
+        if name not in self._columns:
+            raise KeyError(
+                f"no column {name!r}; available: {sorted(self._columns)}"
+            )
+        return name
+
+    def row(self, i: int) -> dict[str, object]:
+        """The attribute tuple of entity ``i`` as a dict (for debugging)."""
+        if not 0 <= i < self.num_rows:
+            raise IndexError(f"row {i} out of range [0, {self.num_rows})")
+        out: dict[str, object] = {}
+        for name, (kind, payload) in self._columns.items():
+            if kind is ColumnKind.KEYWORDS:
+                out[name] = payload.row_keywords(i)
+            else:
+                out[name] = payload[i]
+        return out

@@ -1,0 +1,37 @@
+"""Every hybrid-search method the paper benchmarks against (§7.2).
+
+Re-implemented from scratch:
+
+- :class:`PreFilterSearcher` — resolve the predicate first, brute-force
+  scan the survivors (perfect recall, O(s·n) cost).
+- :class:`PostFilterSearcher` — over-search an HNSW index for ``K/s``
+  candidates, then filter (the paper's strengthened post-filter, not
+  the weak fixed-K variant of prior work).
+- :class:`OraclePartitionIndex` — one HNSW per known predicate; the
+  theoretically-ideal strategy of §4 that ACORN emulates.
+- :class:`FilteredVamanaIndex` / :class:`StitchedVamanaIndex` — the two
+  FilteredDiskANN algorithms (equality labels only).
+- :class:`NhqIndex` — NHQ's fusion-distance graph (single attribute,
+  equality only).
+- :class:`IvfFlatIndex` — Milvus-style IVF-Flat with post-filtering.
+"""
+
+from repro.baselines.filtered_vamana import FilteredVamanaIndex
+from repro.baselines.ivf import IvfFlatIndex, IvfPqIndex, IvfSq8Index
+from repro.baselines.nhq import NhqIndex
+from repro.baselines.oracle import OraclePartitionIndex
+from repro.baselines.postfilter import PostFilterSearcher
+from repro.baselines.prefilter import PreFilterSearcher
+from repro.baselines.stitched_vamana import StitchedVamanaIndex
+
+__all__ = [
+    "FilteredVamanaIndex",
+    "IvfFlatIndex",
+    "IvfPqIndex",
+    "IvfSq8Index",
+    "NhqIndex",
+    "OraclePartitionIndex",
+    "PostFilterSearcher",
+    "PreFilterSearcher",
+    "StitchedVamanaIndex",
+]

@@ -1,0 +1,559 @@
+"""The ACORN-γ and ACORN-1 indices (paper §5).
+
+Both are HNSW-shaped hierarchical graphs whose search traverses the
+*predicate subgraph* — the subgraph induced by entities passing the
+query predicate — to emulate a per-predicate oracle partition that is
+never actually built.
+
+``AcornIndex`` (ACORN-γ) densifies the graph during construction:
+each node collects M·γ candidate edges, levels ≥ 1 store all of them,
+and level 0 is compressed with the predicate-agnostic Mβ pruning rule.
+``AcornOneIndex`` (ACORN-1) builds a plain unpruned HNSW (γ=1, Mβ=M)
+and recovers density at search time via full 2-hop expansion.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.core import construction as cons
+from repro.core.params import AcornParams, PruningStrategy
+from repro.core.search import (
+    compressed_neighbors,
+    expanded_neighbors,
+    filtered_neighbors,
+    freeze_graph,
+)
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.hnsw import SearchResult
+from repro.hnsw.levels import LevelGenerator
+from repro.hnsw.traversal import search_layer
+from repro.predicates.base import CompiledPredicate, Predicate
+from repro.vectors.distance import DistanceComputer, Metric
+from repro.vectors.store import VectorStore
+
+
+class AcornIndex:
+    """ACORN-γ: a predicate-agnostic hybrid-search index.
+
+    Args:
+        dim: vector dimensionality.
+        table: structured attributes of the (eventual) entities; used to
+            compile query predicates into masks.  Entity ``i`` of the
+            table corresponds to node id ``i`` — vectors must be added
+            in table-row order.
+        params: construction parameters (M, γ, Mβ, efc, pruning rule).
+        metric: distance metric.
+        seed: level-assignment seed.
+        labels: single-attribute integer labels, required only by the
+            metadata-aware RNG pruning ablation (Figure 12).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        table: AttributeTable,
+        params: AcornParams | None = None,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+        labels: np.ndarray | None = None,
+    ) -> None:
+        self.params = params if params is not None else AcornParams()
+        self.table = table
+        self.store = VectorStore(dim, metric=metric)
+        self.graph = LayeredGraph()
+        level_base = (
+            self.params.max_degree
+            if self.params.flatten_levels
+            else self.params.m
+        )
+        self._levels = LevelGenerator(max(level_base, 2), seed=seed)
+        self._edge_dists: list[dict[int, list[float]]] = []
+        self._labels = labels
+        if self.params.pruning is PruningStrategy.RNG_METADATA and labels is None:
+            raise ValueError("metadata-aware pruning requires `labels`")
+        self.pruning_stats = cons.PruningStats()
+        self._frozen: list[dict[int, np.ndarray]] | None = None
+        self._deleted: set[int] = set()
+        # Level-0 shrink triggers: pruned indexes re-prune once a list
+        # outgrows M·γ (the pruning rule's own |H| + kept budget); an
+        # unpruned one keeps nearest up to 2·M·γ (mirroring HNSW's 2M
+        # with γ=1).  Tighter caps would break the search-time 2-hop
+        # recovery, which needs list entries past Mβ to expand.
+        p = self.params
+        if p.pruning is PruningStrategy.NONE:
+            self._cap0 = 2 * p.max_degree
+        else:
+            self._cap0 = p.max_degree
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def metric(self) -> Metric:
+        """The configured distance metric."""
+        return self.store.metric
+
+    # ------------------------------------------------------------------
+    # Construction (paper §5.2)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        table: AttributeTable,
+        params: AcornParams | None = None,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "AcornIndex":
+        """Construct an index over ``vectors`` aligned with ``table`` rows."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if len(table) < vectors.shape[0]:
+            # A larger table is allowed: extra rows serve later inserts.
+            raise ValueError(
+                f"table has {len(table)} rows but got {vectors.shape[0]} vectors"
+            )
+        index = cls(vectors.shape[1], table, params=params, metric=metric,
+                    seed=seed, labels=labels)
+        for vector in vectors:
+            index.add(vector)
+        return index
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert one vector; returns its node id (== its table row)."""
+        node = self.store.add(vector)
+        if node >= len(self.table):
+            raise ValueError(
+                f"node {node} has no attribute row (table has {len(self.table)})"
+            )
+        self._frozen = None
+        trunc = self.params.m if self.params.truncate_construction else None
+        level = self._levels.draw()
+        if len(self.graph) == 0:
+            self._register_node(node, level)
+            self.graph.entry_point = node
+            return node
+
+        computer = self.store.computer()
+        query = computer.set_query(vector)
+        entry = self.graph.entry_point
+        top = self.graph.node_level(entry)
+        best = (computer.distance_one(query, entry), entry)
+
+        # Greedy descent above the node's level, truncated-M lookups.
+        for lev in range(top, level, -1):
+            best = self._greedy_step(computer, query, best, lev)
+
+        self._register_node(node, level)
+        ef_cand = self.params.effective_ef_construction
+        entry_points = [best]
+        for lev in range(min(level, top), -1, -1):
+            if lev == 0:
+                entry_points = self._bottom_seeds(computer, query, entry_points)
+            visited = np.zeros(len(self.store), dtype=bool)
+            for _, seed_node in entry_points:
+                visited[seed_node] = True
+            found = search_layer(
+                computer,
+                query,
+                entry_points,
+                ef=ef_cand,
+                neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev)[:trunc],
+                visited=visited,
+            )
+            # The node under insertion is already registered; seed hooks
+            # (flat substrate) could surface it — never self-link.
+            candidates = [
+                (dist, cand) for dist, cand in found if cand != node
+            ][: self.params.max_degree]
+            selected = self._select_edges(computer, node, candidates, lev)
+            self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
+            self._edge_dists[lev][node] = [dist for dist, _ in selected]
+            for dist, neighbor in selected:
+                self._add_reverse_edge(computer, neighbor, node, dist, lev)
+            entry_points = found
+
+        if level > top:
+            self.graph.entry_point = node
+        return node
+
+    def _register_node(self, node: int, level: int) -> None:
+        self.graph.add_node(node, level)
+        while len(self._edge_dists) <= level:
+            self._edge_dists.append({})
+        for lev in range(level + 1):
+            self._edge_dists[lev].setdefault(node, [])
+
+    def _greedy_step(
+        self,
+        computer: DistanceComputer,
+        query: np.ndarray,
+        best: tuple[float, int],
+        level: int,
+    ) -> tuple[float, int]:
+        trunc = self.params.m if self.params.truncate_construction else None
+        visited = np.zeros(len(self.store), dtype=bool)
+        visited[best[1]] = True
+        found = search_layer(
+            computer, query, [best], ef=1,
+            neighbor_fn=lambda c: self.graph.neighbors(c, level)[:trunc],
+            visited=visited,
+        )
+        return found[0]
+
+    def _is_compressed(self, level: int) -> bool:
+        """Whether ``level`` stores pruned lists (bottom-up nc levels)."""
+        return (
+            level < self.params.compressed_levels
+            and self.params.pruning is not PruningStrategy.NONE
+        )
+
+    def _select_edges(
+        self,
+        computer: DistanceComputer,
+        node: int,
+        candidates: list[tuple[float, int]],
+        level: int,
+    ) -> list[tuple[float, int]]:
+        """Choose the final edge list from the M·γ nearest candidates.
+
+        Uncompressed levels keep every candidate (the expanded lists are
+        the whole point); compressed levels — the bottom ``nc`` levels,
+        per §6.1's generalization — apply the configured pruning rule.
+        """
+        if not self._is_compressed(level):
+            return candidates
+        pruning = self.params.pruning
+        if pruning is PruningStrategy.ACORN:
+            return cons.prune_predicate_agnostic(
+                candidates, self.graph, level=level,
+                m_beta=self.params.m_beta,
+                max_degree=self.params.max_degree,
+                stats=self.pruning_stats,
+            )
+        if pruning is PruningStrategy.RNG_BLIND:
+            return cons.prune_rng_blind(
+                candidates, computer.base, self.params.max_degree,
+                metric=self.metric, stats=self.pruning_stats,
+            )
+        return cons.prune_rng_metadata(
+            candidates, computer.base, self._labels, node,
+            self.params.max_degree, metric=self.metric,
+            stats=self.pruning_stats,
+        )
+
+    def _add_reverse_edge(
+        self,
+        computer: DistanceComputer,
+        owner: int,
+        new_neighbor: int,
+        dist: float,
+        level: int,
+    ) -> None:
+        """Insert ``owner -> new_neighbor`` in distance order; shrink on overflow."""
+        neighbor_ids = self.graph.neighbors(owner, level)
+        dists = self._edge_dists[level][owner]
+        if new_neighbor in neighbor_ids:
+            return
+        pos = bisect.bisect(dists, dist)
+        neighbor_ids.insert(pos, new_neighbor)
+        dists.insert(pos, dist)
+
+        if not self._is_compressed(level):
+            cap = self._cap0 if level == 0 else self.params.max_degree
+            if len(neighbor_ids) > cap:
+                neighbor_ids.pop()
+                dists.pop()
+            return
+        if len(neighbor_ids) <= self._cap0:
+            return
+        candidates = list(zip(dists, neighbor_ids))
+        selected = self._select_edges(computer, owner, candidates, level=level)
+        # The pruning rule's |H|+kept budget does not bind while the
+        # two-hop sets are still small (early construction), so enforce
+        # the cap explicitly — minus an M-wide low-watermark so a full
+        # list buys M insertions of headroom before re-pruning (without
+        # it, a list parked at the cap re-prunes on every insert).
+        selected = selected[: max(self._cap0 - self.params.m, 1)]
+        self.graph.set_neighbors(owner, level, [nid for _, nid in selected])
+        self._edge_dists[level][owner] = [d for d, _ in selected]
+
+    # ------------------------------------------------------------------
+    # Search (paper §5.1, Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _adjacency(self) -> list[dict[int, np.ndarray]]:
+        if self._frozen is None:
+            self._frozen = freeze_graph(self.graph)
+        return self._frozen
+
+    def _neighbor_fn(self, level: int, mask: np.ndarray):
+        """The per-level neighbor-lookup strategy for ACORN-γ.
+
+        Uncompressed levels use the filter strategy over the stored
+        (M·γ-wide) lists; the compressed level 0 uses the 2-hop
+        expansion lookup that recovers pruned edges.
+        """
+        adjacency = self._adjacency()[level]
+        if self._is_compressed(level):
+            m_beta = self.params.m_beta
+            return lambda c: compressed_neighbors(adjacency, c, mask, m_beta)
+        return lambda c: filtered_neighbors(adjacency, c, mask)
+
+    def search(
+        self,
+        query: np.ndarray,
+        predicate: "Predicate | CompiledPredicate",
+        k: int,
+        ef_search: int = 64,
+        entry_point: int | None = None,
+    ) -> SearchResult:
+        """Hybrid search: K nearest neighbors passing ``predicate``.
+
+        Implements the two-stage traversal of §6.3.2 — filtering-only
+        descent from the fixed entry point until the predicate subgraph
+        is reached, then best-first traversal of the subgraph with the
+        dynamic list ``ef_search``.
+
+        Args:
+            entry_point: start node override (defaults to the index's
+                fixed entry point; used by the entry-point ablation).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        compiled = self._compile(predicate)
+        if len(self.graph) == 0:
+            return SearchResult(
+                np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float32), 0
+            )
+        computer = self.store.computer()
+        query = computer.set_query(query)
+        mask = compiled.mask
+        if self._deleted:
+            # Tombstones compose with the predicate: a deleted entity
+            # simply never passes, exactly like a failing attribute.
+            mask = mask.copy()
+            mask[list(self._deleted)] = False
+
+        entry = self.graph.entry_point if entry_point is None else entry_point
+        best = (computer.distance_one(query, entry), entry)
+        for lev in range(self.graph.node_level(entry), 0, -1):
+            visited = np.zeros(len(self.store), dtype=bool)
+            visited[best[1]] = True
+            found = search_layer(
+                computer, query, [best], ef=1,
+                neighbor_fn=self._neighbor_fn(lev, mask), visited=visited,
+            )
+            best = found[0]
+
+        entry_points = self._bottom_seeds(computer, query, [best])
+        visited = np.zeros(len(self.store), dtype=bool)
+        for _, seed_node in entry_points:
+            visited[seed_node] = True
+        found = search_layer(
+            computer, query, entry_points, ef=max(ef_search, k),
+            neighbor_fn=self._neighbor_fn(0, mask), visited=visited,
+        )
+        # Seeds may fail the predicate (the fixed entry point need not
+        # pass); every expanded node passed the filter, so one final
+        # mask application yields the hybrid result set.
+        passing = [(dist, nid) for dist, nid in found if mask[nid]][:k]
+        return SearchResult(
+            np.asarray([nid for _, nid in passing], dtype=np.intp),
+            np.asarray([dist for dist, _ in passing], dtype=np.float32),
+            computer.count,
+        )
+
+    def _bottom_seeds(
+        self,
+        computer: DistanceComputer,
+        query: np.ndarray,
+        seeds: list[tuple[float, int]],
+    ) -> list[tuple[float, int]]:
+        """Entry points for the bottom-level traversal.
+
+        The hierarchical index needs only the descent's best node: its
+        upper levels already routed the query.  Flat substrates override
+        this to add spread-out extra seeds (they have no hierarchy to
+        route with) — during both search and construction, since a flat
+        graph built with single-seed candidate searches fragments.
+        """
+        return seeds
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        predicates,
+        k: int,
+        ef_search: int = 64,
+    ) -> list[SearchResult]:
+        """Answer many hybrid queries.
+
+        Args:
+            queries: (q, dim) query matrix.
+            predicates: one predicate per query, or a single predicate
+                shared by all queries (compiled once).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if isinstance(predicates, (Predicate, CompiledPredicate)):
+            predicates = [self._compile(predicates)] * queries.shape[0]
+        else:
+            predicates = list(predicates)
+            if len(predicates) != queries.shape[0]:
+                raise ValueError(
+                    f"{queries.shape[0]} queries but {len(predicates)} "
+                    "predicates"
+                )
+        return [
+            self.search(query, predicate, k, ef_search=ef_search)
+            for query, predicate in zip(queries, predicates)
+        ]
+
+    def _compile(self, predicate: "Predicate | CompiledPredicate") -> CompiledPredicate:
+        if isinstance(predicate, CompiledPredicate):
+            if len(predicate) != len(self.table):
+                raise ValueError(
+                    f"compiled predicate covers {len(predicate)} entities, "
+                    f"table has {len(self.table)}"
+                )
+            return predicate
+        return predicate.compile(self.table)
+
+    # ------------------------------------------------------------------
+    # Deletion (tombstones)
+    # ------------------------------------------------------------------
+
+    def mark_deleted(self, node_id: int) -> None:
+        """Tombstone an entity: it disappears from all search results.
+
+        The node's edges remain in the graph (it can still relay
+        traversal through its 2-hop expansions), mirroring how
+        production graph indexes handle deletes without a rebuild.
+        Heavy delete fractions should trigger a rebuild.
+        """
+        if not 0 <= node_id < len(self.store):
+            raise IndexError(f"node {node_id} out of range [0, {len(self.store)})")
+        self._deleted.add(node_id)
+
+    def unmark_deleted(self, node_id: int) -> None:
+        """Remove a tombstone (no-op if the node is not deleted)."""
+        self._deleted.discard(node_id)
+
+    def is_deleted(self, node_id: int) -> bool:
+        """Whether ``node_id`` is tombstoned."""
+        return node_id in self._deleted
+
+    @property
+    def num_deleted(self) -> int:
+        """Number of tombstoned entities."""
+        return len(self._deleted)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Vector payload + adjacency footprint (Table 5 methodology)."""
+        return self.store.nbytes() + self.graph.nbytes()
+
+    def out_degree_by_level(self) -> dict[int, float]:
+        """Average out-degree per level (Table 6 methodology)."""
+        return {
+            lev: self.graph.average_out_degree(lev)
+            for lev in range(self.graph.max_level + 1)
+        }
+
+    def stats(self) -> dict:
+        """A structured summary of the built index.
+
+        Returns a dict with size, level populations/degrees, parameter
+        values, and pruning counters — what an operator would log after
+        a build.
+        """
+        graph = self.graph
+        return {
+            "num_vectors": len(self.store),
+            "num_deleted": self.num_deleted,
+            "dim": self.store.dim,
+            "metric": self.metric.value,
+            "levels": graph.max_level + 1,
+            "level_population": [
+                graph.num_nodes_at_level(lev)
+                for lev in range(graph.max_level + 1)
+            ],
+            "avg_out_degree": self.out_degree_by_level(),
+            "nbytes": self.nbytes(),
+            "params": {
+                "m": self.params.m,
+                "gamma": self.params.gamma,
+                "m_beta": self.params.m_beta,
+                "ef_construction": self.params.ef_construction,
+                "pruning": self.params.pruning.value,
+                "compressed_levels": self.params.compressed_levels,
+                "s_min": self.params.s_min,
+            },
+            "pruning": {
+                "nodes_pruned": self.pruning_stats.nodes_pruned,
+                "candidates_dropped": self.pruning_stats.candidates_dropped,
+            },
+        }
+
+
+class AcornOneIndex(AcornIndex):
+    """ACORN-1: HNSW-without-pruning construction, 2-hop search (§5.3).
+
+    Construction fixes γ = 1 and Mβ = M — each node keeps its M nearest
+    candidates per level, no RNG pruning — minimizing TTI and index
+    size.  Search approximates ACORN-γ's dense lists by expanding every
+    visited node's full one-hop + two-hop neighborhood before filtering
+    and truncating to M (Figure 4c).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        table: AttributeTable,
+        m: int = 32,
+        ef_construction: int = 40,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            dim,
+            table,
+            params=AcornParams.acorn_1(m=m, ef_construction=ef_construction),
+            metric=metric,
+            seed=seed,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        table: AttributeTable,
+        m: int = 32,
+        ef_construction: int = 40,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+    ) -> "AcornOneIndex":
+        """Construct an ACORN-1 index over ``vectors``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if len(table) < vectors.shape[0]:
+            # A larger table is allowed: extra rows serve later inserts.
+            raise ValueError(
+                f"table has {len(table)} rows but got {vectors.shape[0]} vectors"
+            )
+        index = cls(vectors.shape[1], table, m=m,
+                    ef_construction=ef_construction, metric=metric, seed=seed)
+        for vector in vectors:
+            index.add(vector)
+        return index
+
+    def _neighbor_fn(self, level: int, mask: np.ndarray):
+        adjacency = self._adjacency()[level]
+        return lambda c: expanded_neighbors(adjacency, c, mask)

@@ -1,0 +1,76 @@
+"""Index maintenance: compacting tombstones into a fresh index.
+
+Tombstones keep deletes cheap but waste space and relay traversal
+through dead nodes; past some delete fraction an operator rebuilds.
+:func:`rebuild` constructs a fresh index of the same class and
+parameters over the live entities only, and returns the id remapping
+so callers can translate any ids they stored externally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable, ColumnKind
+from repro.core.acorn import AcornIndex
+
+
+def _subset_table(table: AttributeTable, keep: np.ndarray) -> AttributeTable:
+    """A new table holding only the rows in ``keep`` (in order)."""
+    out = AttributeTable(int(keep.shape[0]))
+    for name in table.column_names:
+        kind = table.column_kind(name)
+        column = table.column(name)
+        if kind is ColumnKind.INT:
+            out.add_int_column(name, np.asarray(column)[keep])
+        elif kind is ColumnKind.FLOAT:
+            out.add_float_column(name, np.asarray(column)[keep])
+        elif kind is ColumnKind.STRING:
+            out.add_string_column(name, [column[i] for i in keep.tolist()])
+        else:
+            out.add_keywords_column(
+                name, [column.row_keywords(i) for i in keep.tolist()]
+            )
+    return out
+
+
+def rebuild(
+    index: AcornIndex,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[AcornIndex, np.ndarray]:
+    """Compact an index: drop tombstoned entities, rebuild the graph.
+
+    Args:
+        index: any ACORN-family index (γ / 1 / flat).
+        seed: level-assignment seed for the new build.
+
+    Returns:
+        (new_index, id_map): the fresh index, plus an int64 array where
+        ``id_map[old_id]`` is the entity's new id, or -1 if it was
+        deleted.
+    """
+    n = len(index)
+    keep = np.asarray(
+        [node for node in range(n) if not index.is_deleted(node)],
+        dtype=np.int64,
+    )
+    id_map = np.full(n, -1, dtype=np.int64)
+    id_map[keep] = np.arange(keep.shape[0])
+
+    table = _subset_table(index.table, keep)
+    vectors = index.store.vectors[keep]
+    from repro.core.acorn import AcornOneIndex
+
+    if isinstance(index, AcornOneIndex):
+        # ACORN-1's constructor derives its fixed params from (m, efc).
+        new_index = type(index).build(
+            vectors, table, m=index.params.m,
+            ef_construction=index.params.ef_construction,
+            metric=index.metric, seed=seed,
+        )
+    else:
+        new_index = type(index).build(
+            vectors, table, params=index.params, metric=index.metric,
+            seed=seed,
+        )
+    return new_index, id_map

@@ -1,0 +1,173 @@
+"""Cost-based routing between ACORN graph search and pre-filtering.
+
+Paper §5.2: "if the estimated predicate selectivity of a given query is
+greater than 1/γ, search the ACORN-γ index, otherwise pre-filter."
+Misestimates degrade efficiency, never correctness — a mistaken
+pre-filter still returns perfect-recall results; a mistaken graph search
+still returns whatever the (sparser) predicate subgraph yields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.baselines.prefilter import PreFilterSearcher
+from repro.core.acorn import AcornIndex
+from repro.hnsw.hnsw import SearchResult
+from repro.predicates.base import CompiledPredicate, Predicate
+from repro.predicates.selectivity import ExactSelectivityEstimator, SelectivityEstimator
+
+
+@dataclasses.dataclass
+class RoutingDecision:
+    """Why a query went where it went (surfaced for tests/diagnostics)."""
+
+    estimated_selectivity: float
+    s_min: float
+    used_prefilter: bool
+
+
+@dataclasses.dataclass
+class QueryPlan:
+    """EXPLAIN-style preview of how a hybrid query would execute.
+
+    Attributes:
+        route: ``"pre-filter"`` or ``"acorn-graph"``.
+        estimated_selectivity: the router's selectivity estimate.
+        s_min: the routing threshold (1/γ by default).
+        estimated_distance_computations: predicted cost — the full
+            ``s·n`` scan for the pre-filter route, or the §6.3.2
+            ``O((d+γ)·log(s·n))``-shaped model for the graph route
+            (a coarse planning signal, not a promise).
+    """
+
+    route: str
+    estimated_selectivity: float
+    s_min: float
+    estimated_distance_computations: float
+
+
+class HybridSearcher:
+    """ACORN index + selectivity estimator + pre-filter fall-back.
+
+    This is the complete system a downstream user deploys: build once,
+    then serve arbitrary hybrid queries.  Queries estimated below
+    ``s_min = 1/γ`` are answered by brute-force pre-filtering (cheap and
+    exact at that selectivity); everything else traverses the ACORN
+    graph.
+    """
+
+    def __init__(
+        self,
+        index: AcornIndex,
+        estimator: SelectivityEstimator | None = None,
+        s_min: float | None = None,
+    ) -> None:
+        self.index = index
+        self.estimator = (
+            estimator
+            if estimator is not None
+            else ExactSelectivityEstimator(index.table)
+        )
+        self.s_min = s_min if s_min is not None else index.params.s_min
+        self.prefilter = PreFilterSearcher(
+            index.store.vectors, index.table, metric=index.metric
+        )
+        self.last_decision: RoutingDecision | None = None
+
+    def search(
+        self,
+        query: np.ndarray,
+        predicate: "Predicate | CompiledPredicate",
+        k: int,
+        ef_search: int = 64,
+    ) -> SearchResult:
+        """Answer one hybrid query, routing by estimated selectivity."""
+        if isinstance(predicate, CompiledPredicate):
+            estimate = predicate.selectivity
+            source = predicate
+        else:
+            estimate = self.estimator.estimate(predicate)
+            source = predicate
+        use_prefilter = estimate < self.s_min
+        self.last_decision = RoutingDecision(
+            estimated_selectivity=estimate,
+            s_min=self.s_min,
+            used_prefilter=use_prefilter,
+        )
+        if use_prefilter:
+            if self.index.num_deleted:
+                # Tombstones must hold on the pre-filter path too.
+                compiled = (
+                    source
+                    if isinstance(source, CompiledPredicate)
+                    else source.compile(self.index.table)
+                )
+                mask = compiled.mask.copy()
+                mask[list(self.index._deleted)] = False
+                source = CompiledPredicate(compiled.predicate, mask)
+            return self.prefilter.search(query, source, k)
+        return self.index.search(query, source, k, ef_search=ef_search)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        predicates,
+        k: int,
+        ef_search: int = 64,
+    ) -> list[SearchResult]:
+        """Answer many hybrid queries, routing each independently.
+
+        Args:
+            queries: (q, dim) query matrix.
+            predicates: one predicate per query, or a single predicate
+                shared by all (compiled once against the index's table).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if isinstance(predicates, (Predicate, CompiledPredicate)):
+            if not isinstance(predicates, CompiledPredicate):
+                predicates = predicates.compile(self.index.table)
+            predicates = [predicates] * queries.shape[0]
+        else:
+            predicates = list(predicates)
+            if len(predicates) != queries.shape[0]:
+                raise ValueError(
+                    f"{queries.shape[0]} queries but {len(predicates)} "
+                    "predicates"
+                )
+        return [
+            self.search(query, predicate, k, ef_search=ef_search)
+            for query, predicate in zip(queries, predicates)
+        ]
+
+    def explain(self, predicate: "Predicate | CompiledPredicate") -> QueryPlan:
+        """Preview routing and cost for a predicate without searching.
+
+        The database-style EXPLAIN: useful for understanding why the
+        router picked a path and roughly what it will cost.
+        """
+        import math
+
+        if isinstance(predicate, CompiledPredicate):
+            estimate = predicate.selectivity
+        else:
+            estimate = self.estimator.estimate(predicate)
+        n = max(len(self.index), 1)
+        if estimate < self.s_min:
+            cost = estimate * n
+            route = "pre-filter"
+        else:
+            # §6.3.2's complexity shape, with M distance computations
+            # per visited node as the constant.
+            params = self.index.params
+            subgraph = max(estimate * n, 2.0)
+            cost = params.m * (1.0 + math.log(subgraph))
+            route = "acorn-graph"
+        return QueryPlan(
+            route=route,
+            estimated_selectivity=float(estimate),
+            s_min=self.s_min,
+            estimated_distance_computations=float(cost),
+        )

@@ -1,0 +1,121 @@
+"""ACORN's neighbor-lookup strategies (paper §5.1, Figure 4).
+
+ACORN's search is HNSW's search with one substitution: the neighborhood
+of each visited node is recovered through a predicate-aware lookup
+instead of a raw adjacency read.  Three strategies exist:
+
+- **filter** (Fig 4a): scan the stored list in ascending-distance order
+  and keep entries passing the predicate.  Used on uncompressed levels
+  of ACORN-γ.
+- **compressed** (Fig 4b): the first Mβ entries are filtered directly;
+  entries past Mβ are expanded to include their own neighbors (the
+  2-hop set the pruning rule guaranteed covers every pruned edge)
+  before filtering.  Used on ACORN-γ's compressed level 0.
+- **expansion** (Fig 4c): full one-hop + two-hop expansion, then
+  filtering.  ACORN-1's strategy — it approximates the M·γ lists that
+  were never built.
+
+Deviation from the paper's Algorithm 2 listing: the listing truncates
+each recovered neighborhood to its first M entries, and M is described
+as the search-time degree bound.  Because stored lists are sorted by
+distance, a hard first-M truncation keeps only each node's most local
+passing candidates; empirically that traps the greedy traversal inside
+nearest-neighbor cliques and collapses recall (level-0 reachability
+through first-M-truncated lists covers a small fraction of the graph).
+We therefore return *every* passing candidate the strategy discovers.
+The expected count is still ≈ M by design — the filtered degree is
+s·M·γ, and γ = 1/s_min calibrates it to M at the lowest served
+selectivity — so M remains the paper's *expected* per-node bound rather
+than a hard one.  See DESIGN.md §3.
+
+Lookups operate on a frozen (numpy-array) adjacency snapshot so the
+predicate mask can be applied vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hnsw.graph import LayeredGraph
+
+FrozenLevel = dict[int, np.ndarray]
+
+
+def freeze_graph(graph: LayeredGraph) -> list[FrozenLevel]:
+    """Snapshot each level's adjacency as int64 arrays for fast masking."""
+    frozen: list[FrozenLevel] = []
+    for level in range(graph.max_level + 1):
+        frozen.append(
+            {
+                node: np.asarray(graph.neighbors(node, level), dtype=np.int64)
+                for node in graph.nodes_at_level(level)
+            }
+        )
+    return frozen
+
+
+def filtered_neighbors(
+    adjacency: FrozenLevel, node: int, mask: np.ndarray
+) -> list[int]:
+    """Filter strategy (Fig 4a): passing entries of N(v), in list order."""
+    neighbor_ids = adjacency[node]
+    if neighbor_ids.size == 0:
+        return []
+    return neighbor_ids[mask[neighbor_ids]].tolist()
+
+
+def compressed_neighbors(
+    adjacency: FrozenLevel,
+    node: int,
+    mask: np.ndarray,
+    m_beta: int,
+) -> list[int]:
+    """Compression strategy (Fig 4b): filter first Mβ, expand the rest.
+
+    Phase 1 filters the first ``m_beta`` stored entries directly.
+    Phase 2 walks the remaining entries in order; each contributes
+    itself plus its one-hop neighborhood (recovering edges the
+    predicate-agnostic pruning dropped), filtered by the predicate.
+    """
+    neighbor_ids = adjacency[node]
+    if neighbor_ids.size == 0:
+        return []
+    head = neighbor_ids[:m_beta]
+    out = head[mask[head]].tolist()
+    seen = set(out)
+    for hop in neighbor_ids[m_beta:].tolist():
+        if mask[hop] and hop not in seen:
+            seen.add(hop)
+            out.append(hop)
+        two_hop = adjacency[hop]
+        if two_hop.size == 0:
+            continue
+        passing = two_hop[mask[two_hop]]
+        for cand in passing.tolist():
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+    return out
+
+
+def expanded_neighbors(
+    adjacency: FrozenLevel, node: int, mask: np.ndarray
+) -> list[int]:
+    """ACORN-1's expansion strategy (Fig 4c): 1-hop + 2-hop, filtered.
+
+    Equivalent to the compression strategy with ``m_beta = 0``: every
+    stored neighbor is expanded, approximating the M·γ candidate lists
+    ACORN-γ would have stored.
+    """
+    return compressed_neighbors(adjacency, node, mask, m_beta=0)
+
+
+def truncated_neighbors(adjacency: FrozenLevel, node: int, m: int) -> list[int]:
+    """Metadata-agnostic construction lookup (§5.2): first M entries.
+
+    During ACORN-γ construction the traversal ignores predicates and
+    reads only the first M entries of each (possibly M·γ-long) list —
+    M edges suffice for navigability, so scanning more would only add
+    distance computations and TTI.
+    """
+    return adjacency[node][:m].tolist()

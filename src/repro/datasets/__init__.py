@@ -1,0 +1,41 @@
+"""Synthetic surrogates for the paper's four evaluation datasets.
+
+The paper evaluates on SIFT1M, Paper, TripClick, and LAION (Table 2).
+Those corpora need downloads and GPU encoders, so this package generates
+laptop-scale datasets that preserve the *workload structure* the
+evaluation sweeps: predicate operators and cardinality, average
+selectivity, predicate clustering, and query correlation.  Every
+generator is deterministic given a seed and returns a
+:class:`HybridDataset` bundling vectors, attributes, a query workload,
+and exact ground truth.
+
+Substitution rationale is documented per-generator and in DESIGN.md §3.
+"""
+
+from repro.datasets.base import HybridDataset, HybridQuery
+from repro.datasets.correlation import query_correlation
+from repro.datasets.ground_truth import filtered_knn
+from repro.datasets.io import load_sift1m, read_bvecs, read_fvecs, read_ivecs, write_fvecs
+from repro.datasets.laion import make_laion_like
+from repro.datasets.paper import make_paper_like
+from repro.datasets.sift import make_sift1m_like
+from repro.datasets.synthetic import clustered_vectors, uniform_vectors
+from repro.datasets.tripclick import make_tripclick_like
+
+__all__ = [
+    "HybridDataset",
+    "HybridQuery",
+    "clustered_vectors",
+    "filtered_knn",
+    "load_sift1m",
+    "make_laion_like",
+    "make_paper_like",
+    "make_sift1m_like",
+    "make_tripclick_like",
+    "query_correlation",
+    "read_bvecs",
+    "read_fvecs",
+    "read_ivecs",
+    "uniform_vectors",
+    "write_fvecs",
+]

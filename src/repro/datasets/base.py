@@ -1,0 +1,106 @@
+"""Dataset containers: vectors + attributes + hybrid query workload."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates.base import CompiledPredicate, Predicate
+from repro.vectors.distance import Metric, resolve_metric
+
+
+@dataclasses.dataclass
+class HybridQuery:
+    """One hybrid query ``q = (x_q, p_q)`` (paper §3.1)."""
+
+    vector: np.ndarray
+    predicate: Predicate
+
+    def compile(self, table: AttributeTable) -> CompiledPredicate:
+        """Materialize the predicate against ``table``."""
+        return self.predicate.compile(table)
+
+
+@dataclasses.dataclass
+class HybridDataset:
+    """A hybrid-search benchmark: base data plus a query workload.
+
+    Attributes:
+        name: dataset identifier used in benchmark output.
+        vectors: base matrix (n, d), float32.
+        table: structured attributes aligned with ``vectors``.
+        queries: the hybrid query workload.
+        metric: distance metric the workload assumes.
+        extras: generator-specific metadata (e.g. the label column name
+            for LCPS datasets, cluster assignments for correlation
+            control).
+    """
+
+    name: str
+    vectors: np.ndarray
+    table: AttributeTable
+    queries: list[HybridQuery]
+    metric: Metric = Metric.L2
+    extras: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.vectors = np.atleast_2d(np.asarray(self.vectors, dtype=np.float32))
+        self.metric = resolve_metric(self.metric)
+        if len(self.table) != self.vectors.shape[0]:
+            raise ValueError(
+                f"table has {len(self.table)} rows but vectors has "
+                f"{self.vectors.shape[0]}"
+            )
+        self._compiled: list[CompiledPredicate] | None = None
+        self._ground_truth: dict[int, list[np.ndarray]] = {}
+
+    @property
+    def num_vectors(self) -> int:
+        """Dataset size n."""
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality d."""
+        return self.vectors.shape[1]
+
+    def compiled_predicates(self) -> list[CompiledPredicate]:
+        """Each query's predicate compiled against the table (cached)."""
+        if self._compiled is None:
+            self._compiled = [q.predicate.compile(self.table) for q in self.queries]
+        return self._compiled
+
+    def selectivities(self) -> np.ndarray:
+        """Exact selectivity of every query predicate."""
+        return np.asarray([c.selectivity for c in self.compiled_predicates()])
+
+    def ground_truth(self, k: int) -> list[np.ndarray]:
+        """Exact hybrid-search answers: per-query id arrays (cached).
+
+        Entries may be shorter than ``k`` when fewer than ``k`` entities
+        pass the predicate.
+        """
+        if k not in self._ground_truth:
+            self._ground_truth[k] = filtered_knn(
+                self.vectors,
+                [q.vector for q in self.queries],
+                [c.mask for c in self.compiled_predicates()],
+                k,
+                metric=self.metric,
+            )
+        return self._ground_truth[k]
+
+    def subset_queries(self, indices) -> "HybridDataset":
+        """A view of this dataset with a query-workload subset."""
+        indices = list(indices)
+        return HybridDataset(
+            name=self.name,
+            vectors=self.vectors,
+            table=self.table,
+            queries=[self.queries[i] for i in indices],
+            metric=self.metric,
+            extras=dict(self.extras),
+        )

@@ -1,0 +1,265 @@
+"""LAION-like benchmark (HCPS) with controllable query correlation.
+
+The paper's LAION setup (§7.1.2): CLIP image embeddings with two
+structured attributes — a text caption (served by regex predicates) and
+a keyword list built by taking each image's 3 highest CLIP-scoring
+words from a 30-word candidate list.  Because CLIP scores reflect image
+content, keyword lists are *correlated with embedding geometry*, which
+is what lets the paper construct positive-, negative-, and
+no-correlation workloads from the same base data.
+
+Substitutions: CLIP embeddings → clustered Gaussians; CLIP text-image
+scores → affinity between a point and per-keyword anchor vectors (each
+keyword anchored near a mixture component), so each point's keyword
+list is its 3 nearest anchors — the same geometry-coupled assignment.
+Captions are synthesized from the keywords plus filler vocabulary so
+regex predicates have content to match.  Dimensionality defaults to 128
+(paper: 512).
+
+Workloads (``workload=`` argument):
+    ``no-cor``   keyword filters drawn independently of the query point.
+    ``pos-cor``  keyword filters drawn from the query point's own list.
+    ``neg-cor``  keyword filters drawn from the query point's *worst*
+                 keywords (targets provably far from the query).
+    ``regex``    regex filters over the synthesized captions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.datasets.base import HybridDataset, HybridQuery
+from repro.datasets.synthetic import clustered_vectors, sample_queries_near_data
+from repro.predicates.contains import ContainsAny
+from repro.predicates.regex import RegexMatch
+from repro.utils.rng import spawn_rngs
+
+CAPTION_COLUMN = "caption"
+KEYWORDS_COLUMN = "keywords"
+KEYWORDS_PER_IMAGE = 3
+
+# Keywords split by how they attach to image content.  "Generic"
+# keywords ("colorful", "bright", ...) describe style and appear roughly
+# uniformly across embedding space; "geometric" keywords ("ocean",
+# "forest", ...) describe content and concentrate where that content
+# embeds.  The no-correlation workload filters on generic keywords
+# (X_p ~ uniform, so C ≈ 0); pos-/neg-correlation filter on geometric
+# ones, where affinity to the query point controls the sign.
+GENERIC_KEYWORDS = [
+    "colorful", "dark", "bright", "vintage", "abstract", "art",
+    "tiny", "scary", "crowd", "portrait",
+]
+GEOMETRIC_KEYWORDS = [
+    "animal", "green", "landscape", "urban", "ocean", "forest",
+    "sunset", "food", "vehicle", "sports", "music", "child", "flower",
+    "mountain", "night", "winter", "summer", "building", "water", "sky",
+]
+CANDIDATE_KEYWORDS = GENERIC_KEYWORDS + GEOMETRIC_KEYWORDS
+
+FILLER_VOCAB = [
+    "with", "under", "beside", "featuring", "near", "during", "holding",
+    "above", "against", "toward", "vivid", "classic", "blurred", "sharp",
+    "grainy", "wide", "closeup", "aerial", "retro", "modern",
+]
+
+WORKLOADS = ("no-cor", "pos-cor", "neg-cor", "regex")
+
+
+def _keyword_anchors(
+    centers: np.ndarray, n_keywords: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Anchor each keyword near a mixture component (with jitter).
+
+    Keywords cycle through the components so each region of the space
+    "means" a few keywords — the analog of CLIP scoring semantically
+    coherent regions highly for related words.
+    """
+    n_clusters, dim = centers.shape
+    anchors = np.empty((n_keywords, dim), dtype=np.float32)
+    for kw in range(n_keywords):
+        center = centers[kw % n_clusters]
+        anchors[kw] = center + 0.3 * rng.standard_normal(dim).astype(np.float32)
+    return anchors
+
+
+def _keyword_scores(vectors: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    """(n, n_keywords) affinity: negative squared distance to anchors,
+    standardized per point so downstream temperatures are dim-free."""
+    v_sq = np.einsum("ij,ij->i", vectors, vectors)
+    a_sq = np.einsum("ij,ij->i", anchors, anchors)
+    cross = vectors @ anchors.T
+    scores = -(v_sq[:, None] + a_sq[None, :] - 2.0 * cross)
+    mean = scores.mean(axis=1, keepdims=True)
+    std = np.maximum(scores.std(axis=1, keepdims=True), 1e-6)
+    return (scores - mean) / std
+
+
+def _sample_keyword_lists(
+    scores: np.ndarray,
+    temperature: float,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Sample each point's keyword list: 1 generic + 2 geometric.
+
+    The generic slot is uniform over :data:`GENERIC_KEYWORDS`
+    (selectivity ≈ 1/|generic| each, independent of geometry, so
+    filtering on one has C ≈ 0).  The two geometric slots are drawn
+    ∝ softmax(affinity / temperature) over :data:`GEOMETRIC_KEYWORDS`,
+    keeping them content-coupled without the knife-edge determinism of
+    a hard top-k (real CLIP keywords have density peaks, not disjoint
+    territories).
+
+    Args:
+        scores: standardized (n, |geometric|) affinity matrix.
+        temperature: softmax temperature in standardized-score units.
+        rng: sampling stream.
+
+    Returns:
+        Per-point keyword-id lists, ids indexing CANDIDATE_KEYWORDS.
+    """
+    n, n_geometric = scores.shape
+    n_generic = len(GENERIC_KEYWORDS)
+    logits = scores / temperature
+    probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs /= probs.sum(axis=1, keepdims=True)
+    lists: list[list[int]] = []
+    for i in range(n):
+        generic = int(rng.integers(0, n_generic))
+        p = probs[i] / probs[i].sum()  # counter float32 rounding drift
+        geometric = rng.choice(n_geometric, size=2, replace=False, p=p)
+        lists.append([generic] + [n_generic + int(g) for g in geometric])
+    return lists
+
+
+def _make_caption(keywords: list[str], rng: np.random.Generator) -> str:
+    fillers = rng.choice(FILLER_VOCAB, size=2, replace=False)
+    serial = rng.integers(0, 100)
+    return (
+        f"a photo of {keywords[0]} {fillers[0]} {keywords[1]} "
+        f"{fillers[1]} {keywords[2]} no {serial}"
+    )
+
+
+def make_laion_like(
+    n: int = 4000,
+    dim: int = 128,
+    n_queries: int = 100,
+    workload: str = "no-cor",
+    n_clusters: int = 30,
+    cluster_std: float = 0.7,
+    keyword_temperature: float = 1.0,
+    seed: int | None = 3,
+    name: str | None = None,
+) -> HybridDataset:
+    """Generate a LAION-shaped hybrid benchmark.
+
+    Args:
+        n: base dataset size (paper: 1M / 25M subsets).
+        dim: vector dimensionality (paper: 512).
+        n_queries: workload size (paper: 1,000).
+        workload: one of ``no-cor``, ``pos-cor``, ``neg-cor``, ``regex``.
+        n_clusters: mixture components (also anchors the 30 keywords).
+        keyword_temperature: softmax temperature of the geometric
+            keyword assignment (standardized-score units); lower values
+            make those keywords more tightly geometric.
+        seed: determinism seed.
+        name: dataset name; defaults to ``laion-like/<workload>``.
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(f"workload must be one of {WORKLOADS}, got {workload!r}")
+    rng_vec, rng_attr, rng_query = spawn_rngs(seed, 3)
+
+    vectors, assignments, centers = clustered_vectors(
+        n, dim, n_clusters=n_clusters, cluster_std=cluster_std, seed=rng_vec
+    )
+    anchors = _keyword_anchors(centers, len(GEOMETRIC_KEYWORDS), rng_attr)
+    scores = _keyword_scores(vectors, anchors)
+    keyword_ids = _sample_keyword_lists(scores, keyword_temperature, rng_attr)
+    keyword_lists = [[CANDIDATE_KEYWORDS[kw] for kw in row] for row in keyword_ids]
+    captions = [_make_caption(kws, rng_attr) for kws in keyword_lists]
+
+    table = AttributeTable(n)
+    table.add_keywords_column(KEYWORDS_COLUMN, keyword_lists)
+    table.add_string_column(CAPTION_COLUMN, captions)
+
+    query_vectors, sources = sample_queries_near_data(
+        vectors, n_queries, seed=rng_query
+    )
+    queries: list[HybridQuery] = []
+    for qv, src in zip(query_vectors, sources):
+        if workload == "regex":
+            predicate = _sample_regex_predicate(rng_query)
+        else:
+            predicate = _sample_keyword_predicate(
+                workload, scores[src], keyword_ids[src], rng_query
+            )
+        queries.append(HybridQuery(vector=qv, predicate=predicate))
+
+    return HybridDataset(
+        name=name if name is not None else f"laion-like/{workload}",
+        vectors=vectors,
+        table=table,
+        queries=queries,
+        extras={
+            "workload": workload,
+            "keywords_column": KEYWORDS_COLUMN,
+            "caption_column": CAPTION_COLUMN,
+            "cluster_assignments": assignments,
+            "keyword_anchors": anchors,
+            "predicate_cardinality": 2 ** len(CANDIDATE_KEYWORDS) * 100,
+        },
+    )
+
+
+def _sample_keyword_predicate(
+    workload: str,
+    source_scores: np.ndarray,
+    source_keywords: list[int],
+    rng: np.random.Generator,
+) -> ContainsAny:
+    """Pick the filter keyword by its relation to the query point.
+
+    pos-cor takes one of the query's source image's own *geometric*
+    keywords (guaranteeing nearby targets); neg-cor takes one of the
+    three lowest-affinity geometric keywords at the query point
+    (targets concentrated far away); no-cor takes a uniformly random
+    *generic* keyword, whose member set is uniform over the space.
+    """
+    n_generic = len(GENERIC_KEYWORDS)
+    if workload == "pos-cor":
+        geometric = [kw for kw in source_keywords if kw >= n_generic]
+        kw = geometric[rng.integers(0, len(geometric))]
+    elif workload == "neg-cor":
+        order = np.argsort(source_scores)
+        worst = [
+            n_generic + int(g)
+            for g in order
+            if n_generic + int(g) not in source_keywords
+        ]
+        kw = worst[rng.integers(0, KEYWORDS_PER_IMAGE)]
+    else:
+        kw = rng.integers(0, n_generic)
+    return ContainsAny(KEYWORDS_COLUMN, [CANDIDATE_KEYWORDS[int(kw)]])
+
+
+def _sample_regex_predicate(rng: np.random.Generator) -> RegexMatch:
+    """A caption regex of 2-10 tokens with varied selectivity.
+
+    Pattern families mirror the paper's random token strings: word
+    anchors, digit classes, and alternations over the keyword and filler
+    vocabularies.
+    """
+    family = rng.integers(0, 4)
+    if family == 0:
+        word = CANDIDATE_KEYWORDS[rng.integers(0, len(CANDIDATE_KEYWORDS))]
+        return RegexMatch(CAPTION_COLUMN, rf"\b{word}\b")
+    if family == 1:
+        word = FILLER_VOCAB[rng.integers(0, len(FILLER_VOCAB))]
+        return RegexMatch(CAPTION_COLUMN, rf"of \w+ {word}")
+    if family == 2:
+        digit = rng.integers(0, 10)
+        return RegexMatch(CAPTION_COLUMN, rf"no {digit}[0-9]?$")
+    first = CANDIDATE_KEYWORDS[rng.integers(0, len(CANDIDATE_KEYWORDS))]
+    second = CANDIDATE_KEYWORDS[rng.integers(0, len(CANDIDATE_KEYWORDS))]
+    return RegexMatch(CAPTION_COLUMN, rf"photo of ({first}|{second})")

@@ -1,0 +1,37 @@
+"""Paper-dataset-like benchmark (LCPS).
+
+The paper's "Paper" dataset (§7.1.1): ~2M 200-d passage embeddings from
+an academic-paper corpus, with the same random-integer / equality
+predicate protocol as SIFT1M.  The surrogate differs from
+``make_sift1m_like`` only in its default dimensionality and slightly
+different cluster geometry (passage embeddings cluster more tightly by
+topic than SIFT descriptors do by scene).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import HybridDataset
+from repro.datasets.sift import make_sift1m_like
+
+
+def make_paper_like(
+    n: int = 8000,
+    dim: int = 200,
+    n_queries: int = 200,
+    n_labels: int = 12,
+    n_clusters: int = 40,
+    cluster_std: float = 1.0,
+    seed: int | None = 1,
+    name: str = "paper-like",
+) -> HybridDataset:
+    """Generate a Paper-shaped hybrid benchmark (200-d, 12 labels)."""
+    return make_sift1m_like(
+        n=n,
+        dim=dim,
+        n_queries=n_queries,
+        n_labels=n_labels,
+        n_clusters=n_clusters,
+        cluster_std=cluster_std,
+        seed=seed,
+        name=name,
+    )

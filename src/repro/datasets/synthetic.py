@@ -1,0 +1,86 @@
+"""Low-level synthetic vector generators.
+
+Real embedding corpora are strongly clustered (images of similar scenes,
+passages on similar topics embed nearby), and predicate clustering —
+the phenomenon behind query correlation (paper §3.2.1, Figure 2) —
+only exists on clustered data.  All dataset surrogates therefore build
+on a Gaussian-mixture generator with controllable cluster count and
+spread; a uniform generator exists for the no-structure case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+
+def clustered_vectors(
+    n: int,
+    dim: int,
+    n_clusters: int = 16,
+    cluster_std: float = 0.35,
+    center_scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gaussian-mixture vectors.
+
+    Args:
+        n: number of vectors.
+        dim: dimensionality.
+        n_clusters: mixture components.
+        cluster_std: intra-cluster standard deviation; smaller values
+            give stronger predicate clustering when attributes follow
+            clusters.
+        center_scale: standard deviation of the component centers.
+        seed: RNG seed.
+
+    Returns:
+        (vectors, assignments, centers): float32 (n, dim) matrix, the
+        component id of each vector, and the (n_clusters, dim) centers.
+    """
+    if n <= 0 or dim <= 0 or n_clusters <= 0:
+        raise ValueError("n, dim and n_clusters must all be positive")
+    rng = default_rng(seed)
+    centers = rng.standard_normal((n_clusters, dim)).astype(np.float32) * center_scale
+    assignments = rng.integers(0, n_clusters, size=n)
+    noise = rng.standard_normal((n, dim)).astype(np.float32) * cluster_std
+    vectors = centers[assignments] + noise
+    return vectors.astype(np.float32), assignments, centers
+
+
+def uniform_vectors(
+    n: int,
+    dim: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Isotropic Gaussian vectors (no cluster structure)."""
+    if n <= 0 or dim <= 0:
+        raise ValueError("n and dim must be positive")
+    rng = default_rng(seed)
+    return rng.standard_normal((n, dim)).astype(np.float32)
+
+
+def sample_queries_near_data(
+    vectors: np.ndarray,
+    n_queries: int,
+    jitter: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Query vectors drawn as jittered copies of random base points.
+
+    Mirrors how benchmark query sets are drawn from the same
+    distribution as the base data (SIFT1M's query file, the paper's
+    LAION protocol of sampling 1K dataset vectors).
+
+    Returns:
+        (queries, source_ids): the query matrix and the base ids they
+        were perturbed from (useful for correlation control).
+    """
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    rng = default_rng(seed)
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    source = rng.integers(0, vectors.shape[0], size=n_queries)
+    noise = rng.standard_normal((n_queries, vectors.shape[1])).astype(np.float32)
+    return vectors[source] + jitter * noise, source

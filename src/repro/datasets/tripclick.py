@@ -1,0 +1,168 @@
+"""TripClick-like benchmark (HCPS).
+
+The paper's TripClick setup (§7.1.2): ~1M 768-d passage embeddings from
+a health search engine, each passage tagged with a list of clinical
+areas (28 unique) and a publication year (1900-2020); real query logs
+filter on either clinical areas (``contains``, avg selectivity ≈ .17)
+or date ranges (``between``, avg selectivity ≈ .26), giving a predicate
+set larger than 2^28.
+
+Substitutions: DPR passage embeddings → clustered Gaussians (passages
+cluster by topic); real click-log filters → sampled filters matching the
+published operator mix and selectivity spread.  Clinical areas are
+assigned with per-cluster skew, so area predicates exhibit *predicate
+clustering* — the property that makes this workload hard for
+post-filtering.  Dimensionality defaults to 160 (paper: 768), scaled
+with everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.datasets.base import HybridDataset, HybridQuery
+from repro.datasets.synthetic import clustered_vectors, sample_queries_near_data
+from repro.predicates.compare import Between
+from repro.predicates.contains import ContainsAny
+from repro.utils.rng import spawn_rngs
+
+AREAS_COLUMN = "areas"
+YEAR_COLUMN = "year"
+YEAR_MIN, YEAR_MAX = 1900, 2020
+
+CLINICAL_AREAS = [
+    "cardiology", "oncology", "neurology", "surgery", "pediatrics",
+    "psychiatry", "radiology", "infectious_disease", "endocrinology",
+    "gastroenterology", "pulmonology", "nephrology", "rheumatology",
+    "dermatology", "hematology", "urology", "ophthalmology",
+    "orthopedics", "anesthesiology", "emergency_medicine", "geriatrics",
+    "obstetrics", "immunology", "pathology", "pharmacology",
+    "public_health", "primary_care", "critical_care",
+]
+
+
+def _area_affinities(n_clusters: int, rng: np.random.Generator) -> np.ndarray:
+    """Per-cluster sampling weights over the 28 areas.
+
+    Global popularity is Zipf-shaped (a few areas dominate the corpus,
+    as in the real dataset) and each topical cluster boosts a handful of
+    "home" areas, producing predicate clustering.
+    """
+    n_areas = len(CLINICAL_AREAS)
+    global_popularity = 1.0 / np.arange(1, n_areas + 1)
+    weights = np.tile(global_popularity, (n_clusters, 1))
+    boost = rng.gamma(shape=0.5, scale=8.0, size=(n_clusters, n_areas))
+    weights = weights * (1.0 + boost)
+    return weights / weights.sum(axis=1, keepdims=True)
+
+
+def _sample_years(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Publication years, 1900-2020, skewed toward recent decades."""
+    age = np.minimum(
+        rng.exponential(scale=18.0, size=n), YEAR_MAX - YEAR_MIN
+    ).astype(np.int64)
+    return YEAR_MAX - age
+
+
+def make_tripclick_like(
+    n: int = 4000,
+    dim: int = 160,
+    n_queries: int = 100,
+    workload: str = "areas",
+    n_clusters: int = 28,
+    cluster_std: float = 0.7,
+    seed: int | None = 2,
+    name: str | None = None,
+) -> HybridDataset:
+    """Generate a TripClick-shaped hybrid benchmark.
+
+    Args:
+        n: base dataset size (paper: 1,055,976).
+        dim: vector dimensionality (paper: 768).
+        n_queries: workload size (paper: 1,000 per workload).
+        workload: ``"areas"`` (clinical-area ``contains`` filters) or
+            ``"dates"`` (publication-year ``between`` filters).
+        n_clusters: topical mixture components.
+        seed: determinism seed.
+        name: dataset name; defaults to ``tripclick-like/<workload>``.
+    """
+    if workload not in ("areas", "dates"):
+        raise ValueError(f"workload must be 'areas' or 'dates', got {workload!r}")
+    rng_vec, rng_attr, rng_query = spawn_rngs(seed, 3)
+
+    vectors, assignments, _ = clustered_vectors(
+        n, dim, n_clusters=n_clusters, cluster_std=cluster_std, seed=rng_vec
+    )
+    affinities = _area_affinities(n_clusters, rng_attr)
+    n_areas_per_doc = rng_attr.choice([1, 2, 3], size=n, p=[0.5, 0.3, 0.2])
+    area_lists: list[list[str]] = []
+    for doc in range(n):
+        chosen = rng_attr.choice(
+            len(CLINICAL_AREAS),
+            size=n_areas_per_doc[doc],
+            replace=False,
+            p=affinities[assignments[doc]],
+        )
+        area_lists.append([CLINICAL_AREAS[a] for a in chosen])
+    years = _sample_years(n, rng_attr)
+
+    table = AttributeTable(n)
+    table.add_keywords_column(AREAS_COLUMN, area_lists)
+    table.add_int_column(YEAR_COLUMN, years)
+
+    query_vectors, sources = sample_queries_near_data(
+        vectors, n_queries, seed=rng_query
+    )
+    queries: list[HybridQuery] = []
+    for qv, src in zip(query_vectors, sources):
+        if workload == "areas":
+            predicate = _sample_area_predicate(area_lists[src], rng_query)
+        else:
+            predicate = _sample_date_predicate(rng_query)
+        queries.append(HybridQuery(vector=qv, predicate=predicate))
+
+    return HybridDataset(
+        name=name if name is not None else f"tripclick-like/{workload}",
+        vectors=vectors,
+        table=table,
+        queries=queries,
+        extras={
+            "workload": workload,
+            "areas_column": AREAS_COLUMN,
+            "year_column": YEAR_COLUMN,
+            "cluster_assignments": assignments,
+            "predicate_cardinality": 2 ** len(CLINICAL_AREAS),
+        },
+    )
+
+
+def _sample_area_predicate(
+    source_areas: list[str], rng: np.random.Generator
+) -> ContainsAny:
+    """A clinical-area filter, seeded from the query's source document.
+
+    Real click-log filters name areas relevant to the query text, so at
+    least one filter area comes from the source document (mirroring the
+    mild positive correlation of the real workload), with up to two
+    extra popular areas widening the disjunction.
+    """
+    areas = [source_areas[rng.integers(len(source_areas))]]
+    n_extra = int(rng.choice([0, 1, 2], p=[0.5, 0.3, 0.2]))
+    for _ in range(n_extra):
+        extra = CLINICAL_AREAS[int(rng.zipf(1.6)) % len(CLINICAL_AREAS)]
+        if extra not in areas:
+            areas.append(extra)
+    return ContainsAny(AREAS_COLUMN, areas)
+
+
+def _sample_date_predicate(rng: np.random.Generator) -> Between:
+    """A publication-year range with a widely varying span.
+
+    Spans are exponential (a few years up to many decades), producing
+    the broad selectivity spread Figure 9 sweeps over.
+    """
+    high = int(YEAR_MAX - min(rng.exponential(scale=10.0), 100.0))
+    span = int(min(1.0 + rng.exponential(scale=20.0), 110.0))
+    low = max(YEAR_MIN, high - span)
+    return Between(YEAR_COLUMN, low, high)

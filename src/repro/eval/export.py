@@ -1,0 +1,78 @@
+"""Structured experiment records: JSON export and reload.
+
+Benchmark runs are worth keeping: a JSON record per experiment lets
+plots be regenerated, runs diffed across commits, and results cited
+without re-running anything.  The schema is flat and stable —
+experiment metadata plus one row per (method, operating point).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.eval.runner import MethodSweep, SweepPoint
+
+_SCHEMA_VERSION = 1
+
+
+def sweeps_to_record(
+    experiment: str,
+    sweeps: Sequence[MethodSweep],
+    metadata: dict | None = None,
+) -> dict:
+    """Bundle sweeps into a JSON-serializable experiment record."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "experiment": experiment,
+        "metadata": dict(metadata or {}),
+        "methods": [
+            {
+                "method": sweep.method,
+                "points": [
+                    {
+                        "effort": p.effort,
+                        "recall": p.recall,
+                        "qps": p.qps,
+                        "mean_distance_computations": p.mean_distance_computations,
+                        "mean_latency_s": p.mean_latency_s,
+                        "p50_latency_s": p.p50_latency_s,
+                        "p95_latency_s": p.p95_latency_s,
+                    }
+                    for p in sweep.points
+                ],
+            }
+            for sweep in sweeps
+        ],
+    }
+
+
+def save_results(path, experiment: str, sweeps: Sequence[MethodSweep],
+                 metadata: dict | None = None) -> None:
+    """Write an experiment record as pretty-printed JSON."""
+    record = sweeps_to_record(experiment, sweeps, metadata)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+def load_results(path) -> tuple[str, list[MethodSweep], dict]:
+    """Reload an experiment record written by :func:`save_results`.
+
+    Returns:
+        (experiment name, sweeps, metadata).
+    """
+    record = json.loads(Path(path).read_text())
+    version = record.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    sweeps = [
+        MethodSweep(
+            method=entry["method"],
+            points=[SweepPoint(**point) for point in entry["points"]],
+        )
+        for entry in record["methods"]
+    ]
+    return record["experiment"], sweeps, record.get("metadata", {})

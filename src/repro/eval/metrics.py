@@ -1,0 +1,40 @@
+"""Accuracy metrics for hybrid search."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def recall_at_k(retrieved: np.ndarray, ground_truth: np.ndarray, k: int) -> float:
+    """``recall@K = |G ∩ R| / K`` (paper §3.1).
+
+    ``K`` is clamped to the ground-truth size: when fewer than K
+    entities pass the predicate, retrieving all of them counts as
+    perfect recall (matching how the paper's harness scores truncated
+    answer sets).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    gt = np.asarray(ground_truth).reshape(-1)[:k]
+    if gt.size == 0:
+        return 1.0
+    hits = np.intersect1d(np.asarray(retrieved).reshape(-1), gt).size
+    return hits / min(k, gt.size)
+
+
+def mean_recall_at_k(
+    retrieved_lists: list[np.ndarray], ground_truths: list[np.ndarray], k: int
+) -> float:
+    """Mean recall@K over a workload."""
+    if len(retrieved_lists) != len(ground_truths):
+        raise ValueError(
+            f"{len(retrieved_lists)} result lists but {len(ground_truths)} "
+            "ground truths"
+        )
+    if not retrieved_lists:
+        raise ValueError("empty workload")
+    return float(
+        np.mean(
+            [recall_at_k(r, g, k) for r, g in zip(retrieved_lists, ground_truths)]
+        )
+    )

@@ -1,0 +1,95 @@
+"""Dependency-free ASCII plots of recall-QPS curves.
+
+The paper's figures are recall-vs-QPS scatter curves; in a text-only
+harness the closest faithful rendering is an ASCII scatter.  One call
+plots several methods on shared axes (log-scaled y, like the paper's
+QPS axes), each with its own marker — enough to eyeball crossovers in
+benchmark logs without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.eval.runner import MethodSweep
+
+MARKERS = "ox+*#@%&"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def ascii_curves(
+    sweeps: Sequence[MethodSweep],
+    width: int = 64,
+    height: int = 18,
+    y_metric: str = "qps",
+    title: str | None = None,
+) -> str:
+    """Render recall (x) vs QPS or distance computations (y, log) curves.
+
+    Args:
+        sweeps: one or more method curves.
+        width / height: plot area in characters.
+        y_metric: ``"qps"`` or ``"dist"`` (mean distance computations).
+        title: optional heading line.
+
+    Returns:
+        A multi-line string: plot grid, axes, and a marker legend.
+    """
+    if not sweeps:
+        raise ValueError("need at least one sweep to plot")
+    if y_metric not in ("qps", "dist"):
+        raise ValueError(f"y_metric must be 'qps' or 'dist', got {y_metric!r}")
+
+    def y_of(point):
+        return point.qps if y_metric == "qps" else point.mean_distance_computations
+
+    xs = [p.recall for sweep in sweeps for p in sweep.points]
+    ys = [_log(y_of(p)) for sweep in sweeps for p in sweep.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, sweep in enumerate(sweeps):
+        marker = MARKERS[index % len(MARKERS)]
+        for point in sweep.points:
+            col = int((point.recall - x_lo) / x_span * (width - 1))
+            row = int((_log(y_of(point)) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_label = "QPS" if y_metric == "qps" else "dist comps"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (log scale)")
+    top = f"{10 ** y_hi:,.0f}"
+    bottom = f"{10 ** y_lo:,.0f}"
+    label_width = max(len(top), len(bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = " " * label_width + " +" + "-" * width + "+"
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + f"  {x_lo:.2f}"
+        + " " * max(width - 12, 1)
+        + f"{x_hi:.2f}"
+    )
+    lines.append(" " * label_width + "  recall@K")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {sweep.method}"
+        for i, sweep in enumerate(sweeps)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

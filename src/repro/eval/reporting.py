@@ -1,0 +1,78 @@
+"""Plain-text rendering of benchmark tables and curves.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them as aligned fixed-width tables so benchmark
+output is diffable and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.runner import MethodSweep
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_curve(sweep: MethodSweep) -> str:
+    """Render one method's recall-QPS curve as a table."""
+    rows = [
+        (p.effort, p.recall, p.qps, p.mean_distance_computations)
+        for p in sweep.points
+    ]
+    return render_table(
+        ["effort", "recall", "QPS", "dist-comps"], rows, title=sweep.method
+    )
+
+
+def render_sweeps(sweeps: Sequence[MethodSweep], recall_target: float = 0.9) -> str:
+    """Summarize several methods: QPS and dist-comps at a recall target."""
+    rows = []
+    for sweep in sweeps:
+        qps = sweep.qps_at_recall(recall_target)
+        ncomp = sweep.distance_computations_at_recall(recall_target)
+        rows.append(
+            (
+                sweep.method,
+                sweep.max_recall(),
+                qps if qps is not None else "n/a",
+                ncomp if ncomp is not None else "n/a",
+            )
+        )
+    return render_table(
+        ["method", "max recall", f"QPS@{recall_target}", f"dist@{recall_target}"],
+        rows,
+    )

@@ -1,0 +1,134 @@
+"""Recall-QPS sweep runner.
+
+The paper's figures plot recall@10 against queries-per-second, tracing
+one curve per method by sweeping the search-effort parameter (efs for
+the graph methods, L for the Vamana family, nprobe for IVF; §7.2).
+:class:`SweepRunner` reproduces that protocol for any object exposing
+``search(query, predicate, k, ef_search=...) -> SearchResult``.
+
+Because pure-Python wall-clock QPS also measures interpreter overhead,
+each sweep point additionally records mean *distance computations per
+query* — the paper's own dominant-cost model (§3.2) — and comparative
+assertions in the benchmark suite may consult either measure
+(see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.datasets.base import HybridDataset
+from repro.eval.metrics import recall_at_k
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One operating point of a method's recall-QPS curve."""
+
+    effort: int
+    recall: float
+    qps: float
+    mean_distance_computations: float
+    mean_latency_s: float
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+
+
+@dataclasses.dataclass
+class MethodSweep:
+    """A method's full curve plus convenience lookups."""
+
+    method: str
+    points: list[SweepPoint]
+
+    def to_csv(self) -> str:
+        """The curve as CSV (header + one row per operating point),
+        ready for external plotting tools."""
+        lines = [
+            "method,effort,recall,qps,mean_distance_computations,"
+            "mean_latency_s,p50_latency_s,p95_latency_s"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{self.method},{p.effort},{p.recall:.6f},{p.qps:.3f},"
+                f"{p.mean_distance_computations:.2f},{p.mean_latency_s:.6f},"
+                f"{p.p50_latency_s:.6f},{p.p95_latency_s:.6f}"
+            )
+        return "\n".join(lines)
+
+    def qps_at_recall(self, target: float) -> float | None:
+        """Best QPS among points meeting ``recall >= target`` (paper's
+        "QPS at 0.9 recall" headline metric); None if never reached."""
+        eligible = [p.qps for p in self.points if p.recall >= target]
+        return max(eligible) if eligible else None
+
+    def distance_computations_at_recall(self, target: float) -> float | None:
+        """Fewest distance computations reaching ``target`` recall
+        (Table 3's metric); None if never reached."""
+        eligible = [
+            p.mean_distance_computations
+            for p in self.points
+            if p.recall >= target
+        ]
+        return min(eligible) if eligible else None
+
+    def max_recall(self) -> float:
+        """Highest recall the method attains anywhere on its curve."""
+        return max(p.recall for p in self.points)
+
+
+class SweepRunner:
+    """Runs recall-QPS sweeps for one dataset and K.
+
+    Predicates are compiled once per workload and shared across methods
+    and sweep points, so curves differ only in search behaviour (the
+    paper's baselines likewise amortize filter bitmaps; §7.2).
+    """
+
+    def __init__(self, dataset: HybridDataset, k: int = 10) -> None:
+        self.dataset = dataset
+        self.k = int(k)
+        self.ground_truth = dataset.ground_truth(self.k)
+        self.compiled = dataset.compiled_predicates()
+
+    def sweep(
+        self,
+        method_name: str,
+        searcher,
+        efforts: Sequence[int] = (10, 20, 40, 80, 160, 320),
+    ) -> MethodSweep:
+        """Trace one method's curve over the effort values."""
+        points = [self.run_point(searcher, effort) for effort in efforts]
+        return MethodSweep(method=method_name, points=points)
+
+    def run_point(self, searcher, effort: int) -> SweepPoint:
+        """Measure one operating point (all queries once)."""
+        recalls: list[float] = []
+        ncomps: list[int] = []
+        latencies: list[float] = []
+        start = time.perf_counter()
+        for query, predicate, gt in zip(
+            self.dataset.queries, self.compiled, self.ground_truth
+        ):
+            begin = time.perf_counter()
+            result = searcher.search(
+                query.vector, predicate, self.k, ef_search=effort
+            )
+            latencies.append(time.perf_counter() - begin)
+            recalls.append(recall_at_k(result.ids, gt, self.k))
+            ncomps.append(result.distance_computations)
+        elapsed = time.perf_counter() - start
+        n_queries = len(self.dataset.queries)
+        return SweepPoint(
+            effort=int(effort),
+            recall=float(np.mean(recalls)),
+            qps=n_queries / elapsed if elapsed > 0 else float("inf"),
+            mean_distance_computations=float(np.mean(ncomps)),
+            mean_latency_s=elapsed / n_queries,
+            p50_latency_s=float(np.percentile(latencies, 50)),
+            p95_latency_s=float(np.percentile(latencies, 95)),
+        )

@@ -1,0 +1,159 @@
+"""Graph-quality statistics for predicate subgraphs (paper Figure 13).
+
+Figure 13 compares ACORN-γ's predicate subgraphs against HNSW oracle
+partitions on three axes: (a) strongly connected components per level,
+(b) graph height, and (c) average out-degree after search-time
+filtering.  This module extracts a predicate subgraph from a built
+index and computes those statistics, with a dependency-free iterative
+Tarjan SCC implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.acorn import AcornIndex
+from repro.hnsw.hnsw import HnswIndex
+
+
+def strongly_connected_components(adjacency: dict[int, list[int]]) -> list[set[int]]:
+    """Tarjan's SCC algorithm, iterative (safe for deep graphs).
+
+    Args:
+        adjacency: node -> successor list; every successor must itself
+            be a key.
+
+    Returns:
+        The strongly connected components as sets of nodes.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[set[int]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclasses.dataclass
+class GraphQuality:
+    """Figure 13's three statistics for one (sub)graph."""
+
+    scc_per_level: list[int]
+    height: int
+    avg_filtered_out_degree_by_level: list[float]
+
+    @property
+    def mean_scc(self) -> float:
+        """Average SCC count across populated levels."""
+        populated = [c for c in self.scc_per_level if c > 0]
+        return float(np.mean(populated)) if populated else 0.0
+
+
+def acorn_subgraph_quality(
+    index: AcornIndex, mask: np.ndarray, m: int | None = None
+) -> GraphQuality:
+    """Quality of the *effective* predicate subgraph induced by ``mask``.
+
+    The subgraph contains the passing nodes of every level, with the
+    edges the search actually traverses: each node's neighborhood is
+    recovered through the index's own lookup strategy (filter on
+    uncompressed levels, Mβ + 2-hop expansion on compressed ones —
+    Figure 4), so compression-recovered edges count toward connectivity
+    exactly as they do during search.  The out-degree statistic reports
+    the recovered neighborhood size capped at M, matching Figure 13c's
+    "search-time filtering" semantics.
+    """
+    m = m if m is not None else index.params.m
+    graph = index.graph
+    scc_counts: list[int] = []
+    degrees: list[float] = []
+    height = 0
+    for level in range(graph.max_level + 1):
+        nodes = [v for v in graph.nodes_at_level(level) if mask[v]]
+        if nodes:
+            height = level
+        lookup = index._neighbor_fn(level, mask)
+        adjacency = {v: [u for u in lookup(v) if u != v] for v in nodes}
+        scc_counts.append(
+            len(strongly_connected_components(adjacency)) if nodes else 0
+        )
+        if nodes:
+            degrees.append(
+                float(
+                    np.mean([min(len(nbrs), m) for nbrs in adjacency.values()])
+                )
+            )
+        else:
+            degrees.append(0.0)
+    return GraphQuality(
+        scc_per_level=scc_counts,
+        height=height,
+        avg_filtered_out_degree_by_level=degrees,
+    )
+
+
+def hnsw_graph_quality(index: HnswIndex) -> GraphQuality:
+    """The same statistics for a whole HNSW graph (oracle partitions)."""
+    graph = index.graph
+    scc_counts: list[int] = []
+    degrees: list[float] = []
+    height = 0
+    for level in range(graph.max_level + 1):
+        nodes = graph.nodes_at_level(level)
+        if nodes:
+            height = level
+        adjacency = {v: list(graph.neighbors(v, level)) for v in nodes}
+        scc_counts.append(
+            len(strongly_connected_components(adjacency)) if nodes else 0
+        )
+        degrees.append(
+            float(np.mean([len(nbrs) for nbrs in adjacency.values()]))
+            if nodes
+            else 0.0
+        )
+    return GraphQuality(
+        scc_per_level=scc_counts,
+        height=height,
+        avg_filtered_out_degree_by_level=degrees,
+    )

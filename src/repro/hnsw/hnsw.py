@@ -1,0 +1,263 @@
+"""The HNSW index (Malkov & Yashunin), built from scratch.
+
+Serves three roles in the reproduction: the unfiltered-ANN baseline that
+post-filtering wraps, the per-predicate index of the oracle partition
+method (paper §4), and the reference construction ACORN's indices are
+diffed against in tests and Figure 12.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.heuristics import select_neighbors_heuristic
+from repro.hnsw.levels import LevelGenerator
+from repro.hnsw.traversal import search_layer
+from repro.vectors.distance import DistanceComputer, Metric
+from repro.vectors.store import VectorStore
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one (possibly hybrid) index search.
+
+    Attributes:
+        ids: result node ids, ascending distance, length <= K.
+        distances: matching distances (rank-preserving metric values).
+        distance_computations: distances evaluated while answering, the
+            paper's hardware-independent cost measure (Table 3).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    distance_computations: int
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+
+class HnswIndex:
+    """Hierarchical Navigable Small World index over float32 vectors.
+
+    Args:
+        dim: vector dimensionality.
+        m: degree bound M; each node keeps at most M neighbors per level
+            (2M on level 0, the empirical improvement noted in §2.1).
+        ef_construction: candidate-list size during insertion (efc).
+        metric: ``l2`` (default), ``ip``, or ``cosine``.
+        seed: seed for the stochastic level assignment.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 40,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if m < 2:
+            raise ValueError(f"M must be at least 2, got {m}")
+        if ef_construction < 1:
+            raise ValueError(f"efc must be positive, got {ef_construction}")
+        self.m = int(m)
+        self.m_max0 = 2 * self.m
+        self.ef_construction = int(ef_construction)
+        self.store = VectorStore(dim, metric=metric)
+        self.graph = LayeredGraph()
+        self._levels = LevelGenerator(self.m, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def metric(self) -> Metric:
+        """The configured distance metric."""
+        return self.store.metric
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert one vector; returns its node id."""
+        node = self.store.add(vector)
+        level = self._levels.draw()
+        if len(self.graph) == 0:
+            self.graph.add_node(node, level)
+            self.graph.entry_point = node
+            return node
+
+        computer = self.store.computer()
+        query = computer.set_query(vector)
+        entry = self.graph.entry_point
+        top = self.graph.node_level(entry)
+        best = (computer.distance_one(query, entry), entry)
+
+        # Phase 1: greedy descent with ef=1 from the top level to level+1.
+        for lev in range(top, level, -1):
+            best = self._greedy_step(computer, query, best, lev)
+
+        # Phase 2: efc-search and neighbor selection from min(level, top)
+        # down to level 0.
+        self.graph.add_node(node, level)
+        entry_points = [best]
+        for lev in range(min(level, top), -1, -1):
+            visited = np.zeros(len(self.store), dtype=bool)
+            for _, seed_node in entry_points:
+                visited[seed_node] = True
+            found = search_layer(
+                computer,
+                query,
+                entry_points,
+                ef=self.ef_construction,
+                neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev),
+                visited=visited,
+            )
+            selected = select_neighbors_heuristic(
+                computer.base, found, self.m, metric=self.metric
+            )
+            self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
+            cap = self.m if lev > 0 else self.m_max0
+            for dist, neighbor in selected:
+                self._add_reverse_edge(computer, neighbor, node, lev, cap)
+            entry_points = found
+
+        if level > top:
+            self.graph.entry_point = node
+        return node
+
+    def add_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Insert many vectors; returns their node ids."""
+        return np.asarray([self.add(v) for v in np.atleast_2d(vectors)])
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        m: int = 16,
+        ef_construction: int = 40,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+    ) -> "HnswIndex":
+        """Construct an index over ``vectors`` (n, d) in insertion order."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        index = cls(vectors.shape[1], m=m, ef_construction=ef_construction,
+                    metric=metric, seed=seed)
+        index.add_batch(vectors)
+        return index
+
+    def _greedy_step(
+        self,
+        computer: DistanceComputer,
+        query: np.ndarray,
+        best: tuple[float, int],
+        level: int,
+    ) -> tuple[float, int]:
+        visited = np.zeros(len(self.store), dtype=bool)
+        visited[best[1]] = True
+        found = search_layer(
+            computer, query, [best], ef=1,
+            neighbor_fn=lambda c: self.graph.neighbors(c, level),
+            visited=visited,
+        )
+        return found[0]
+
+    def _add_reverse_edge(
+        self,
+        computer: DistanceComputer,
+        owner: int,
+        new_neighbor: int,
+        level: int,
+        cap: int,
+    ) -> None:
+        """Add ``owner -> new_neighbor``; shrink with the heuristic on overflow."""
+        neighbor_ids = self.graph.neighbors(owner, level)
+        if new_neighbor in neighbor_ids:
+            return
+        neighbor_ids.append(new_neighbor)
+        if len(neighbor_ids) <= cap:
+            return
+        ids = np.asarray(neighbor_ids, dtype=np.intp)
+        dists = computer.distances_to(computer.base[owner], ids)
+        candidates = list(zip(dists.tolist(), neighbor_ids))
+        selected = select_neighbors_heuristic(
+            computer.base, candidates, cap, metric=self.metric
+        )
+        self.graph.set_neighbors(owner, level, [nid for _, nid in selected])
+
+    # ------------------------------------------------------------------
+    # Search (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int, ef_search: int = 64) -> SearchResult:
+        """K-nearest-neighbor search (paper Algorithm 1).
+
+        Args:
+            query: query vector of dimension ``dim``.
+            k: number of neighbors to return.
+            ef_search: dynamic candidate-list size on level 0 (efs);
+                effective value is ``max(ef_search, k)``.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if len(self.graph) == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return SearchResult(empty, np.empty(0, dtype=np.float32), 0)
+        computer = self.store.computer()
+        query = computer.set_query(query)
+        found = self._search_candidates(computer, query, max(ef_search, k))
+        top = found[:k]
+        return SearchResult(
+            np.asarray([nid for _, nid in top], dtype=np.intp),
+            np.asarray([dist for dist, _ in top], dtype=np.float32),
+            computer.count,
+        )
+
+    def search_candidates(
+        self, query: np.ndarray, ef_search: int
+    ) -> tuple[list[tuple[float, int]], int]:
+        """Raw ef-search: (dist, id) candidates plus distance-comp count.
+
+        Exposed for the post-filtering baseline, which over-searches for
+        ``K/s`` candidates and filters afterwards (paper §7.2).
+        """
+        if len(self.graph) == 0:
+            return [], 0
+        computer = self.store.computer()
+        query = computer.set_query(query)
+        found = self._search_candidates(computer, query, ef_search)
+        return found, computer.count
+
+    def _search_candidates(
+        self, computer: DistanceComputer, query: np.ndarray, ef: int
+    ) -> list[tuple[float, int]]:
+        entry = self.graph.entry_point
+        best = (computer.distance_one(query, entry), entry)
+        for lev in range(self.graph.node_level(entry), 0, -1):
+            best = self._greedy_step(computer, query, best, lev)
+        visited = np.zeros(len(self.store), dtype=bool)
+        visited[best[1]] = True
+        return search_layer(
+            computer, query, [best], ef=ef,
+            neighbor_fn=lambda c: self.graph.neighbors(c, 0),
+            visited=visited,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Vector payload + adjacency footprint (Table 5 methodology)."""
+        return self.store.nbytes() + self.graph.nbytes()
+
+    def out_degree_by_level(self) -> dict[int, float]:
+        """Average out-degree per level (Table 6 methodology)."""
+        return {
+            lev: self.graph.average_out_degree(lev)
+            for lev in range(self.graph.max_level + 1)
+        }

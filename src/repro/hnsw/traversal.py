@@ -1,0 +1,101 @@
+"""Greedy best-first traversal shared by HNSW and ACORN.
+
+``search_layer`` is the generic engine behind both Algorithm 1 (HNSW
+search) and Algorithm 2 (ACORN-SEARCH-LAYER): the only difference
+between the two papers' listings is how the neighborhood of a visited
+node is produced, so the neighborhood policy is injected as a callable.
+HNSW passes the raw adjacency list; ACORN passes predicate-filtering,
+compression-expanding, or two-hop-expanding lookups (Figure 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.vectors.distance import DistanceComputer
+
+NeighborFn = Callable[[int], Sequence[int]]
+
+
+def search_layer(
+    computer: DistanceComputer,
+    query: np.ndarray,
+    entry_points: Sequence[tuple[float, int]],
+    ef: int,
+    neighbor_fn: NeighborFn,
+    visited: np.ndarray,
+) -> list[tuple[float, int]]:
+    """Best-first search on one level; returns ``ef`` nearest as (dist, id).
+
+    Args:
+        computer: distance computer bound to the base vectors (counts
+            every distance evaluated).
+        query: the query vector.
+        entry_points: (distance, id) seeds; their ids must already be
+            marked in ``visited``.
+        ef: size of the dynamic candidate list (paper's ``ef``).
+        neighbor_fn: maps a visited node id to its candidate
+            neighborhood for this level/query — already filtered and
+            truncated per the index's lookup strategy.
+        visited: boolean scratch array over all node ids, mutated in
+            place; lets multi-seed callers share a visited set.
+
+    Returns:
+        Up to ``ef`` (distance, id) pairs sorted by ascending distance.
+    """
+    if ef <= 0:
+        raise ValueError(f"ef must be positive, got {ef}")
+    candidates: list[tuple[float, int]] = list(entry_points)
+    heapq.heapify(candidates)
+    results = [(-dist, node) for dist, node in entry_points]
+    heapq.heapify(results)
+
+    while candidates:
+        dist_c, current = heapq.heappop(candidates)
+        if dist_c > -results[0][0] and len(results) >= ef:
+            break
+        unvisited = [v for v in neighbor_fn(current) if not visited[v]]
+        if not unvisited:
+            continue
+        for node in unvisited:
+            visited[node] = True
+        dists = computer.distances_to(query, np.asarray(unvisited, dtype=np.intp))
+        worst = -results[0][0]
+        for node, dist in zip(unvisited, dists.tolist()):
+            if len(results) < ef or dist < worst:
+                heapq.heappush(candidates, (dist, node))
+                heapq.heappush(results, (-dist, node))
+                if len(results) > ef:
+                    heapq.heappop(results)
+                worst = -results[0][0]
+
+    ordered = sorted((-neg_dist, node) for neg_dist, node in results)
+    return ordered[:ef]
+
+
+def greedy_descent(
+    computer: DistanceComputer,
+    query: np.ndarray,
+    entry: tuple[float, int],
+    levels: Sequence[int],
+    neighbor_fn_for_level: Callable[[int], NeighborFn],
+    num_nodes: int,
+) -> tuple[float, int]:
+    """Descend through ``levels`` with ef=1, returning the final entry.
+
+    This is the upper-level phase of Algorithm 1/2: at each level one
+    greedy search selects a single node that seeds the next level.
+    """
+    best = entry
+    for level in levels:
+        visited = np.zeros(num_nodes, dtype=bool)
+        visited[best[1]] = True
+        found = search_layer(
+            computer, query, [best], ef=1, neighbor_fn=neighbor_fn_for_level(level),
+            visited=visited,
+        )
+        best = found[0]
+    return best

@@ -1,0 +1,66 @@
+"""Boolean composition of predicates: And / Or / Not."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.predicates.base import Predicate
+
+
+class And(Predicate):
+    """Conjunction of two or more predicates."""
+
+    def __init__(self, *children: Predicate) -> None:
+        if len(children) < 2:
+            raise ValueError("And requires at least two children")
+        self.children = tuple(children)
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        out = self.children[0].mask(table).copy()
+        for child in self.children[1:]:
+            out &= child.mask(table)
+        return out
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return all(child.matches(table, entity_id) for child in self.children)
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of two or more predicates."""
+
+    def __init__(self, *children: Predicate) -> None:
+        if len(children) < 2:
+            raise ValueError("Or requires at least two children")
+        self.children = tuple(children)
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        out = self.children[0].mask(table).copy()
+        for child in self.children[1:]:
+            out |= child.mask(table)
+        return out
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return any(child.matches(table, entity_id) for child in self.children)
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, child: Predicate) -> None:
+        self.child = child
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        return ~self.child.mask(table)
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return not self.child.matches(table, entity_id)
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"

@@ -1,0 +1,85 @@
+"""Scalar comparison predicates: equality, membership, ranges."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable, ColumnKind
+from repro.predicates.base import Predicate
+
+_SCALAR_KINDS = (ColumnKind.INT, ColumnKind.FLOAT, ColumnKind.STRING)
+
+
+def _scalar_column(table: AttributeTable, column: str) -> np.ndarray:
+    kind = table.column_kind(column)
+    if kind not in _SCALAR_KINDS:
+        raise ValueError(
+            f"column {column!r} is {kind.value}; comparison predicates "
+            "require an int, float, or string column"
+        )
+    return table.column(column)
+
+
+class Equals(Predicate):
+    """``attr == value`` — the predicate of the SIFT1M/Paper benchmarks."""
+
+    def __init__(self, column: str, value) -> None:
+        self.column = column
+        self.value = value
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        return _scalar_column(table, self.column) == self.value
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return bool(_scalar_column(table, self.column)[entity_id] == self.value)
+
+    def __repr__(self) -> str:
+        return f"Equals({self.column!r}, {self.value!r})"
+
+
+class OneOf(Predicate):
+    """``attr IN values`` over a scalar column."""
+
+    def __init__(self, column: str, values: Iterable) -> None:
+        self.column = column
+        self.values = tuple(values)
+        if not self.values:
+            raise ValueError("OneOf requires at least one value")
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        col = _scalar_column(table, self.column)
+        return np.isin(col, np.asarray(self.values))
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return _scalar_column(table, self.column)[entity_id] in self.values
+
+    def __repr__(self) -> str:
+        return f"OneOf({self.column!r}, {self.values!r})"
+
+
+class Between(Predicate):
+    """``low <= attr <= high`` — TripClick's publication-date filter.
+
+    Both bounds are inclusive, matching the paper's
+    ``between(y1, y2)`` operator (Table 2).
+    """
+
+    def __init__(self, column: str, low, high) -> None:
+        if low > high:
+            raise ValueError(f"Between bounds inverted: low={low!r} > high={high!r}")
+        self.column = column
+        self.low = low
+        self.high = high
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        col = _scalar_column(table, self.column)
+        return (col >= self.low) & (col <= self.high)
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        value = _scalar_column(table, self.column)[entity_id]
+        return bool(self.low <= value <= self.high)
+
+    def __repr__(self) -> str:
+        return f"Between({self.column!r}, {self.low!r}, {self.high!r})"

@@ -1,0 +1,71 @@
+"""Keyword-list containment predicates.
+
+``contains(y1 ∨ y2 ∨ …)`` is the operator TripClick's clinical-area
+filters and LAION's keyword filters use (paper Table 2): an entity
+passes when its keyword list shares at least one keyword with the query
+list.  Evaluation is a posting-list union over the keyword column's
+interned vocabulary (the bitset implementation noted in §7.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable, ColumnKind
+from repro.predicates.base import Predicate
+
+
+def _keyword_column(table: AttributeTable, column: str):
+    kind = table.column_kind(column)
+    if kind is not ColumnKind.KEYWORDS:
+        raise ValueError(
+            f"column {column!r} is {kind.value}; contains predicates "
+            "require a keywords column"
+        )
+    return table.column(column)
+
+
+class ContainsAny(Predicate):
+    """Entity passes if its list contains at least one query keyword."""
+
+    def __init__(self, column: str, keywords: Iterable[str]) -> None:
+        self.column = column
+        self.keywords = tuple(keywords)
+        if not self.keywords:
+            raise ValueError("ContainsAny requires at least one keyword")
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        return _keyword_column(table, self.column).mask_containing_any(self.keywords)
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        col = _keyword_column(table, self.column)
+        tokens = {col.vocab.get(kw) for kw in self.keywords} - {None}
+        lo, hi = col.offsets[entity_id], col.offsets[entity_id + 1]
+        return bool(tokens.intersection(col.tokens[lo:hi].tolist()))
+
+    def __repr__(self) -> str:
+        return f"ContainsAny({self.column!r}, {self.keywords!r})"
+
+
+class ContainsAll(Predicate):
+    """Entity passes only if its list contains every query keyword."""
+
+    def __init__(self, column: str, keywords: Iterable[str]) -> None:
+        self.column = column
+        self.keywords = tuple(keywords)
+        if not self.keywords:
+            raise ValueError("ContainsAll requires at least one keyword")
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        col = _keyword_column(table, self.column)
+        mask = np.ones(len(table), dtype=bool)
+        for kw in self.keywords:
+            kw_mask = np.zeros(len(table), dtype=bool)
+            kw_mask[col.rows_containing(kw)] = True
+            mask &= kw_mask
+        return mask
+
+    def __repr__(self) -> str:
+        return f"ContainsAll({self.column!r}, {self.keywords!r})"

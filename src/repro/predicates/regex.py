@@ -1,0 +1,48 @@
+"""Regex predicates over string columns.
+
+The LAION workloads search image captions with regular expressions of
+2-10 tokens (paper §7.1.2) — the canonical "unbounded predicate set"
+that specialized indices cannot serve.  Evaluation compiles the pattern
+once and scans the caption column; the resulting mask is cached per
+query by :class:`~repro.predicates.base.CompiledPredicate`.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable, ColumnKind
+from repro.predicates.base import Predicate
+
+
+class RegexMatch(Predicate):
+    """Entity passes when ``pattern`` matches anywhere in the string attr."""
+
+    def __init__(self, column: str, pattern: str) -> None:
+        self.column = column
+        self.pattern = pattern
+        try:
+            self._compiled = re.compile(pattern)
+        except re.error as exc:
+            raise ValueError(f"invalid regex {pattern!r}: {exc}") from exc
+
+    def mask(self, table: AttributeTable) -> np.ndarray:
+        kind = table.column_kind(self.column)
+        if kind is not ColumnKind.STRING:
+            raise ValueError(
+                f"column {self.column!r} is {kind.value}; regex predicates "
+                "require a string column"
+            )
+        col = table.column(self.column)
+        search = self._compiled.search
+        return np.fromiter(
+            (search(text) is not None for text in col), dtype=bool, count=len(col)
+        )
+
+    def matches(self, table: AttributeTable, entity_id: int) -> bool:
+        return self._compiled.search(table.column(self.column)[entity_id]) is not None
+
+    def __repr__(self) -> str:
+        return f"RegexMatch({self.column!r}, {self.pattern!r})"

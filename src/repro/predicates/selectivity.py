@@ -1,0 +1,181 @@
+"""Selectivity estimation for the ACORN router.
+
+The paper's cost model (§5.2) routes a query to pre-filtering when its
+*estimated* predicate selectivity falls below ``1/γ``.  The paper notes
+estimation errors degrade only efficiency, never result quality — our
+router preserves that property, and the sampling estimator here lets
+tests exercise both kinds of misroute.
+
+Two estimators are provided:
+
+- :class:`ExactSelectivityEstimator` evaluates the full mask (what a
+  system with precomputed filter bitmaps effectively has), and
+- :class:`SamplingSelectivityEstimator` evaluates the predicate on a
+  fixed random sample of entities, the classical database approach when
+  the predicate set is unbounded and masks cannot be precomputed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.predicates.base import Predicate
+from repro.utils.rng import default_rng
+
+
+class SelectivityEstimator(abc.ABC):
+    """Estimates the fraction of entities passing a predicate."""
+
+    @abc.abstractmethod
+    def estimate(self, predicate: Predicate) -> float:
+        """Estimated selectivity in [0, 1]."""
+
+
+class ExactSelectivityEstimator(SelectivityEstimator):
+    """Exact selectivity via full mask evaluation."""
+
+    def __init__(self, table: AttributeTable) -> None:
+        self._table = table
+
+    def estimate(self, predicate: Predicate) -> float:
+        n = len(self._table)
+        if n == 0:
+            return 0.0
+        return float(predicate.mask(self._table).sum()) / n
+
+
+class HistogramSelectivityEstimator(SelectivityEstimator):
+    """Classical equi-width-histogram estimation for scalar predicates.
+
+    Databases estimate range/equality selectivity from per-column
+    histograms rather than evaluating predicates; this estimator builds
+    one histogram per int/float column and answers
+    :class:`~repro.predicates.compare.Equals`, ``OneOf`` and ``Between``
+    from bucket counts (uniformity assumed within a bucket).  Other
+    predicate shapes fall back to the wrapped estimator (sampling by
+    default), so it is a drop-in router companion.
+    """
+
+    def __init__(
+        self,
+        table: AttributeTable,
+        n_buckets: int = 64,
+        fallback: SelectivityEstimator | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+        from repro.attributes.table import ColumnKind
+
+        self._table = table
+        self._fallback = (
+            fallback
+            if fallback is not None
+            else SamplingSelectivityEstimator(table, seed=seed)
+        )
+        self._histograms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in table.column_names:
+            if table.column_kind(name) in (ColumnKind.INT, ColumnKind.FLOAT):
+                values = np.asarray(table.column(name), dtype=np.float64)
+                counts, edges = np.histogram(values, bins=n_buckets)
+                self._histograms[name] = (counts.astype(np.float64), edges)
+
+    def _mass_between(self, column: str, low: float, high: float) -> float:
+        counts, edges = self._histograms[column]
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        mass = 0.0
+        for i in range(counts.shape[0]):
+            left, right = edges[i], edges[i + 1]
+            width = right - left
+            overlap_left = max(left, low)
+            overlap_right = min(right, high)
+            if overlap_right < overlap_left:
+                continue
+            if width <= 0:
+                mass += counts[i]
+            else:
+                mass += counts[i] * (overlap_right - overlap_left) / width
+        return float(mass / total)
+
+    def _point_estimate(self, column: str, value: float) -> float:
+        """Selectivity of ``attr == value`` from the bucket containing it.
+
+        Assumes unit-granular values (integers): the point claims
+        ``min(1, 1/width)`` of its bucket's mass, the whole bucket when
+        buckets are narrower than one unit.
+        """
+        counts, edges = self._histograms[column]
+        total = counts.sum()
+        if total == 0 or value < edges[0] or value > edges[-1]:
+            return 0.0
+        bucket = int(np.clip(np.searchsorted(edges, value, side="right") - 1,
+                             0, counts.shape[0] - 1))
+        width = edges[bucket + 1] - edges[bucket]
+        fraction = 1.0 if width <= 1.0 else 1.0 / width
+        return float(counts[bucket] * fraction / total)
+
+    def estimate(self, predicate: Predicate) -> float:
+        from repro.predicates.compare import Between, Equals, OneOf
+
+        if isinstance(predicate, Between) and predicate.column in self._histograms:
+            if predicate.low == predicate.high:
+                return self._point_estimate(
+                    predicate.column, float(predicate.low)
+                )
+            return self._mass_between(
+                predicate.column, float(predicate.low), float(predicate.high)
+            )
+        if isinstance(predicate, Equals) and predicate.column in self._histograms:
+            return self._point_estimate(predicate.column, float(predicate.value))
+        if isinstance(predicate, OneOf) and predicate.column in self._histograms:
+            return float(
+                min(
+                    1.0,
+                    sum(
+                        self.estimate(Equals(predicate.column, v))
+                        for v in predicate.values
+                    ),
+                )
+            )
+        return self._fallback.estimate(predicate)
+
+
+class SamplingSelectivityEstimator(SelectivityEstimator):
+    """Selectivity estimated on a uniform sample of entity ids.
+
+    The sample is drawn once at construction so repeated estimates are
+    consistent, and the estimate's standard error is
+    ``sqrt(s(1-s)/sample_size)``.
+    """
+
+    def __init__(
+        self,
+        table: AttributeTable,
+        sample_size: int = 1000,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if sample_size <= 0:
+            raise ValueError(f"sample_size must be positive, got {sample_size}")
+        self._table = table
+        n = len(table)
+        rng = default_rng(seed)
+        take = min(sample_size, n)
+        self._sample = (
+            rng.choice(n, size=take, replace=False) if take else np.empty(0, np.intp)
+        )
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sampled entity ids."""
+        return int(self._sample.shape[0])
+
+    def estimate(self, predicate: Predicate) -> float:
+        if self._sample.shape[0] == 0:
+            return 0.0
+        mask = predicate.mask(self._table)
+        return float(mask[self._sample].mean())

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG helpers and timers."""
+
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.timer import Timer
+
+__all__ = ["default_rng", "spawn_rngs", "Timer"]

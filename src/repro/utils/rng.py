@@ -1,0 +1,34 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (HNSW level assignment, dataset
+generation, workload sampling) accepts either an integer seed or a
+``numpy.random.Generator``.  These helpers normalize both into generators
+so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Passing an existing generator returns it unchanged, so components can
+    share one stream; passing ``None`` gives a fresh nondeterministic one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent child generators.
+
+    Useful when a benchmark needs separate streams for dataset generation
+    and query sampling that stay decoupled as parameters change.
+    """
+    root = default_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,28 @@
+"""A tiny wall-clock timer used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example:
+        >>> with Timer() as t:
+        ...     sum(range(1000))
+        500500
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,90 @@
+"""Unit tests for the packed bitset."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.bitset import Bitset
+
+
+class TestConstruction:
+    def test_empty(self):
+        bits = Bitset(10)
+        assert bits.count() == 0
+        assert bits.size == 10
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+    def test_from_bool_array_roundtrip(self):
+        mask = np.array([True, False, True, True, False, False, True])
+        bits = Bitset.from_bool_array(mask)
+        np.testing.assert_array_equal(bits.to_bool_array(), mask)
+
+    def test_from_indices(self):
+        bits = Bitset.from_indices([0, 3, 9], size=10)
+        assert bits.count() == 3
+        np.testing.assert_array_equal(bits.indices(), [0, 3, 9])
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitset.from_indices([10], size=10)
+
+    def test_zero_size(self):
+        bits = Bitset(0)
+        assert bits.count() == 0
+        assert bits.to_bool_array().shape == (0,)
+
+
+class TestGetSet:
+    def test_set_and_get(self):
+        bits = Bitset(16)
+        bits.set(5)
+        assert bits.get(5)
+        assert not bits.get(6)
+
+    def test_clear(self):
+        bits = Bitset(16)
+        bits.set(5)
+        bits.set(5, False)
+        assert not bits.get(5)
+
+    def test_bounds_checked(self):
+        bits = Bitset(8)
+        with pytest.raises(IndexError):
+            bits.get(8)
+        with pytest.raises(IndexError):
+            bits.set(-1)
+
+
+class TestAlgebra:
+    def test_and(self):
+        a = Bitset.from_indices([1, 2, 3], 8)
+        b = Bitset.from_indices([2, 3, 4], 8)
+        np.testing.assert_array_equal((a & b).indices(), [2, 3])
+
+    def test_or(self):
+        a = Bitset.from_indices([1, 2], 8)
+        b = Bitset.from_indices([2, 4], 8)
+        np.testing.assert_array_equal((a | b).indices(), [1, 2, 4])
+
+    def test_invert_clears_padding(self):
+        # size 10 => 6 padding bits in the last byte must stay clear.
+        a = Bitset.from_indices([0, 1], 10)
+        inverted = ~a
+        assert inverted.count() == 8
+        assert inverted.indices().max() == 9
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError, match="sizes differ"):
+            Bitset(8) & Bitset(9)
+
+    def test_equality(self):
+        a = Bitset.from_indices([1, 5], 8)
+        b = Bitset.from_indices([1, 5], 8)
+        assert a == b
+        b.set(0)
+        assert a != b
+
+    def test_repr(self):
+        assert "set=2" in repr(Bitset.from_indices([0, 1], 8))

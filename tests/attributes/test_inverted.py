@@ -1,0 +1,52 @@
+"""Unit tests for the keyword inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.inverted import InvertedIndex
+from repro.attributes.table import AttributeTable
+
+
+@pytest.fixture
+def index():
+    table = AttributeTable(5)
+    table.add_keywords_column(
+        "areas",
+        [["cardio"], ["cardio", "onco"], ["onco"], [], ["cardio", "neuro"]],
+    )
+    table.add_int_column("year", [1, 2, 3, 4, 5])
+    return InvertedIndex(table, "areas")
+
+
+class TestPostings:
+    def test_postings_sorted(self, index):
+        np.testing.assert_array_equal(index.postings("cardio"), [0, 1, 4])
+
+    def test_unknown_keyword_empty(self, index):
+        assert index.postings("derm").size == 0
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("onco") == 2
+        assert index.document_frequency("derm") == 0
+
+    def test_vocabulary(self, index):
+        assert set(index.vocabulary) == {"cardio", "onco", "neuro"}
+
+
+class TestMatching:
+    def test_matching_any(self, index):
+        got = index.matching_any(["onco", "neuro"])
+        np.testing.assert_array_equal(got.indices(), [1, 2, 4])
+
+    def test_matching_all(self, index):
+        got = index.matching_all(["cardio", "onco"])
+        np.testing.assert_array_equal(got.indices(), [1])
+
+    def test_matching_all_empty_keywords_is_universe(self, index):
+        assert index.matching_all([]).count() == 5
+
+    def test_requires_keywords_column(self):
+        table = AttributeTable(2)
+        table.add_int_column("year", [1, 2])
+        with pytest.raises(ValueError, match="keywords column"):
+            InvertedIndex(table, "year")

@@ -1,0 +1,78 @@
+"""Unit tests for the columnar attribute table."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable, ColumnKind
+
+
+@pytest.fixture
+def table():
+    t = AttributeTable(4)
+    t.add_int_column("year", [1999, 2005, 2020, 1980])
+    t.add_float_column("price", [9.5, 20.0, 3.25, 100.0])
+    t.add_string_column("caption", ["a dog", "a cat", "two dogs", "a bird"])
+    t.add_keywords_column("tags", [["x", "y"], ["y"], [], ["x", "z", "y"]])
+    return t
+
+
+class TestColumns:
+    def test_kinds(self, table):
+        assert table.column_kind("year") is ColumnKind.INT
+        assert table.column_kind("price") is ColumnKind.FLOAT
+        assert table.column_kind("caption") is ColumnKind.STRING
+        assert table.column_kind("tags") is ColumnKind.KEYWORDS
+
+    def test_column_names_ordered(self, table):
+        assert table.column_names == ["year", "price", "caption", "tags"]
+
+    def test_duplicate_name_rejected(self, table):
+        with pytest.raises(ValueError, match="already exists"):
+            table.add_int_column("year", [1, 2, 3, 4])
+
+    def test_length_mismatch_rejected(self, table):
+        with pytest.raises(ValueError, match="rows"):
+            table.add_int_column("bad", [1, 2])
+
+    def test_missing_column_keyerror(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table.column("nope")
+
+    def test_has_column(self, table):
+        assert table.has_column("year")
+        assert not table.has_column("nope")
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeTable(-1)
+
+
+class TestRow:
+    def test_row_materializes_tuple(self, table):
+        row = table.row(0)
+        assert row["year"] == 1999
+        assert row["caption"] == "a dog"
+        assert row["tags"] == ["x", "y"]
+
+    def test_row_empty_keywords(self, table):
+        assert table.row(2)["tags"] == []
+
+    def test_row_bounds(self, table):
+        with pytest.raises(IndexError):
+            table.row(4)
+
+
+class TestKeywordColumn:
+    def test_rows_containing(self, table):
+        col = table.column("tags")
+        np.testing.assert_array_equal(np.sort(col.rows_containing("y")), [0, 1, 3])
+
+    def test_rows_containing_unknown(self, table):
+        col = table.column("tags")
+        assert col.rows_containing("q").size == 0
+
+    def test_mask_containing_any(self, table):
+        col = table.column("tags")
+        np.testing.assert_array_equal(
+            col.mask_containing_any(["z", "q"]), [False, False, False, True]
+        )

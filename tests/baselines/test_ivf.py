@@ -1,0 +1,161 @@
+"""Unit tests for the IVF-Flat comparator and its k-means quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IvfFlatIndex
+from repro.baselines.ivf import kmeans
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals, TruePredicate
+
+
+class TestKmeans:
+    def test_assignment_shape(self):
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((100, 4)).astype(np.float32)
+        centroids, assignments = kmeans(data, 5, seed=0)
+        assert centroids.shape == (5, 4)
+        assert assignments.shape == (100,)
+        assert set(np.unique(assignments)) <= set(range(5))
+
+    def test_separated_clusters_recovered(self):
+        gen = np.random.default_rng(1)
+        blobs = np.concatenate(
+            [gen.standard_normal((50, 2)) * 0.1 + offset
+             for offset in ([0, 0], [10, 10], [-10, 10])]
+        ).astype(np.float32)
+        _, assignments = kmeans(blobs, 3, seed=1)
+        # Each true blob should be (almost) pure in its assigned cluster.
+        for lo in (0, 50, 100):
+            values, counts = np.unique(assignments[lo : lo + 50],
+                                       return_counts=True)
+            assert counts.max() >= 48
+
+    def test_clusters_capped_at_n(self):
+        data = np.zeros((3, 2), dtype=np.float32)
+        centroids, _ = kmeans(data, 10, seed=0)
+        assert centroids.shape[0] == 3
+
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 0)
+
+
+@pytest.fixture(scope="module")
+def index(small_vectors, labeled_table):
+    return IvfFlatIndex(small_vectors[0], labeled_table, n_clusters=16, seed=0)
+
+
+class TestIvfSearch:
+    def test_cells_partition_dataset(self, index, small_vectors):
+        vectors, _ = small_vectors
+        total = sum(cell.size for cell in index.cells)
+        assert total == len(vectors)
+
+    def test_full_probe_is_exact(self, index, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(3)
+        queries = vectors[gen.integers(0, len(vectors), 10)] + 0.05
+        labels = gen.integers(0, 6, size=10)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(
+                q, Equals("label", int(label)), 10,
+                nprobe=index.n_clusters,
+            )
+            np.testing.assert_array_equal(result.ids, g)
+
+    def test_partial_probe_reasonable_recall(
+        self, index, small_vectors, labeled_table
+    ):
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(4)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.05
+        labels = gen.integers(0, 6, size=20)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10, nprobe=6)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.6
+
+    def test_results_pass_predicate(self, index, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        predicate = Equals("label", 3)
+        compiled = predicate.compile(labeled_table)
+        result = index.search(vectors[0], predicate, 10, nprobe=4)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_empty_predicate(self, index, small_vectors):
+        vectors, _ = small_vectors
+        result = index.search(vectors[0], Equals("label", 99), 5, nprobe=4)
+        assert len(result) == 0
+
+    def test_nprobe_derived_from_ef(self, index, small_vectors):
+        vectors, _ = small_vectors
+        result = index.search(vectors[0], TruePredicate(), 5, ef_search=512)
+        assert len(result) == 5
+
+    def test_rejects_bad_k(self, index, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError):
+            index.search(vectors[0], TruePredicate(), 0)
+
+
+class TestQuantizedIvf:
+    @pytest.fixture(scope="class")
+    def sq8(self, small_vectors, labeled_table):
+        from repro.baselines.ivf import IvfSq8Index
+
+        return IvfSq8Index(small_vectors[0], labeled_table, n_clusters=16,
+                           seed=0)
+
+    @pytest.fixture(scope="class")
+    def pq(self, small_vectors, labeled_table):
+        from repro.baselines.ivf import IvfPqIndex
+
+        return IvfPqIndex(small_vectors[0], labeled_table, n_clusters=16,
+                          n_subspaces=4, n_centroids=32, seed=0)
+
+    @pytest.mark.parametrize("which", ["sq8", "pq"])
+    def test_full_probe_high_recall(self, which, request, small_vectors,
+                                    labeled_table):
+        index = request.getfixturevalue(which)
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(5)
+        queries = vectors[gen.integers(0, len(vectors), 15)] + 0.05
+        labels = gen.integers(0, 6, size=15)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10,
+                                  nprobe=index.n_clusters)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        # Quantization distortion allows some slack vs the exact flat.
+        threshold = 0.85 if which == "sq8" else 0.5
+        assert np.mean(recalls) > threshold
+
+    @pytest.mark.parametrize("which", ["sq8", "pq"])
+    def test_smaller_than_flat(self, which, request, index):
+        quantized = request.getfixturevalue(which)
+        assert quantized.nbytes() < index.nbytes()
+
+    def test_sq8_results_pass_predicate(self, sq8, small_vectors,
+                                        labeled_table):
+        vectors, _ = small_vectors
+        predicate = Equals("label", 2)
+        compiled = predicate.compile(labeled_table)
+        result = sq8.search(vectors[0], predicate, 10, nprobe=4)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_distance_computations_counted(self, sq8, small_vectors):
+        vectors, _ = small_vectors
+        result = sq8.search(vectors[0], TruePredicate(), 5, nprobe=2)
+        assert result.distance_computations > 0

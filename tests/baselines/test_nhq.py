@@ -1,0 +1,68 @@
+"""Unit tests for the NHQ fusion-distance comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NhqIndex
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Between, Equals
+
+
+@pytest.fixture(scope="module")
+def index(small_vectors, labeled_table):
+    return NhqIndex(small_vectors[0], labeled_table, "label", degree=16)
+
+
+class TestConstruction:
+    def test_weight_auto_calibrated(self, index):
+        assert index.weight > 0
+
+    def test_adjacency_shape(self, index, small_vectors):
+        vectors, _ = small_vectors
+        assert index.adjacency.shape == (len(vectors), 16)
+
+    def test_no_self_loops(self, index):
+        n = len(index)
+        rows = np.arange(n)[:, None]
+        assert not (index.adjacency == rows).any()
+
+    def test_explicit_weight_respected(self, small_vectors, labeled_table):
+        index = NhqIndex(
+            small_vectors[0], labeled_table, "label", degree=8, weight=5.0
+        )
+        assert index.weight == 5.0
+
+
+class TestSearch:
+    def test_recall(self, index, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(9)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.05
+        labels = gen.integers(0, 6, size=20)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10,
+                                  ef_search=80)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.6
+
+    def test_results_pass_predicate(self, index, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        predicate = Equals("label", 2)
+        compiled = predicate.compile(labeled_table)
+        result = index.search(vectors[0], predicate, 10, ef_search=48)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_non_equality_rejected(self, index, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError, match="only supports Equals"):
+            index.search(vectors[0], Between("label", 0, 2), 5)
+
+    def test_rejects_bad_k(self, index, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError):
+            index.search(vectors[0], Equals("label", 1), 0)

@@ -1,0 +1,70 @@
+"""Unit tests for the oracle partition index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OraclePartitionIndex
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals
+
+
+@pytest.fixture(scope="module")
+def oracle(small_vectors, labeled_table):
+    predicates = [Equals("label", v) for v in range(6)]
+    return OraclePartitionIndex(
+        small_vectors[0], labeled_table, predicates,
+        m=8, ef_construction=40, seed=3,
+    )
+
+
+class TestConstruction:
+    def test_one_partition_per_predicate(self, oracle):
+        assert oracle.num_partitions == 6
+
+    def test_duplicate_predicates_deduplicated(self, small_vectors, labeled_table):
+        predicates = [Equals("label", 1), Equals("label", 1)]
+        oracle = OraclePartitionIndex(
+            small_vectors[0], labeled_table, predicates, m=4, seed=0
+        )
+        assert oracle.num_partitions == 1
+
+    def test_partition_sizes_match_cardinality(self, oracle, labeled_table):
+        for value in range(6):
+            compiled = Equals("label", value).compile(labeled_table)
+            assert len(oracle.partition_for(Equals("label", value))) == (
+                compiled.cardinality
+            )
+
+
+class TestSearch:
+    def test_near_perfect_recall(self, oracle, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(4)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.05
+        labels = gen.integers(0, 6, size=20)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = oracle.search(q, Equals("label", int(label)), 10,
+                                   ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.95
+
+    def test_results_translated_to_global_ids(self, oracle, labeled_table):
+        predicate = Equals("label", 2)
+        compiled = predicate.compile(labeled_table)
+        result = oracle.search(np.zeros(16, dtype=np.float32), predicate, 5)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_unknown_predicate_rejected(self, oracle, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(KeyError, match="cannot serve"):
+            oracle.search(vectors[0], Equals("label", 42), 5)
+
+    def test_nbytes_counts_all_partitions(self, oracle, small_vectors):
+        vectors, _ = small_vectors
+        # Partitions together hold every vector exactly once.
+        assert oracle.nbytes() >= vectors.nbytes

@@ -1,0 +1,81 @@
+"""Unit tests for the HNSW post-filtering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PostFilterSearcher
+from repro.predicates import Equals, TruePredicate
+
+
+@pytest.fixture(scope="module")
+def searcher(hnsw_index, labeled_table):
+    return PostFilterSearcher(hnsw_index, labeled_table)
+
+
+class TestBudget:
+    def test_oversearch_scales_inverse_selectivity(self, searcher):
+        assert searcher.candidate_budget(10, 0.1, ef_search=10) == 100
+        assert searcher.candidate_budget(10, 0.01, ef_search=10) == 600
+
+    def test_budget_capped_at_dataset(self, searcher):
+        assert searcher.candidate_budget(10, 1e-9, ef_search=10) == len(searcher)
+
+    def test_budget_at_least_ef(self, searcher):
+        assert searcher.candidate_budget(10, 0.9, ef_search=64) == 64
+
+    def test_zero_selectivity_full_scan(self, searcher):
+        assert searcher.candidate_budget(10, 0.0, ef_search=10) == len(searcher)
+
+
+class TestSearch:
+    def test_results_pass_predicate(self, searcher, small_vectors, labeled_table):
+        vectors, _ = small_vectors
+        predicate = Equals("label", 3)
+        compiled = predicate.compile(labeled_table)
+        result = searcher.search(vectors[0], predicate, 10, ef_search=32)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_reasonable_recall_uncorrelated(
+        self, searcher, small_vectors, labeled_table
+    ):
+        from repro.datasets.ground_truth import filtered_knn
+
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(2)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.05
+        labels = gen.integers(0, 6, size=20)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = searcher.search(q, Equals("label", int(label)), 10,
+                                     ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        # Labels are independent of geometry here, the friendly regime
+        # for post-filtering: recall should be decent.
+        assert np.mean(recalls) > 0.7
+
+    def test_true_predicate_equals_plain_search(self, searcher, small_vectors,
+                                                hnsw_index):
+        vectors, _ = small_vectors
+        post = searcher.search(vectors[5], TruePredicate(), 5, ef_search=64)
+        plain = hnsw_index.search(vectors[5], 5, ef_search=64)
+        np.testing.assert_array_equal(post.ids, plain.ids)
+
+    def test_rejects_bad_k(self, searcher, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError):
+            searcher.search(vectors[0], TruePredicate(), -1)
+
+    def test_size_mismatch_rejected(self, hnsw_index):
+        from repro.attributes import AttributeTable
+
+        small = AttributeTable(3)
+        small.add_int_column("label", [1, 2, 3])
+        with pytest.raises(ValueError, match="rows"):
+            PostFilterSearcher(hnsw_index, small)
+
+    def test_nbytes_delegates(self, searcher, hnsw_index):
+        assert searcher.nbytes() == hnsw_index.nbytes()

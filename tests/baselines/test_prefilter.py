@@ -1,0 +1,74 @@
+"""Unit tests for the pre-filtering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PreFilterSearcher
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals, TruePredicate
+
+
+@pytest.fixture(scope="module")
+def searcher(small_vectors, labeled_table):
+    return PreFilterSearcher(small_vectors[0], labeled_table)
+
+
+class TestExactness:
+    def test_matches_ground_truth_exactly(self, searcher, small_vectors,
+                                          labeled_table):
+        """Pre-filtering is brute force: recall must be perfect."""
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(1)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.1
+        labels = gen.integers(0, 6, size=20)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        for q, label, g in zip(queries, labels, gt):
+            result = searcher.search(q, Equals("label", int(label)), 10)
+            np.testing.assert_array_equal(result.ids, g)
+
+    def test_distance_computations_equal_cardinality(
+        self, searcher, labeled_table
+    ):
+        predicate = Equals("label", 2)
+        compiled = predicate.compile(labeled_table)
+        result = searcher.search(np.zeros(16, dtype=np.float32), predicate, 5)
+        assert result.distance_computations == compiled.cardinality
+
+    def test_true_predicate_scans_everything(self, searcher, small_vectors):
+        vectors, _ = small_vectors
+        result = searcher.search(vectors[0], TruePredicate(), 5)
+        assert result.distance_computations == len(vectors)
+        assert result.ids[0] == 0
+
+
+class TestEdgeCases:
+    def test_empty_predicate(self, searcher):
+        result = searcher.search(np.zeros(16, dtype=np.float32),
+                                 Equals("label", 99), 5)
+        assert len(result) == 0
+
+    def test_fewer_passing_than_k(self, searcher, labeled_table):
+        compiled = Equals("label", 0).compile(labeled_table)
+        result = searcher.search(
+            np.zeros(16, dtype=np.float32), Equals("label", 0),
+            k=compiled.cardinality + 50,
+        )
+        assert len(result) == compiled.cardinality
+
+    def test_rejects_bad_k(self, searcher):
+        with pytest.raises(ValueError):
+            searcher.search(np.zeros(16, dtype=np.float32), TruePredicate(), 0)
+
+    def test_ignores_ef_search_kwarg(self, searcher, small_vectors):
+        vectors, _ = small_vectors
+        result = searcher.search(vectors[0], TruePredicate(), 3, ef_search=999)
+        assert len(result) == 3
+
+    def test_table_size_mismatch_rejected(self, labeled_table):
+        with pytest.raises(ValueError, match="rows"):
+            PreFilterSearcher(np.zeros((5, 4), dtype=np.float32), labeled_table)
+
+    def test_nbytes_is_flat_index(self, searcher, small_vectors):
+        vectors, _ = small_vectors
+        assert searcher.nbytes() == vectors.nbytes

@@ -1,0 +1,120 @@
+"""Unit tests for the FilteredVamana and StitchedVamana comparators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FilteredVamanaIndex, StitchedVamanaIndex
+from repro.baselines.vamana_common import extract_equality_label, robust_prune
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Between, Equals
+from repro.vectors.distance import DistanceComputer
+
+
+@pytest.fixture(scope="module")
+def filtered_vamana(small_vectors, labeled_table):
+    return FilteredVamanaIndex(
+        small_vectors[0], labeled_table, "label", r=16, l=40, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def stitched_vamana(small_vectors, labeled_table):
+    return StitchedVamanaIndex(
+        small_vectors[0], labeled_table, "label",
+        r_small=12, l_small=30, r_stitched=24, seed=0,
+    )
+
+
+def _workload(small_vectors, labeled_table, seed=6, count=20):
+    vectors, _ = small_vectors
+    gen = np.random.default_rng(seed)
+    queries = vectors[gen.integers(0, len(vectors), count)] + 0.05
+    labels = gen.integers(0, 6, size=count)
+    masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+    gt = filtered_knn(vectors, list(queries), masks, k=10)
+    return queries, labels, gt
+
+
+class TestExtractEqualityLabel:
+    def test_accepts_equals(self):
+        assert extract_equality_label(Equals("label", 3), "label") == 3
+
+    def test_rejects_other_operators(self):
+        with pytest.raises(ValueError, match="only supports Equals"):
+            extract_equality_label(Between("label", 1, 3), "label")
+
+    def test_rejects_other_column(self):
+        with pytest.raises(ValueError, match="only supports Equals"):
+            extract_equality_label(Equals("other", 3), "label")
+
+
+class TestRobustPrune:
+    def test_alpha_dominance(self):
+        vectors = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [0.0, 3.0]], dtype=np.float32
+        )
+        computer = DistanceComputer(vectors)
+        candidates = [(1.0, 1), (4.0, 2), (9.0, 3)]
+        kept = robust_prune(computer, 0, candidates, alpha=1.0, degree_bound=5)
+        # 2 is dominated via 1 (d(1,2)=1 <= d(0,2)=4); 3 is not.
+        assert kept == [1, 3]
+
+    def test_degree_bound(self):
+        gen = np.random.default_rng(0)
+        vectors = gen.standard_normal((30, 4)).astype(np.float32)
+        computer = DistanceComputer(vectors)
+        dists = ((vectors - vectors[0]) ** 2).sum(axis=1)
+        candidates = [(float(dists[i]), i) for i in range(1, 30)]
+        kept = robust_prune(computer, 0, candidates, alpha=1.2, degree_bound=6)
+        assert len(kept) <= 6
+
+    def test_self_excluded(self):
+        vectors = np.zeros((3, 2), dtype=np.float32)
+        computer = DistanceComputer(vectors)
+        kept = robust_prune(
+            computer, 0, [(0.0, 0), (1.0, 1)], alpha=1.2, degree_bound=5
+        )
+        assert 0 not in kept
+
+
+@pytest.mark.parametrize("fixture_name", ["filtered_vamana", "stitched_vamana"])
+class TestVamanaSearch:
+    def test_recall(self, fixture_name, request, small_vectors, labeled_table):
+        index = request.getfixturevalue(fixture_name)
+        queries, labels, gt = _workload(small_vectors, labeled_table)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10,
+                                  ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.7
+
+    def test_results_pass_predicate(self, fixture_name, request, small_vectors,
+                                    labeled_table):
+        index = request.getfixturevalue(fixture_name)
+        vectors, _ = small_vectors
+        predicate = Equals("label", 1)
+        compiled = predicate.compile(labeled_table)
+        result = index.search(vectors[0], predicate, 10, ef_search=32)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_unknown_label_returns_empty(self, fixture_name, request,
+                                         small_vectors):
+        index = request.getfixturevalue(fixture_name)
+        vectors, _ = small_vectors
+        result = index.search(vectors[0], Equals("label", 77), 5)
+        assert len(result) == 0
+
+    def test_non_equality_predicate_rejected(self, fixture_name, request,
+                                             small_vectors):
+        index = request.getfixturevalue(fixture_name)
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError, match="only supports Equals"):
+            index.search(vectors[0], Between("label", 0, 3), 5)
+
+    def test_degree_bounds(self, fixture_name, request):
+        index = request.getfixturevalue(fixture_name)
+        bound = index.r if hasattr(index, "r") else index.r_stitched
+        assert max(len(lst) for lst in index.adjacency) <= bound

@@ -1,0 +1,65 @@
+"""Direct unit tests for the DiskANN-family shared machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vamana_common import greedy_search
+from repro.vectors.distance import DistanceComputer
+
+
+@pytest.fixture
+def line_world():
+    base = np.arange(12, dtype=np.float32).reshape(-1, 1)
+    adjacency = [
+        [j for j in (i - 1, i + 1) if 0 <= j < 12] for i in range(12)
+    ]
+    return DistanceComputer(base), adjacency
+
+
+class TestGreedySearch:
+    def test_walks_to_target(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([10.9], dtype=np.float32)
+        beam, visited = greedy_search(computer, query, adjacency, [0], 4)
+        assert beam[0][1] == 11
+        assert visited[0] == 0  # entry expanded first
+
+    def test_beam_width_respected(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([5.0], dtype=np.float32)
+        beam, _ = greedy_search(computer, query, adjacency, [0], 3)
+        assert len(beam) <= 3
+
+    def test_allowed_mask_restricts(self, line_world):
+        computer, adjacency = line_world
+        allowed = np.zeros(12, dtype=bool)
+        allowed[[0, 2, 4, 6]] = True
+        query = np.array([6.0], dtype=np.float32)
+        beam, visited = greedy_search(
+            computer, query, adjacency, [0], 6, allowed=allowed
+        )
+        # Odd nodes block the chain: only node 0 is reachable.
+        assert {node for _, node in beam} == {0}
+        assert set(visited) == {0}
+
+    def test_start_failing_mask_returns_empty(self, line_world):
+        computer, adjacency = line_world
+        allowed = np.zeros(12, dtype=bool)
+        beam, visited = greedy_search(
+            computer, query=np.array([1.0], dtype=np.float32),
+            adjacency=adjacency, starts=[0], list_size=4, allowed=allowed,
+        )
+        assert beam == [] and visited == []
+
+    def test_multiple_starts(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([6.0], dtype=np.float32)
+        beam, _ = greedy_search(computer, query, adjacency, [0, 11], 4)
+        assert beam[0][1] == 6
+
+    def test_beam_sorted(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([3.3], dtype=np.float32)
+        beam, _ = greedy_search(computer, query, adjacency, [0], 5)
+        dists = [d for d, _ in beam]
+        assert dists == sorted(dists)

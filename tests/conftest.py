@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic datasets and prebuilt indexes.
+
+Index construction dominates test runtime, so indexes over the shared
+datasets are session-scoped; tests must not mutate them (tests that
+exercise insertion build their own small indexes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.core import AcornIndex, AcornOneIndex, AcornParams
+from repro.datasets import make_laion_like, make_sift1m_like, make_tripclick_like
+from repro.hnsw import HnswIndex
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_vectors():
+    """600 clustered 16-d vectors used across index tests."""
+    gen = np.random.default_rng(7)
+    centers = gen.standard_normal((8, 16)).astype(np.float32)
+    assign = gen.integers(0, 8, size=600)
+    return (centers[assign] + 0.3 * gen.standard_normal((600, 16)).astype(np.float32),
+            assign)
+
+
+@pytest.fixture(scope="session")
+def labeled_table(small_vectors):
+    """Attribute table with a 6-value label column over small_vectors."""
+    gen = np.random.default_rng(8)
+    n = small_vectors[0].shape[0]
+    table = AttributeTable(n)
+    table.add_int_column("label", gen.integers(0, 6, size=n))
+    return table
+
+
+@pytest.fixture(scope="session")
+def hnsw_index(small_vectors):
+    return HnswIndex.build(small_vectors[0], m=8, ef_construction=40, seed=1)
+
+
+@pytest.fixture(scope="session")
+def acorn_index(small_vectors, labeled_table):
+    params = AcornParams(m=8, gamma=6, m_beta=16, ef_construction=32)
+    return AcornIndex.build(
+        small_vectors[0], labeled_table, params=params, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def acorn_one_index(small_vectors, labeled_table):
+    # ACORN-1's 2-hop expansion pool scales with M^2; at M=8 it is too
+    # small to keep sparse predicate subgraphs connected (the paper
+    # defaults to M=32), so the shared fixture uses M=16.
+    return AcornOneIndex.build(
+        small_vectors[0], labeled_table, m=16, ef_construction=48, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def sift_tiny():
+    return make_sift1m_like(n=500, dim=24, n_queries=30, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tripclick_tiny():
+    return make_tripclick_like(n=500, dim=24, n_queries=30, workload="areas", seed=2)
+
+
+@pytest.fixture(scope="session")
+def laion_tiny():
+    return make_laion_like(n=500, dim=24, n_queries=30, workload="no-cor", seed=3)

@@ -1,0 +1,106 @@
+"""Behavioural tests for the ACORN-1 index."""
+
+from repro.attributes import AttributeTable
+
+import numpy as np
+import pytest
+
+from repro.core import AcornOneIndex
+from repro.core.params import PruningStrategy
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals
+
+
+class TestConstruction:
+    def test_params_fixed_to_acorn_1(self, acorn_one_index):
+        params = acorn_one_index.params
+        assert params.gamma == 1
+        assert params.m_beta == params.m
+        assert params.pruning is PruningStrategy.NONE
+
+    def test_graph_invariants(self, acorn_one_index):
+        acorn_one_index.graph.validate()
+
+    def test_lists_bounded_like_hnsw(self, acorn_one_index):
+        graph = acorn_one_index.graph
+        m = acorn_one_index.params.m
+        for node in graph.nodes_at_level(0):
+            assert len(graph.neighbors(node, 0)) <= 2 * m
+        for level in range(1, graph.max_level + 1):
+            for node in graph.nodes_at_level(level):
+                assert len(graph.neighbors(node, level)) <= m
+
+    def test_smaller_than_acorn_gamma_at_matched_m(
+        self, small_vectors, labeled_table
+    ):
+        # The paper's Table 5 claim: at equal M, ACORN-1's index is
+        # smaller than ACORN-γ's (no γ-expanded upper levels).
+        from repro.core import AcornIndex, AcornParams
+
+        vectors, _ = small_vectors
+        n = 250
+        table = AttributeTable(n)
+        table.add_int_column(
+            "label", np.asarray(labeled_table.column("label"))[:n]
+        )
+        gamma_index = AcornIndex.build(
+            vectors[:n], table,
+            params=AcornParams(m=8, gamma=6, m_beta=8, ef_construction=32),
+            seed=5,
+        )
+        one_index = AcornOneIndex.build(
+            vectors[:n], table, m=8, ef_construction=32, seed=5
+        )
+        assert one_index.nbytes() < gamma_index.nbytes()
+
+
+class TestSearch:
+    def test_recall_above_threshold(
+        self, acorn_one_index, small_vectors, labeled_table
+    ):
+        vectors, _ = small_vectors
+        gen = np.random.default_rng(13)
+        queries = vectors[gen.integers(0, len(vectors), 40)] + 0.05
+        labels = gen.integers(0, 6, size=40)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = acorn_one_index.search(
+                q, Equals("label", int(label)), 10, ef_search=64
+            )
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.8
+
+    def test_all_results_pass_predicate(self, acorn_one_index, small_vectors):
+        vectors, _ = small_vectors
+        predicate = Equals("label", 1)
+        compiled = predicate.compile(acorn_one_index.table)
+        for q in vectors[:10]:
+            result = acorn_one_index.search(q, predicate, 5, ef_search=32)
+            assert compiled.passes_many(result.ids).all()
+
+    def test_expansion_recovers_two_hop_targets(self, acorn_one_index):
+        # ACORN-1's lookup must reach 2-hop neighbors: with gamma=1 its
+        # stored lists are M-sparse, so a highly-selective predicate is
+        # only searchable through expansion.  Verify the lookup returns
+        # nodes absent from the stored one-hop list.
+        graph = acorn_one_index.graph
+        adjacency = acorn_one_index._adjacency()[0]
+        node = graph.entry_point
+        one_hop = set(graph.neighbors(node, 0))
+        two_hop = set()
+        for hop in one_hop:
+            two_hop.update(graph.neighbors(hop, 0))
+        strict_two_hop = two_hop - one_hop - {node}
+        if not strict_two_hop:
+            pytest.skip("entry point has no strict 2-hop neighborhood")
+        target = next(iter(strict_two_hop))
+        mask = np.zeros(len(acorn_one_index), dtype=bool)
+        mask[target] = True
+        from repro.core.search import expanded_neighbors
+
+        got = expanded_neighbors(adjacency, node, mask)
+        assert got == [target]

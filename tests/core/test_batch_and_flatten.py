@@ -1,0 +1,73 @@
+"""Tests for the batch-search API and the flattening ablation switch."""
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.core import AcornIndex, AcornParams
+from repro.predicates import Equals
+
+
+class TestSearchBatch:
+    def test_shared_predicate(self, acorn_index, small_vectors):
+        vectors, _ = small_vectors
+        results = acorn_index.search_batch(
+            vectors[:5], Equals("label", 2), k=3, ef_search=32
+        )
+        assert len(results) == 5
+        singles = [
+            acorn_index.search(q, Equals("label", 2), 3, ef_search=32)
+            for q in vectors[:5]
+        ]
+        for batch, single in zip(results, singles):
+            np.testing.assert_array_equal(batch.ids, single.ids)
+
+    def test_per_query_predicates(self, acorn_index, small_vectors):
+        vectors, _ = small_vectors
+        predicates = [Equals("label", i % 6) for i in range(4)]
+        results = acorn_index.search_batch(vectors[:4], predicates, k=3)
+        for predicate, result in zip(predicates, results):
+            compiled = predicate.compile(acorn_index.table)
+            assert compiled.passes_many(result.ids).all()
+
+    def test_length_mismatch(self, acorn_index, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError, match="predicates"):
+            acorn_index.search_batch(
+                vectors[:3], [Equals("label", 1)], k=3
+            )
+
+
+class TestFlattening:
+    @pytest.fixture(scope="class")
+    def world(self):
+        gen = np.random.default_rng(41)
+        n = 600
+        vectors = gen.standard_normal((n, 12)).astype(np.float32)
+        table = AttributeTable(n)
+        table.add_int_column("label", gen.integers(0, 3, size=n))
+        return vectors, table
+
+    def test_flattened_has_fewer_levels(self, world):
+        vectors, table = world
+        base = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=24)
+        flat = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=24,
+                           flatten_levels=True)
+        hier_index = AcornIndex.build(vectors, table, params=base, seed=0)
+        flat_index = AcornIndex.build(vectors, table, params=flat, seed=0)
+        assert flat_index.graph.max_level < hier_index.graph.max_level
+
+    def test_m_l_changes(self):
+        base = AcornParams(m=8, gamma=8)
+        flat = AcornParams(m=8, gamma=8, flatten_levels=True)
+        assert flat.m_l < base.m_l
+
+    def test_flattened_search_still_correct(self, world):
+        vectors, table = world
+        flat = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=24,
+                           flatten_levels=True)
+        index = AcornIndex.build(vectors, table, params=flat, seed=0)
+        predicate = Equals("label", 1)
+        compiled = predicate.compile(table)
+        result = index.search(vectors[0], predicate, 5, ef_search=32)
+        assert compiled.passes_many(result.ids).all()

@@ -1,0 +1,136 @@
+"""Unit tests for ACORN construction internals (pruning rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import (
+    PruningStats,
+    prune_predicate_agnostic,
+    prune_rng_blind,
+    prune_rng_metadata,
+)
+from repro.hnsw.graph import LayeredGraph
+
+
+def _graph_with_level0(adjacency: dict[int, list[int]]) -> LayeredGraph:
+    graph = LayeredGraph()
+    for node in sorted(adjacency):
+        graph.add_node(node, 0)
+    for node, neighbors in adjacency.items():
+        graph.set_neighbors(node, 0, neighbors)
+    return graph
+
+
+class TestPredicateAgnosticPruning:
+    def test_first_m_beta_kept_verbatim(self):
+        graph = _graph_with_level0({i: [] for i in range(6)})
+        candidates = [(float(i), i) for i in range(1, 6)]
+        kept = prune_predicate_agnostic(
+            candidates, graph, level=0, m_beta=2, max_degree=100
+        )
+        assert [nid for _, nid in kept][:2] == [1, 2]
+
+    def test_two_hop_reachable_candidate_pruned(self):
+        # Candidate 3 is a neighbor of kept candidate 2 (index >= m_beta),
+        # so it lands in H and gets pruned.
+        graph = _graph_with_level0({0: [], 1: [], 2: [3], 3: [], 4: []})
+        candidates = [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4)]
+        kept = prune_predicate_agnostic(
+            candidates, graph, level=0, m_beta=1, max_degree=100
+        )
+        assert [nid for _, nid in kept] == [1, 2, 4]
+
+    def test_recoverability_invariant(self):
+        """Every pruned candidate is in the neighbor list of some kept
+        candidate with index >= m_beta (paper §5.2's recovery argument)."""
+        gen = np.random.default_rng(0)
+        adjacency = {
+            i: gen.choice(20, size=4, replace=False).tolist() for i in range(20)
+        }
+        graph = _graph_with_level0(adjacency)
+        candidates = [(float(i), i) for i in range(20)]
+        m_beta = 3
+        kept = prune_predicate_agnostic(
+            candidates, graph, level=0, m_beta=m_beta, max_degree=1000
+        )
+        kept_ids = [nid for _, nid in kept]
+        pruned = [nid for _, nid in candidates if nid not in kept_ids]
+        expansion_sources = kept_ids[m_beta:]
+        for dropped in pruned:
+            assert any(
+                dropped in adjacency[src] for src in expansion_sources
+            ), f"pruned candidate {dropped} is not 2-hop recoverable"
+
+    def test_budget_stops_pruning(self):
+        graph = _graph_with_level0({i: list(range(10)) for i in range(10)})
+        candidates = [(float(i), i) for i in range(10)]
+        kept = prune_predicate_agnostic(
+            candidates, graph, level=0, m_beta=1, max_degree=5
+        )
+        # After keeping one expansion candidate, |H| ~ 10 > budget: stop.
+        assert len(kept) <= 3
+
+    def test_m_beta_zero_prunes_from_start(self):
+        graph = _graph_with_level0({0: [], 1: [2], 2: [], 3: []})
+        candidates = [(1.0, 1), (2.0, 2), (3.0, 3)]
+        kept = prune_predicate_agnostic(
+            candidates, graph, level=0, m_beta=0, max_degree=100
+        )
+        assert [nid for _, nid in kept] == [1, 3]
+
+    def test_stats_recorded(self):
+        graph = _graph_with_level0({0: [], 1: [2], 2: [], 3: []})
+        stats = PruningStats()
+        prune_predicate_agnostic(
+            [(1.0, 1), (2.0, 2), (3.0, 3)], graph, level=0, m_beta=0,
+            max_degree=100, stats=stats,
+        )
+        assert stats.nodes_pruned == 1
+        assert stats.candidates_seen == 3
+        assert stats.candidates_dropped == 1
+        assert stats.dropped_per_node == pytest.approx(1.0)
+
+
+class TestRngBlindPruning:
+    def test_matches_hnsw_heuristic_semantics(self):
+        vectors = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [0.0, 1.5]], dtype=np.float32
+        )
+        candidates = [(1.0, 1), (4.0, 2), (2.25, 3)]
+        kept = prune_rng_blind(candidates, vectors, max_keep=10)
+        assert [nid for _, nid in kept] == [1, 3]
+
+    def test_respects_cap(self):
+        gen = np.random.default_rng(1)
+        vectors = gen.standard_normal((30, 4)).astype(np.float32)
+        dists = ((vectors - vectors[0]) ** 2).sum(axis=1)
+        candidates = sorted((float(dists[i]), i) for i in range(1, 30))
+        kept = prune_rng_blind(candidates, vectors, max_keep=4)
+        assert len(kept) <= 4
+
+
+class TestRngMetadataPruning:
+    def test_label_mismatch_blocks_pruning(self):
+        # Same geometry as the blind test, but the relay (node 1) has a
+        # different label, so node 2 must survive (paper Figure 5's
+        # motivating scenario).
+        vectors = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]], dtype=np.float32
+        )
+        labels = np.array([7, 3, 7])
+        candidates = [(1.0, 1), (4.0, 2)]
+        kept = prune_rng_metadata(
+            candidates, vectors, labels, owner=0, max_keep=10
+        )
+        assert [nid for _, nid in kept] == [1, 2]
+
+    def test_same_label_triangle_pruned(self):
+        vectors = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]], dtype=np.float32
+        )
+        labels = np.array([7, 7, 7])
+        candidates = [(1.0, 1), (4.0, 2)]
+        kept = prune_rng_metadata(
+            candidates, vectors, labels, owner=0, max_keep=10
+        )
+        assert [nid for _, nid in kept] == [1]

@@ -1,0 +1,91 @@
+"""Tests for the flat (single-level) ACORN variant."""
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.core import AcornParams
+from repro.core.flat import FlatAcornIndex
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals, TruePredicate
+
+
+@pytest.fixture(scope="module")
+def flat_world(small_vectors, labeled_table):
+    vectors, _ = small_vectors
+    params = AcornParams(m=8, gamma=6, m_beta=16, ef_construction=32)
+    index = FlatAcornIndex.build(vectors, labeled_table, params=params, seed=2)
+    return vectors, index
+
+
+class TestStructure:
+    def test_single_level(self, flat_world):
+        _, index = flat_world
+        assert index.graph.max_level == 0
+
+    def test_entry_is_medoid(self, flat_world):
+        vectors, index = flat_world
+        centroid = vectors.mean(axis=0)
+        dists = ((vectors - centroid) ** 2).sum(axis=1)
+        assert index.graph.entry_point == int(np.argmin(dists))
+
+    def test_graph_invariants(self, flat_world):
+        _, index = flat_world
+        index.graph.validate()
+
+    def test_level0_compressed(self, flat_world):
+        _, index = flat_world
+        assert index.graph.average_out_degree(0) < index.params.max_degree
+
+
+class TestSearch:
+    def test_hybrid_recall(self, flat_world, labeled_table):
+        vectors, index = flat_world
+        gen = np.random.default_rng(17)
+        queries = vectors[gen.integers(0, len(vectors), 30)] + 0.05
+        labels = gen.integers(0, 6, size=30)
+        masks = [Equals("label", int(l)).mask(labeled_table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, truth in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10,
+                                  ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(truth.tolist())) / len(truth)
+            )
+        assert np.mean(recalls) > 0.85
+
+    def test_results_pass_predicate(self, flat_world):
+        vectors, index = flat_world
+        predicate = Equals("label", 3)
+        compiled = predicate.compile(index.table)
+        result = index.search(vectors[0], predicate, 10, ef_search=32)
+        assert compiled.passes_many(result.ids).all()
+
+    def test_exact_ann(self, flat_world):
+        vectors, index = flat_world
+        result = index.search(vectors[11], TruePredicate(), 1, ef_search=32)
+        assert result.ids[0] == 11
+
+    def test_empty_index_reanchor_noop(self, labeled_table):
+        index = FlatAcornIndex(16, labeled_table,
+                               params=AcornParams(m=4, gamma=2))
+        index.reanchor_entry_point()
+        assert index.graph.entry_point == -1
+
+    def test_incremental_add_after_build(self, labeled_table, small_vectors):
+        vectors, _ = small_vectors
+        n = 100
+        table = AttributeTable(n + 1)
+        table.add_int_column(
+            "label",
+            np.append(np.asarray(labeled_table.column("label"))[:n], 2),
+        )
+        params = AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24)
+        index = FlatAcornIndex.build(vectors[:n], table, params=params, seed=0)
+        new_id = index.add(np.zeros(16, dtype=np.float32))
+        assert new_id == n
+        assert index.graph.max_level == 0
+        result = index.search(np.zeros(16, dtype=np.float32), Equals("label", 2),
+                              5, ef_search=32)
+        assert new_id in result.ids

@@ -1,0 +1,74 @@
+"""Tests for §6.1's generalized multi-level compression (nc levels)."""
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.core import AcornIndex, AcornParams
+from repro.datasets.ground_truth import filtered_knn
+from repro.predicates import Equals
+
+
+@pytest.fixture(scope="module")
+def world():
+    gen = np.random.default_rng(21)
+    n, dim = 500, 16
+    vectors = gen.standard_normal((n, dim)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("label", gen.integers(0, 4, size=n))
+    return vectors, table
+
+
+def _build(world, compressed_levels):
+    vectors, table = world
+    params = AcornParams(
+        m=8, gamma=6, m_beta=8, ef_construction=32,
+        compressed_levels=compressed_levels,
+    )
+    return AcornIndex.build(vectors, table, params=params, seed=1)
+
+
+class TestMultiLevelCompression:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="compressed_levels"):
+            AcornParams(compressed_levels=-1)
+
+    def test_nc2_compresses_level_one(self, world):
+        nc1 = _build(world, compressed_levels=1)
+        nc2 = _build(world, compressed_levels=2)
+        # Level 1 lists shrink when compression extends upward.
+        assert (
+            nc2.graph.average_out_degree(1)
+            < nc1.graph.average_out_degree(1)
+        )
+
+    def test_nc2_reduces_footprint(self, world):
+        nc1 = _build(world, compressed_levels=1)
+        nc2 = _build(world, compressed_levels=2)
+        assert nc2.graph.nbytes() < nc1.graph.nbytes()
+
+    def test_nc0_disables_compression(self, world):
+        nc0 = _build(world, compressed_levels=0)
+        # With no compressed level, level-0 lists keep nearest
+        # candidates up to the cap, and pruning never runs.
+        assert nc0.pruning_stats.nodes_pruned == 0
+
+    def test_search_still_accurate_with_nc2(self, world):
+        vectors, table = world
+        index = _build(world, compressed_levels=2)
+        gen = np.random.default_rng(3)
+        queries = vectors[gen.integers(0, len(vectors), 25)] + 0.05
+        labels = gen.integers(0, 4, size=25)
+        masks = [Equals("label", int(l)).mask(table) for l in labels]
+        gt = filtered_knn(vectors, list(queries), masks, k=10)
+        recalls = []
+        for q, label, g in zip(queries, labels, gt):
+            result = index.search(q, Equals("label", int(label)), 10,
+                                  ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / len(g)
+            )
+        assert np.mean(recalls) > 0.85
+
+    def test_graph_invariants_hold(self, world):
+        _build(world, compressed_levels=2).graph.validate()

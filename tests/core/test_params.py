@@ -1,0 +1,81 @@
+"""Unit tests for ACORN parameter validation."""
+
+import math
+
+import pytest
+
+from repro.core.params import AcornParams, PruningStrategy
+
+
+class TestValidation:
+    def test_defaults(self):
+        params = AcornParams()
+        assert params.m == 32
+        assert params.gamma == 12
+        assert params.m_beta == 32  # defaults to M
+        assert params.pruning is PruningStrategy.ACORN
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ValueError, match="M"):
+            AcornParams(m=1)
+
+    def test_rejects_small_gamma(self):
+        with pytest.raises(ValueError, match="gamma"):
+            AcornParams(gamma=0)
+
+    def test_rejects_m_beta_above_budget(self):
+        with pytest.raises(ValueError, match="M_beta"):
+            AcornParams(m=8, gamma=2, m_beta=17)
+
+    def test_m_beta_zero_allowed(self):
+        assert AcornParams(m=8, gamma=2, m_beta=0).m_beta == 0
+
+    def test_rejects_bad_efc(self):
+        with pytest.raises(ValueError, match="efc"):
+            AcornParams(ef_construction=0)
+
+    def test_pruning_coerced_from_string(self):
+        params = AcornParams(pruning="rng-blind")
+        assert params.pruning is PruningStrategy.RNG_BLIND
+
+
+class TestDerived:
+    def test_max_degree(self):
+        assert AcornParams(m=16, gamma=5).max_degree == 80
+
+    def test_s_min(self):
+        assert AcornParams(gamma=10).s_min == pytest.approx(0.1)
+
+    def test_m_l_matches_hnsw(self):
+        assert AcornParams(m=16).m_l == pytest.approx(1 / math.log(16))
+
+    def test_effective_efc_covers_expansion(self):
+        params = AcornParams(m=16, gamma=8, ef_construction=40)
+        assert params.effective_ef_construction == 128
+
+    def test_effective_efc_keeps_large_efc(self):
+        params = AcornParams(m=4, gamma=2, ef_construction=100)
+        assert params.effective_ef_construction == 100
+
+
+class TestFactories:
+    def test_from_s_min(self):
+        params = AcornParams.from_s_min(0.1, m=16)
+        assert params.gamma == 10
+        assert params.s_min <= 0.1
+
+    def test_from_s_min_rounds_up(self):
+        assert AcornParams.from_s_min(0.3).gamma == 4
+
+    def test_from_s_min_validates(self):
+        with pytest.raises(ValueError):
+            AcornParams.from_s_min(0.0)
+        with pytest.raises(ValueError):
+            AcornParams.from_s_min(1.5)
+
+    def test_acorn_1(self):
+        params = AcornParams.acorn_1(m=24)
+        assert params.gamma == 1
+        assert params.m_beta == 24
+        assert params.pruning is PruningStrategy.NONE
+        assert params.max_degree == 24

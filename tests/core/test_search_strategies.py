@@ -1,0 +1,124 @@
+"""Unit tests for ACORN's neighbor-lookup strategies (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import (
+    compressed_neighbors,
+    expanded_neighbors,
+    filtered_neighbors,
+    freeze_graph,
+    truncated_neighbors,
+)
+from repro.hnsw.graph import LayeredGraph
+
+
+@pytest.fixture
+def adjacency():
+    """Frozen level-0 adjacency of a small hand-built graph."""
+    graph = LayeredGraph()
+    for node in range(8):
+        graph.add_node(node, 0)
+    graph.set_neighbors(0, 0, [1, 2, 3, 4])
+    graph.set_neighbors(1, 0, [0, 5])
+    graph.set_neighbors(2, 0, [6])
+    graph.set_neighbors(3, 0, [7, 5])
+    graph.set_neighbors(4, 0, [])
+    graph.set_neighbors(5, 0, [1])
+    graph.set_neighbors(6, 0, [2])
+    graph.set_neighbors(7, 0, [3])
+    return freeze_graph(graph)[0]
+
+
+def _mask(size, passing):
+    mask = np.zeros(size, dtype=bool)
+    mask[list(passing)] = True
+    return mask
+
+
+class TestFilteredNeighbors:
+    def test_keeps_passing_in_list_order(self, adjacency):
+        mask = _mask(8, {2, 4})
+        assert filtered_neighbors(adjacency, 0, mask) == [2, 4]
+
+    def test_all_pass_returns_whole_list(self, adjacency):
+        mask = _mask(8, set(range(8)))
+        assert filtered_neighbors(adjacency, 0, mask) == [1, 2, 3, 4]
+
+    def test_all_fail(self, adjacency):
+        mask = _mask(8, set())
+        assert filtered_neighbors(adjacency, 0, mask) == []
+
+    def test_empty_list(self, adjacency):
+        mask = _mask(8, {0, 1})
+        assert filtered_neighbors(adjacency, 4, mask) == []
+
+
+class TestCompressedNeighbors:
+    def test_phase1_filters_head_directly(self, adjacency):
+        # With m_beta covering the whole list there is no expansion.
+        mask = _mask(8, {1, 2})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=4)
+        assert got == [1, 2]
+
+    def test_two_hop_recovery_past_m_beta(self, adjacency):
+        # With m_beta=2, entries 3 and 4 are expansion sources; node 7
+        # (a neighbor of 3) passes and must be recovered.
+        mask = _mask(8, {7})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=2)
+        assert 7 in got
+
+    def test_head_entries_not_expanded(self, adjacency):
+        # Node 5 is reachable only via node 1 (a head entry with
+        # m_beta=4): head entries are filtered, never expanded.
+        mask = _mask(8, {5})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=4)
+        assert got == []
+
+    def test_expansion_source_itself_included_when_passing(self, adjacency):
+        mask = _mask(8, {3})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=2)
+        assert got == [3]
+
+    def test_no_duplicates(self, adjacency):
+        mask = _mask(8, {1, 3, 5, 7})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=0)
+        assert len(got) == len(set(got))
+
+    def test_phase1_results_lead(self, adjacency):
+        # Passing head entries appear before expansion discoveries.
+        mask = _mask(8, {1, 7})
+        got = compressed_neighbors(adjacency, 0, mask, m_beta=2)
+        assert got[0] == 1
+        assert 7 in got
+
+    def test_empty_list(self, adjacency):
+        mask = _mask(8, {0})
+        assert compressed_neighbors(adjacency, 4, mask, m_beta=2) == []
+
+
+class TestExpandedNeighbors:
+    def test_reaches_two_hops(self, adjacency):
+        # From node 5: one-hop {1}, two-hop {0, 5}. Node 0 passes.
+        mask = _mask(8, {0})
+        assert expanded_neighbors(adjacency, 5, mask) == [0]
+
+    def test_equivalent_to_compressed_beta_zero(self, adjacency):
+        mask = _mask(8, {1, 5, 7})
+        a = expanded_neighbors(adjacency, 0, mask)
+        b = compressed_neighbors(adjacency, 0, mask, m_beta=0)
+        assert a == b
+
+    def test_collects_full_two_hop_set(self, adjacency):
+        mask = _mask(8, set(range(8)))
+        got = expanded_neighbors(adjacency, 0, mask)
+        # one-hop {1,2,3,4} plus their neighbors {0,5,6,7} minus dups.
+        assert set(got) == {0, 1, 2, 3, 4, 5, 6, 7}
+
+
+class TestTruncatedNeighbors:
+    def test_first_m_regardless_of_predicate(self, adjacency):
+        assert truncated_neighbors(adjacency, 0, m=2) == [1, 2]
+
+    def test_shorter_list_returned_whole(self, adjacency):
+        assert truncated_neighbors(adjacency, 2, m=5) == [6]

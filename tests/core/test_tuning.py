@@ -1,0 +1,50 @@
+"""Tests for workload-driven parameter suggestion."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import suggest_params, suggest_params_from_predicates
+from repro.predicates import Equals
+
+
+class TestSuggestParams:
+    def test_gamma_follows_s_min(self):
+        # 5th percentile of these samples interpolates to 0.12, so
+        # gamma = ceil(1/0.12) = 9.
+        params = suggest_params([0.1, 0.2, 0.3, 0.4, 0.5], m=16)
+        assert params.gamma == 9
+        assert params.m_beta == 32
+
+    def test_percentile_controls_target(self):
+        samples = list(np.linspace(0.05, 0.5, 100))
+        low = suggest_params(samples, target_percentile=1.0)
+        high = suggest_params(samples, target_percentile=50.0)
+        assert low.gamma > high.gamma
+
+    def test_gamma_cap_binds(self):
+        params = suggest_params([0.001, 0.5], m=8, gamma_cap=20)
+        assert params.gamma == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            suggest_params([])
+        with pytest.raises(ValueError, match="lie in"):
+            suggest_params([1.5])
+
+    def test_serves_the_workload(self):
+        """The prescribed gamma must cover (1 - percentile) of queries."""
+        gen = np.random.default_rng(0)
+        samples = gen.uniform(0.05, 0.6, size=200)
+        params = suggest_params(samples, target_percentile=5.0)
+        served = (samples >= params.s_min).mean()
+        assert served >= 0.90
+
+
+class TestSuggestFromPredicates:
+    def test_end_to_end(self, labeled_table):
+        predicates = [Equals("label", v) for v in range(6)]
+        params = suggest_params_from_predicates(
+            labeled_table, predicates, m=8, target_percentile=10.0, seed=0
+        )
+        # Each label has selectivity ~1/6: gamma should land near 6-9.
+        assert 4 <= params.gamma <= 12

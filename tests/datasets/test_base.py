@@ -1,0 +1,67 @@
+"""Unit tests for the HybridDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.datasets import HybridDataset, HybridQuery
+from repro.predicates import Equals
+
+
+@pytest.fixture
+def dataset():
+    gen = np.random.default_rng(0)
+    vectors = gen.standard_normal((50, 4)).astype(np.float32)
+    table = AttributeTable(50)
+    table.add_int_column("label", gen.integers(0, 3, size=50))
+    queries = [
+        HybridQuery(vector=vectors[i] + 0.01, predicate=Equals("label", i % 3))
+        for i in range(6)
+    ]
+    return HybridDataset("toy", vectors, table, queries)
+
+
+class TestBasics:
+    def test_dimensions(self, dataset):
+        assert dataset.num_vectors == 50
+        assert dataset.dim == 4
+
+    def test_size_mismatch_rejected(self):
+        table = AttributeTable(3)
+        table.add_int_column("label", [1, 2, 3])
+        with pytest.raises(ValueError, match="rows"):
+            HybridDataset("bad", np.zeros((5, 2), dtype=np.float32), table, [])
+
+    def test_compiled_predicates_cached(self, dataset):
+        first = dataset.compiled_predicates()
+        assert dataset.compiled_predicates() is first
+
+    def test_selectivities_shape(self, dataset):
+        sel = dataset.selectivities()
+        assert sel.shape == (6,)
+        assert ((sel >= 0) & (sel <= 1)).all()
+
+
+class TestGroundTruth:
+    def test_cached_per_k(self, dataset):
+        first = dataset.ground_truth(5)
+        assert dataset.ground_truth(5) is first
+        assert dataset.ground_truth(3) is not first
+
+    def test_answers_pass_predicates(self, dataset):
+        gt = dataset.ground_truth(5)
+        for compiled, ids in zip(dataset.compiled_predicates(), gt):
+            assert compiled.passes_many(ids).all()
+
+
+class TestSubset:
+    def test_subset_queries(self, dataset):
+        sub = dataset.subset_queries([0, 2])
+        assert len(sub.queries) == 2
+        assert sub.queries[0] is dataset.queries[0]
+        assert sub.num_vectors == dataset.num_vectors
+
+    def test_subset_has_fresh_caches(self, dataset):
+        dataset.ground_truth(5)
+        sub = dataset.subset_queries([1])
+        assert len(sub.ground_truth(5)) == 1

@@ -1,0 +1,167 @@
+"""Tests for the four dataset surrogates (Table 2 fidelity checks)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_laion_like,
+    make_paper_like,
+    make_sift1m_like,
+    make_tripclick_like,
+    query_correlation,
+)
+from repro.datasets.laion import CANDIDATE_KEYWORDS, GENERIC_KEYWORDS
+from repro.datasets.tripclick import CLINICAL_AREAS, YEAR_MAX, YEAR_MIN
+from repro.predicates import Between, ContainsAny, Equals, RegexMatch
+
+
+class TestSiftPaperLike:
+    def test_sift_shape_and_protocol(self, sift_tiny):
+        assert sift_tiny.num_vectors == 500
+        assert sift_tiny.dim == 24
+        assert len(sift_tiny.queries) == 30
+        assert all(isinstance(q.predicate, Equals) for q in sift_tiny.queries)
+
+    def test_label_domain(self, sift_tiny):
+        labels = np.asarray(sift_tiny.table.column("label"))
+        assert labels.min() >= 1 and labels.max() <= 12
+
+    def test_average_selectivity_near_one_twelfth(self):
+        ds = make_sift1m_like(n=2000, dim=8, n_queries=60, seed=0)
+        assert ds.selectivities().mean() == pytest.approx(1 / 12, abs=0.03)
+
+    def test_deterministic(self):
+        a = make_sift1m_like(n=100, dim=8, n_queries=5, seed=5)
+        b = make_sift1m_like(n=100, dim=8, n_queries=5, seed=5)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+        assert repr(a.queries[0].predicate) == repr(b.queries[0].predicate)
+
+    def test_paper_like_dimensionality(self):
+        ds = make_paper_like(n=100, n_queries=5, seed=0)
+        assert ds.dim == 200
+        assert ds.name == "paper-like"
+
+    def test_near_zero_correlation(self):
+        """Random label assignment ⇒ no predicate clustering (paper's
+        LCPS protocol)."""
+        ds = make_sift1m_like(n=1000, dim=16, n_queries=40, seed=1)
+        c = query_correlation(ds, n_resamples=6, seed=0)
+        spread = np.linalg.norm(ds.vectors.std(axis=0)) ** 2
+        assert abs(c) < 0.25 * spread
+
+
+class TestTripclickLike:
+    def test_areas_workload_operators(self, tripclick_tiny):
+        assert all(
+            isinstance(q.predicate, ContainsAny) for q in tripclick_tiny.queries
+        )
+
+    def test_dates_workload_operators(self):
+        ds = make_tripclick_like(n=300, dim=8, n_queries=20, workload="dates",
+                                 seed=2)
+        assert all(isinstance(q.predicate, Between) for q in ds.queries)
+
+    def test_area_vocabulary(self, tripclick_tiny):
+        col = tripclick_tiny.table.column("areas")
+        assert set(col.vocab) <= set(CLINICAL_AREAS)
+        assert len(CLINICAL_AREAS) == 28  # the paper's cardinality
+
+    def test_years_in_range(self, tripclick_tiny):
+        years = np.asarray(tripclick_tiny.table.column("year"))
+        assert years.min() >= YEAR_MIN and years.max() <= YEAR_MAX
+
+    def test_years_skew_recent(self, tripclick_tiny):
+        years = np.asarray(tripclick_tiny.table.column("year"))
+        assert np.median(years) > 1990
+
+    def test_selectivity_spread_for_fig9(self):
+        """The dates workload must span a broad selectivity range so the
+        Figure 9 percentile sweep has material."""
+        ds = make_tripclick_like(n=1500, dim=8, n_queries=80, workload="dates",
+                                 seed=2)
+        sel = ds.selectivities()
+        assert sel.min() < 0.1
+        assert sel.max() > 0.4
+
+    def test_invalid_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            make_tripclick_like(workload="nope")
+
+
+class TestLaionLike:
+    def test_keyword_lists_have_three_entries(self, laion_tiny):
+        col = laion_tiny.table.column("keywords")
+        lengths = np.diff(col.offsets)
+        assert (lengths == 3).all()
+
+    def test_keyword_vocabulary(self, laion_tiny):
+        col = laion_tiny.table.column("keywords")
+        assert set(col.vocab) <= set(CANDIDATE_KEYWORDS)
+
+    def test_no_cor_uses_generic_keywords(self, laion_tiny):
+        for q in laion_tiny.queries:
+            (kw,) = q.predicate.keywords
+            assert kw in GENERIC_KEYWORDS
+
+    def test_regex_workload(self):
+        ds = make_laion_like(n=300, dim=8, n_queries=20, workload="regex",
+                             seed=3)
+        assert all(isinstance(q.predicate, RegexMatch) for q in ds.queries)
+        assert ds.selectivities().mean() > 0.0
+
+    def test_correlation_signs(self):
+        """The headline property of the LAION workloads (Figure 10)."""
+        kwargs = dict(n=900, dim=32, n_queries=40, seed=3)
+        pos = query_correlation(
+            make_laion_like(workload="pos-cor", **kwargs), n_resamples=6, seed=0
+        )
+        neg = query_correlation(
+            make_laion_like(workload="neg-cor", **kwargs), n_resamples=6, seed=0
+        )
+        no = query_correlation(
+            make_laion_like(workload="no-cor", **kwargs), n_resamples=6, seed=0
+        )
+        assert pos > 0
+        assert neg < 0
+        assert neg < no < pos
+
+    def test_selectivity_in_paper_band(self):
+        ds = make_laion_like(n=1200, dim=16, n_queries=60, workload="no-cor",
+                             seed=4)
+        assert 0.04 < ds.selectivities().mean() < 0.2
+
+    def test_invalid_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            make_laion_like(workload="bananas")
+
+
+class TestCorrelationEstimator:
+    def test_raises_on_all_empty_predicates(self):
+        ds = make_sift1m_like(n=50, dim=4, n_queries=3, seed=0)
+        # Force empty predicates.
+        for q in ds.queries:
+            q.predicate = Equals("label", 999)
+        ds._compiled = None
+        with pytest.raises(ValueError, match="non-empty"):
+            query_correlation(ds, n_resamples=2)
+
+    def test_max_queries_caps_work(self, laion_tiny):
+        value = query_correlation(laion_tiny, n_resamples=2, max_queries=5,
+                                  seed=1)
+        assert np.isfinite(value)
+
+
+class TestCorrelationKTargets:
+    def test_k_targets_extension_preserves_signs(self):
+        """§3.2.1's K-target extension should agree in sign with k=1."""
+        kwargs = dict(n=700, dim=24, n_queries=30, seed=3)
+        pos = make_laion_like(workload="pos-cor", **kwargs)
+        neg = make_laion_like(workload="neg-cor", **kwargs)
+        assert query_correlation(pos, n_resamples=4, k=5, seed=0) > 0
+        assert query_correlation(neg, n_resamples=4, k=5, seed=0) < 0
+
+    def test_k_validation(self, laion_tiny):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="k"):
+            query_correlation(laion_tiny, k=0)

@@ -1,0 +1,58 @@
+"""Unit tests for exact filtered KNN ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import filtered_knn
+
+
+@pytest.fixture
+def world():
+    gen = np.random.default_rng(0)
+    vectors = gen.standard_normal((80, 6)).astype(np.float32)
+    queries = [vectors[3] + 0.01, vectors[40] + 0.01]
+    masks = [gen.random(80) < 0.4 for _ in queries]
+    return vectors, queries, masks
+
+
+class TestFilteredKnn:
+    def test_matches_naive_loop(self, world):
+        vectors, queries, masks = world
+        got = filtered_knn(vectors, queries, masks, k=5)
+        for q, mask, ids in zip(queries, masks, got):
+            passing = np.flatnonzero(mask)
+            dists = ((vectors[passing] - q) ** 2).sum(axis=1)
+            want = passing[np.argsort(dists)[:5]]
+            np.testing.assert_array_equal(ids, want)
+
+    def test_results_pass_mask(self, world):
+        vectors, queries, masks = world
+        got = filtered_knn(vectors, queries, masks, k=5)
+        for mask, ids in zip(masks, got):
+            assert mask[ids].all()
+
+    def test_short_results_when_few_pass(self, world):
+        vectors, queries, _ = world
+        sparse = np.zeros(80, dtype=bool)
+        sparse[[2, 7]] = True
+        got = filtered_knn(vectors, queries[:1], [sparse], k=10)
+        assert set(got[0].tolist()) == {2, 7}
+
+    def test_empty_mask(self, world):
+        vectors, queries, _ = world
+        got = filtered_knn(vectors, queries[:1], [np.zeros(80, dtype=bool)], k=3)
+        assert got[0].size == 0
+
+    def test_batching_consistent(self, world):
+        vectors, queries, masks = world
+        a = filtered_knn(vectors, queries, masks, k=5, batch=1)
+        b = filtered_knn(vectors, queries, masks, k=5, batch=64)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_validation(self, world):
+        vectors, queries, masks = world
+        with pytest.raises(ValueError, match="k"):
+            filtered_knn(vectors, queries, masks, k=0)
+        with pytest.raises(ValueError, match="masks"):
+            filtered_knn(vectors, queries, masks[:1], k=3)

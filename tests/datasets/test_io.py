@@ -1,0 +1,111 @@
+"""Tests for the real-dataset file-format readers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_sift1m,
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_fvecs,
+)
+
+
+class TestFvecs:
+    def test_roundtrip(self, tmp_path):
+        gen = np.random.default_rng(0)
+        vectors = gen.standard_normal((25, 12)).astype(np.float32)
+        path = tmp_path / "x.fvecs"
+        write_fvecs(path, vectors)
+        np.testing.assert_array_equal(read_fvecs(path), vectors)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="TEXMEX"):
+            read_fvecs(tmp_path / "nope.fvecs")
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        write_fvecs(path, np.zeros((3, 4), dtype=np.float32))
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")  # trailing garbage
+        with pytest.raises(ValueError, match="record"):
+            read_fvecs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).size == 0
+
+
+class TestIvecsBvecs:
+    def test_ivecs_roundtrip(self, tmp_path):
+        data = np.arange(24, dtype=np.int32).reshape(4, 6)
+        framed = np.empty((4, 7), dtype=np.int32)
+        framed[:, 0] = 6
+        framed[:, 1:] = data
+        path = tmp_path / "gt.ivecs"
+        framed.tofile(path)
+        np.testing.assert_array_equal(read_ivecs(path), data)
+
+    def test_bvecs_roundtrip(self, tmp_path):
+        data = np.arange(20, dtype=np.uint8).reshape(2, 10)
+        records = b""
+        for row in data:
+            records += np.int32(10).tobytes() + row.tobytes()
+        path = tmp_path / "x.bvecs"
+        path.write_bytes(records)
+        np.testing.assert_array_equal(read_bvecs(path), data)
+
+
+class TestLoadSift1m:
+    @pytest.fixture
+    def texmex_dir(self, tmp_path):
+        gen = np.random.default_rng(1)
+        write_fvecs(tmp_path / "sift_base.fvecs",
+                    gen.standard_normal((200, 16)).astype(np.float32))
+        write_fvecs(tmp_path / "sift_query.fvecs",
+                    gen.standard_normal((30, 16)).astype(np.float32))
+        return tmp_path
+
+    def test_loads_paper_protocol(self, texmex_dir):
+        dataset = load_sift1m(texmex_dir, seed=0)
+        assert dataset.num_vectors == 200
+        assert len(dataset.queries) == 30
+        labels = np.asarray(dataset.table.column("label"))
+        assert labels.min() >= 1 and labels.max() <= 12
+
+    def test_truncation(self, texmex_dir):
+        dataset = load_sift1m(texmex_dir, max_base=50, max_queries=5, seed=0)
+        assert dataset.num_vectors == 50
+        assert len(dataset.queries) == 5
+
+    def test_deterministic(self, texmex_dir):
+        a = load_sift1m(texmex_dir, seed=3)
+        b = load_sift1m(texmex_dir, seed=3)
+        np.testing.assert_array_equal(
+            np.asarray(a.table.column("label")),
+            np.asarray(b.table.column("label")),
+        )
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_sift1m(tmp_path / "absent")
+
+    def test_searchable_end_to_end(self, texmex_dir):
+        from repro.core import AcornIndex, AcornParams
+
+        dataset = load_sift1m(texmex_dir, seed=0)
+        index = AcornIndex.build(
+            dataset.vectors, dataset.table,
+            params=AcornParams(m=6, gamma=6, m_beta=8, ef_construction=24),
+            seed=0,
+        )
+        gt = dataset.ground_truth(5)
+        result = index.search(
+            dataset.queries[0].vector,
+            dataset.compiled_predicates()[0],
+            5, ef_search=32,
+        )
+        overlap = len(set(result.ids.tolist()) & set(gt[0].tolist()))
+        assert overlap >= 2

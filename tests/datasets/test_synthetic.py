@@ -1,0 +1,64 @@
+"""Unit tests for synthetic vector generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    clustered_vectors,
+    sample_queries_near_data,
+    uniform_vectors,
+)
+
+
+class TestClusteredVectors:
+    def test_shapes(self):
+        vectors, assignments, centers = clustered_vectors(100, 8, n_clusters=5,
+                                                          seed=0)
+        assert vectors.shape == (100, 8)
+        assert assignments.shape == (100,)
+        assert centers.shape == (5, 8)
+        assert vectors.dtype == np.float32
+
+    def test_deterministic(self):
+        a, _, _ = clustered_vectors(50, 4, seed=7)
+        b, _, _ = clustered_vectors(50, 4, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_points_near_their_centers(self):
+        vectors, assignments, centers = clustered_vectors(
+            200, 16, n_clusters=4, cluster_std=0.1, center_scale=5.0, seed=1
+        )
+        dists_own = np.linalg.norm(vectors - centers[assignments], axis=1)
+        assert dists_own.mean() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_vectors(0, 4)
+        with pytest.raises(ValueError):
+            clustered_vectors(10, 0)
+
+
+class TestUniformVectors:
+    def test_shape_and_dtype(self):
+        vectors = uniform_vectors(30, 5, seed=0)
+        assert vectors.shape == (30, 5)
+        assert vectors.dtype == np.float32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_vectors(-1, 4)
+
+
+class TestQuerySampling:
+    def test_queries_near_sources(self):
+        vectors, _, _ = clustered_vectors(100, 8, seed=2)
+        queries, sources = sample_queries_near_data(
+            vectors, 20, jitter=0.01, seed=3
+        )
+        dists = np.linalg.norm(queries - vectors[sources], axis=1)
+        assert dists.max() < 0.2
+
+    def test_validation(self):
+        vectors = uniform_vectors(10, 4, seed=0)
+        with pytest.raises(ValueError):
+            sample_queries_near_data(vectors, 0)

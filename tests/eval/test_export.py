@@ -1,0 +1,65 @@
+"""Tests for JSON experiment records."""
+
+import json
+
+import pytest
+
+from repro.eval.export import load_results, save_results, sweeps_to_record
+from repro.eval.runner import MethodSweep, SweepPoint
+
+
+@pytest.fixture
+def sweeps():
+    return [
+        MethodSweep(
+            method="acorn",
+            points=[
+                SweepPoint(10, 0.9, 1000.0, 200.0, 0.001, 0.0009, 0.0015),
+                SweepPoint(40, 0.99, 400.0, 320.0, 0.0025, 0.002, 0.004),
+            ],
+        ),
+        MethodSweep(
+            method="pre",
+            points=[SweepPoint(10, 1.0, 20000.0, 300.0, 5e-05, 4e-05, 8e-05)],
+        ),
+    ]
+
+
+class TestRecord:
+    def test_structure(self, sweeps):
+        record = sweeps_to_record("fig7-sift", sweeps, {"n": 4000})
+        assert record["experiment"] == "fig7-sift"
+        assert record["metadata"]["n"] == 4000
+        assert len(record["methods"]) == 2
+        assert record["methods"][0]["points"][0]["recall"] == 0.9
+
+    def test_json_serializable(self, sweeps):
+        json.dumps(sweeps_to_record("x", sweeps))
+
+
+class TestRoundtrip:
+    def test_save_load(self, sweeps, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(path, "fig8-laion", sweeps, {"seed": 3})
+        name, restored, metadata = load_results(path)
+        assert name == "fig8-laion"
+        assert metadata == {"seed": 3}
+        assert len(restored) == 2
+        for a, b in zip(restored, sweeps):
+            assert a.method == b.method
+            assert a.points == b.points
+
+    def test_lookups_survive(self, sweeps, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(path, "x", sweeps)
+        _, restored, _ = load_results(path)
+        assert restored[0].qps_at_recall(0.9) == 1000.0
+
+    def test_schema_version_checked(self, sweeps, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(path, "x", sweeps)
+        record = json.loads(path.read_text())
+        record["schema_version"] = 99
+        path.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="schema"):
+            load_results(path)

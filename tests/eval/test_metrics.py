@@ -1,0 +1,56 @@
+"""Unit tests for recall metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import mean_recall_at_k, recall_at_k
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([1, 2, 3]), 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(np.array([1, 9, 8]), np.array([1, 2, 3]), 3) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_order_irrelevant(self):
+        assert recall_at_k(np.array([3, 1, 2]), np.array([1, 2, 3]), 3) == 1.0
+
+    def test_truncated_ground_truth_scores_against_available(self):
+        # 2 passing entities, k=10: retrieving both = perfect recall.
+        assert recall_at_k(np.array([5, 6]), np.array([5, 6]), 10) == 1.0
+
+    def test_empty_ground_truth_is_perfect(self):
+        assert recall_at_k(np.array([]), np.array([]), 5) == 1.0
+
+    def test_empty_retrieval_nonempty_truth(self):
+        assert recall_at_k(np.array([]), np.array([1, 2]), 5) == 0.0
+
+    def test_extra_retrieved_beyond_k_ignored_in_truth(self):
+        # ground truth longer than k is clipped to k.
+        got = recall_at_k(np.array([1, 2]), np.array([1, 2, 3, 4]), 2)
+        assert got == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1]), np.array([1]), 0)
+
+
+class TestMeanRecall:
+    def test_mean(self):
+        got = mean_recall_at_k(
+            [np.array([1]), np.array([9])],
+            [np.array([1]), np.array([2])],
+            k=1,
+        )
+        assert got == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="ground truths"):
+            mean_recall_at_k([np.array([1])], [], k=1)
+
+    def test_empty_workload(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_recall_at_k([], [], k=1)

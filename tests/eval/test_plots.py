@@ -1,0 +1,57 @@
+"""Tests for the ASCII curve renderer."""
+
+import pytest
+
+from repro.eval.plots import ascii_curves
+from repro.eval.runner import MethodSweep, SweepPoint
+
+
+def _sweep(name, points):
+    return MethodSweep(
+        method=name,
+        points=[SweepPoint(e, r, q, d, 0.001) for e, r, q, d in points],
+    )
+
+
+@pytest.fixture
+def sweeps():
+    return [
+        _sweep("fast", [(10, 0.5, 5000, 50), (40, 0.9, 1000, 200)]),
+        _sweep("slow", [(10, 0.7, 200, 400), (40, 0.99, 50, 900)]),
+    ]
+
+
+class TestAsciiCurves:
+    def test_contains_markers_and_legend(self, sweeps):
+        out = ascii_curves(sweeps)
+        assert "o fast" in out
+        assert "x slow" in out
+        assert "recall@K" in out
+
+    def test_title(self, sweeps):
+        out = ascii_curves(sweeps, title="Figure 7")
+        assert out.splitlines()[0] == "Figure 7"
+
+    def test_dist_metric(self, sweeps):
+        out = ascii_curves(sweeps, y_metric="dist")
+        assert "dist comps" in out
+
+    def test_dimensions(self, sweeps):
+        out = ascii_curves(sweeps, width=40, height=10)
+        body = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(body) == 10
+        assert all(len(l.split("|")[1]) == 40 for l in body)
+
+    def test_axis_extremes_labelled(self, sweeps):
+        out = ascii_curves(sweeps)
+        assert "0.50" in out and "0.99" in out
+
+    def test_single_point_curve(self):
+        out = ascii_curves([_sweep("p", [(10, 0.9, 100, 10)])])
+        assert "o p" in out
+
+    def test_validation(self, sweeps):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_curves([])
+        with pytest.raises(ValueError, match="y_metric"):
+            ascii_curves(sweeps, y_metric="latency")

@@ -1,0 +1,60 @@
+"""Unit tests for text table rendering."""
+
+from repro.eval.reporting import render_curve, render_sweeps, render_table
+from repro.eval.runner import MethodSweep, SweepPoint
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(["name", "value"], [["alpha", 1.5], ["b", 20.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_large_numbers_thousand_separated(self):
+        out = render_table(["n"], [[1234567.0]])
+        assert "1,234,567" in out
+
+
+class TestRenderSweeps:
+    def _sweep(self, name, recall):
+        return MethodSweep(
+            method=name,
+            points=[SweepPoint(10, recall, 100.0, 50.0, 0.01)],
+        )
+
+    def test_curve_contains_points(self):
+        out = render_curve(self._sweep("acorn", 0.95))
+        assert "acorn" in out
+        assert "0.950" in out
+
+    def test_summary_marks_unreachable(self):
+        out = render_sweeps([self._sweep("weak", 0.5)], recall_target=0.9)
+        assert "n/a" in out
+
+    def test_summary_includes_reached(self):
+        out = render_sweeps([self._sweep("strong", 0.95)], recall_target=0.9)
+        assert "strong" in out and "100" in out
+
+
+class TestFormattingEdgeCases:
+    def test_negative_floats(self):
+        out = render_table(["x"], [[-12.5], [-0.001]])
+        assert "-12.5" in out
+
+    def test_zero_formats_plainly(self):
+        out = render_table(["x"], [[0.0]])
+        assert "0" in out.splitlines()[-1]
+
+    def test_mixed_types_aligned(self):
+        out = render_table(["a", "b"], [["name", 1.5], ["longer-name", 12000.0]])
+        lines = out.splitlines()
+        assert len(lines[2]) <= len(lines[3]) + 14

@@ -1,0 +1,85 @@
+"""Unit tests for the recall-QPS sweep runner."""
+
+import pytest
+
+from repro.baselines import PreFilterSearcher
+from repro.eval.runner import MethodSweep, SweepPoint, SweepRunner
+
+
+@pytest.fixture(scope="module")
+def runner(sift_tiny):
+    return SweepRunner(sift_tiny, k=10)
+
+
+class TestSweepRunner:
+    def test_prefilter_sweep_is_perfect_recall(self, runner, sift_tiny):
+        searcher = PreFilterSearcher(sift_tiny.vectors, sift_tiny.table)
+        sweep = runner.sweep("pre-filter", searcher, efforts=[10, 20])
+        assert all(p.recall == pytest.approx(1.0) for p in sweep.points)
+
+    def test_point_fields_populated(self, runner, sift_tiny):
+        searcher = PreFilterSearcher(sift_tiny.vectors, sift_tiny.table)
+        point = runner.run_point(searcher, effort=10)
+        assert point.qps > 0
+        assert point.mean_distance_computations > 0
+        assert point.mean_latency_s > 0
+        assert point.effort == 10
+
+    def test_acorn_sweep_recall_rises_with_effort(self, sift_tiny):
+        from repro.core import AcornIndex, AcornParams
+
+        index = AcornIndex.build(
+            sift_tiny.vectors, sift_tiny.table,
+            params=AcornParams(m=8, gamma=12, m_beta=16, ef_construction=32),
+            seed=0,
+        )
+        runner = SweepRunner(sift_tiny, k=10)
+        sweep = runner.sweep("acorn", index, efforts=[4, 64])
+        assert sweep.points[-1].recall >= sweep.points[0].recall
+
+
+class TestMethodSweep:
+    @pytest.fixture
+    def sweep(self):
+        return MethodSweep(
+            method="m",
+            points=[
+                SweepPoint(10, 0.5, 900.0, 100.0, 0.001),
+                SweepPoint(20, 0.92, 500.0, 220.0, 0.002),
+                SweepPoint(40, 0.97, 250.0, 450.0, 0.004),
+            ],
+        )
+
+    def test_qps_at_recall_picks_best_eligible(self, sweep):
+        assert sweep.qps_at_recall(0.9) == 500.0
+
+    def test_qps_at_recall_unreachable(self, sweep):
+        assert sweep.qps_at_recall(0.99) is None
+
+    def test_distance_computations_at_recall(self, sweep):
+        assert sweep.distance_computations_at_recall(0.9) == 220.0
+
+    def test_max_recall(self, sweep):
+        assert sweep.max_recall() == 0.97
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip_fields(self):
+        sweep = MethodSweep(
+            method="m",
+            points=[SweepPoint(10, 0.5, 900.0, 100.0, 0.001, 0.0009, 0.002)],
+        )
+        csv = sweep.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("method,effort,recall")
+        assert lines[1].startswith("m,10,0.500000,900.000,100.00")
+
+    def test_one_row_per_point(self):
+        sweep = MethodSweep(
+            method="x",
+            points=[
+                SweepPoint(10, 0.5, 1.0, 1.0, 0.1),
+                SweepPoint(20, 0.6, 2.0, 2.0, 0.2),
+            ],
+        )
+        assert len(sweep.to_csv().splitlines()) == 3

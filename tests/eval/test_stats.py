@@ -1,0 +1,89 @@
+"""Unit tests for graph-quality statistics (Figure 13 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    acorn_subgraph_quality,
+    hnsw_graph_quality,
+    strongly_connected_components,
+)
+from repro.predicates import Equals
+
+
+class TestScc:
+    def test_single_cycle(self):
+        adjacency = {0: [1], 1: [2], 2: [0]}
+        components = strongly_connected_components(adjacency)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_chain_is_n_components(self):
+        adjacency = {0: [1], 1: [2], 2: []}
+        assert len(strongly_connected_components(adjacency)) == 3
+
+    def test_two_cycles_bridge(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [3], 3: [2]}
+        components = strongly_connected_components(adjacency)
+        assert len(components) == 2
+        assert {0, 1} in components and {2, 3} in components
+
+    def test_empty_graph(self):
+        assert strongly_connected_components({}) == []
+
+    def test_isolated_nodes(self):
+        adjacency = {0: [], 1: [], 2: []}
+        assert len(strongly_connected_components(adjacency)) == 3
+
+    def test_matches_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        gen = np.random.default_rng(0)
+        for trial in range(5):
+            n = 40
+            g = networkx.gnp_random_graph(
+                n, 0.08, seed=int(gen.integers(1e6)), directed=True
+            )
+            adjacency = {v: list(g.successors(v)) for v in g.nodes}
+            ours = len(strongly_connected_components(adjacency))
+            theirs = len(list(networkx.strongly_connected_components(g)))
+            assert ours == theirs
+
+
+class TestSubgraphQuality:
+    def test_acorn_full_mask_counts_everything(self, acorn_index):
+        mask = np.ones(len(acorn_index), dtype=bool)
+        quality = acorn_subgraph_quality(acorn_index, mask)
+        assert quality.height == acorn_index.graph.max_level
+        assert len(quality.scc_per_level) == acorn_index.graph.max_level + 1
+
+    def test_acorn_predicate_subgraph_smaller_height(self, acorn_index):
+        compiled = Equals("label", 0).compile(acorn_index.table)
+        quality = acorn_subgraph_quality(acorn_index, compiled.mask)
+        full = acorn_subgraph_quality(
+            acorn_index, np.ones(len(acorn_index), dtype=bool)
+        )
+        assert quality.height <= full.height
+
+    def test_out_degree_capped_at_m(self, acorn_index):
+        mask = np.ones(len(acorn_index), dtype=bool)
+        quality = acorn_subgraph_quality(acorn_index, mask)
+        assert all(
+            deg <= acorn_index.params.m
+            for deg in quality.avg_filtered_out_degree_by_level
+        )
+
+    def test_empty_mask(self, acorn_index):
+        quality = acorn_subgraph_quality(
+            acorn_index, np.zeros(len(acorn_index), dtype=bool)
+        )
+        assert quality.height == 0
+        assert all(c == 0 for c in quality.scc_per_level)
+
+    def test_hnsw_quality(self, hnsw_index):
+        quality = hnsw_graph_quality(hnsw_index)
+        assert quality.height == hnsw_index.graph.max_level
+        assert quality.avg_filtered_out_degree_by_level[0] > 0
+
+    def test_mean_scc(self, hnsw_index):
+        quality = hnsw_graph_quality(hnsw_index)
+        assert quality.mean_scc >= 1.0

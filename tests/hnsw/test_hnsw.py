@@ -1,0 +1,151 @@
+"""Unit and behavioural tests for the HNSW index."""
+
+import numpy as np
+import pytest
+
+from repro.hnsw import HnswIndex
+from repro.vectors.distance import pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def built(small_vectors):
+    vectors, _ = small_vectors
+    return vectors, HnswIndex.build(vectors, m=8, ef_construction=40, seed=1)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="M"):
+            HnswIndex(4, m=1)
+        with pytest.raises(ValueError, match="efc"):
+            HnswIndex(4, ef_construction=0)
+
+    def test_graph_invariants(self, built):
+        _, index = built
+        index.graph.validate()
+
+    def test_degree_bounds_respected(self, built):
+        _, index = built
+        graph = index.graph
+        for node in graph.nodes_at_level(0):
+            assert len(graph.neighbors(node, 0)) <= index.m_max0
+        for level in range(1, graph.max_level + 1):
+            for node in graph.nodes_at_level(level):
+                assert len(graph.neighbors(node, level)) <= index.m
+
+    def test_entry_point_is_top_level_node(self, built):
+        _, index = built
+        entry = index.graph.entry_point
+        assert index.graph.node_level(entry) == index.graph.max_level
+
+    def test_incremental_add_returns_ids(self):
+        index = HnswIndex(4, m=4, seed=0)
+        gen = np.random.default_rng(0)
+        ids = [index.add(gen.standard_normal(4)) for _ in range(20)]
+        assert ids == list(range(20))
+
+    def test_level_structure_shrinks(self, built):
+        _, index = built
+        graph = index.graph
+        populations = [
+            graph.num_nodes_at_level(lev) for lev in range(graph.max_level + 1)
+        ]
+        assert populations[0] == len(index)
+        assert all(a >= b for a, b in zip(populations, populations[1:]))
+
+
+class TestSearch:
+    def test_high_recall(self, built):
+        vectors, index = built
+        gen = np.random.default_rng(3)
+        queries = vectors[gen.integers(0, len(vectors), 30)] + 0.05
+        gt = np.argsort(pairwise_distances(vectors, queries), axis=1)[:, :10]
+        recalls = []
+        for q, g in zip(queries, gt):
+            result = index.search(q, 10, ef_search=64)
+            recalls.append(
+                len(set(result.ids.tolist()) & set(g.tolist())) / 10
+            )
+        assert np.mean(recalls) > 0.9
+
+    def test_exact_match_found(self, built):
+        vectors, index = built
+        result = index.search(vectors[42], 1, ef_search=32)
+        assert result.ids[0] == 42
+
+    def test_results_sorted(self, built):
+        vectors, index = built
+        result = index.search(vectors[0] + 0.1, 10, ef_search=32)
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_k_larger_than_ef_still_returns_k(self, built):
+        vectors, index = built
+        result = index.search(vectors[0], 20, ef_search=5)
+        assert len(result) == 20
+
+    def test_rejects_non_positive_k(self, built):
+        vectors, index = built
+        with pytest.raises(ValueError):
+            index.search(vectors[0], 0)
+
+    def test_empty_index(self):
+        index = HnswIndex(4)
+        result = index.search(np.zeros(4), 5)
+        assert len(result) == 0
+
+    def test_single_element_index(self):
+        index = HnswIndex(4, seed=0)
+        index.add(np.ones(4))
+        result = index.search(np.ones(4), 3)
+        assert result.ids.tolist() == [0]
+
+    def test_distance_computations_reported(self, built):
+        vectors, index = built
+        result = index.search(vectors[0], 10, ef_search=32)
+        assert result.distance_computations > 0
+
+    def test_search_candidates_returns_budgeted_pool(self, built):
+        vectors, index = built
+        candidates, ncomp = index.search_candidates(vectors[0], ef_search=50)
+        assert len(candidates) == 50
+        assert ncomp > 0
+
+    def test_higher_ef_no_worse_recall(self, built):
+        vectors, index = built
+        gen = np.random.default_rng(5)
+        queries = vectors[gen.integers(0, len(vectors), 20)] + 0.05
+        gt = np.argsort(pairwise_distances(vectors, queries), axis=1)[:, :10]
+
+        def mean_recall(ef):
+            vals = []
+            for q, g in zip(queries, gt):
+                r = index.search(q, 10, ef_search=ef)
+                vals.append(len(set(r.ids.tolist()) & set(g.tolist())) / 10)
+            return np.mean(vals)
+
+        assert mean_recall(128) >= mean_recall(8) - 0.05
+
+
+class TestIntrospection:
+    def test_nbytes_exceeds_vector_payload(self, built):
+        vectors, index = built
+        assert index.nbytes() > vectors.nbytes
+
+    def test_out_degree_by_level(self, built):
+        _, index = built
+        degrees = index.out_degree_by_level()
+        assert set(degrees) == set(range(index.graph.max_level + 1))
+        assert degrees[0] > 0
+
+
+class TestAddBatch:
+    def test_returns_all_ids(self):
+        gen = np.random.default_rng(0)
+        index = HnswIndex(4, m=4, seed=0)
+        ids = index.add_batch(gen.standard_normal((15, 4)))
+        assert ids.tolist() == list(range(15))
+
+    def test_single_vector_promoted(self):
+        index = HnswIndex(4, m=4, seed=0)
+        ids = index.add_batch(np.zeros(4))
+        assert ids.tolist() == [0]

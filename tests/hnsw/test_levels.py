@@ -1,0 +1,53 @@
+"""Unit tests for the stochastic level assignment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hnsw.levels import LevelGenerator, level_normalization
+
+
+class TestNormalization:
+    def test_value(self):
+        assert level_normalization(16) == pytest.approx(1 / math.log(16))
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            level_normalization(1)
+
+
+class TestLevelGenerator:
+    def test_levels_non_negative(self):
+        gen = LevelGenerator(16, seed=0)
+        assert all(gen.draw() >= 0 for _ in range(1000))
+
+    def test_mean_matches_theory(self):
+        # floor(-ln(U) * m_L) is geometric-tailed with P(l >= k) = M^-k,
+        # so E[l] = sum_k M^-k = 1/(M-1).
+        gen = LevelGenerator(16, seed=1)
+        draws = np.array([gen.draw() for _ in range(20_000)])
+        assert draws.mean() == pytest.approx(1 / 15, abs=0.01)
+
+    def test_level_zero_most_common(self):
+        gen = LevelGenerator(8, seed=2)
+        draws = np.array([gen.draw() for _ in range(5000)])
+        counts = np.bincount(draws)
+        assert counts.argmax() == 0
+        assert (np.diff(counts) <= 0).all() or counts[0] > counts[1]
+
+    def test_deterministic_given_seed(self):
+        a = [LevelGenerator(16, seed=3).draw() for _ in range(10)]
+        b = [LevelGenerator(16, seed=3).draw() for _ in range(10)]
+        assert a == b
+
+    def test_expected_levels(self):
+        gen = LevelGenerator(16, seed=0)
+        assert gen.expected_levels() == pytest.approx(1 + 1 / math.log(16))
+
+    def test_exponential_decay_rate(self):
+        # P(l >= k) = M^-k: the population should shrink ~M x per level.
+        gen = LevelGenerator(8, seed=4)
+        draws = np.array([gen.draw() for _ in range(50_000)])
+        p_ge_1 = (draws >= 1).mean()
+        assert p_ge_1 == pytest.approx(1 / 8, abs=0.02)

@@ -1,0 +1,117 @@
+"""Unit tests for the shared best-first traversal."""
+
+import numpy as np
+import pytest
+
+from repro.vectors.distance import DistanceComputer
+from repro.hnsw.traversal import greedy_descent, search_layer
+
+
+@pytest.fixture
+def line_world():
+    """Ten points on a line; adjacency = chain 0-1-2-...-9."""
+    base = np.arange(10, dtype=np.float32).reshape(-1, 1)
+    adjacency = {
+        i: [j for j in (i - 1, i + 1) if 0 <= j < 10] for i in range(10)
+    }
+    return DistanceComputer(base), adjacency
+
+
+def _entry(computer, query, node):
+    return [(computer.distance_one(query, node), node)]
+
+
+class TestSearchLayer:
+    def test_finds_nearest_from_far_entry(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([8.9], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=3,
+            neighbor_fn=lambda c: adjacency[c], visited=visited,
+        )
+        assert [nid for _, nid in got] == [9, 8, 7]
+
+    def test_returns_sorted_ascending(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([4.2], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=5,
+            neighbor_fn=lambda c: adjacency[c], visited=visited,
+        )
+        dists = [d for d, _ in got]
+        assert dists == sorted(dists)
+
+    def test_ef_bounds_result_size(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([5.0], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=2,
+            neighbor_fn=lambda c: adjacency[c], visited=visited,
+        )
+        assert len(got) <= 2
+
+    def test_rejects_non_positive_ef(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([5.0], dtype=np.float32)
+        with pytest.raises(ValueError, match="ef"):
+            search_layer(
+                computer, query, [], ef=0,
+                neighbor_fn=lambda c: adjacency[c],
+                visited=np.zeros(10, dtype=bool),
+            )
+
+    def test_empty_neighborhood_terminates(self, line_world):
+        computer, _ = line_world
+        query = np.array([5.0], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=4,
+            neighbor_fn=lambda c: [], visited=visited,
+        )
+        assert [nid for _, nid in got] == [0]
+
+    def test_visited_nodes_not_reexpanded(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([9.0], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        visited[5] = True  # pretend 5 was already seen: chain is cut
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=10,
+            neighbor_fn=lambda c: adjacency[c], visited=visited,
+        )
+        found = {nid for _, nid in got}
+        assert found == {0, 1, 2, 3, 4}
+
+    def test_distance_computations_counted(self, line_world):
+        computer, adjacency = line_world
+        computer.reset()
+        query = np.array([9.0], dtype=np.float32)
+        visited = np.zeros(10, dtype=bool)
+        visited[0] = True
+        search_layer(
+            computer, query, _entry(computer, query, 0), ef=10,
+            neighbor_fn=lambda c: adjacency[c], visited=visited,
+        )
+        # 1 entry distance + 9 neighbor evaluations, each exactly once.
+        assert computer.count == 10
+
+
+class TestGreedyDescent:
+    def test_descends_to_local_best(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([7.1], dtype=np.float32)
+        entry = (computer.distance_one(query, 0), 0)
+        best = greedy_descent(
+            computer, query, entry, levels=[0],
+            neighbor_fn_for_level=lambda lev: (lambda c: adjacency[c]),
+            num_nodes=10,
+        )
+        assert best[1] == 7

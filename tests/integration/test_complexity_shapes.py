@@ -1,0 +1,105 @@
+"""Empirical checks of the §6 complexity analysis.
+
+The paper's Discussion section derives scaling shapes rather than
+plotting figures; these tests verify the measurable ones:
+
+- §6.3.2 stage 1: the predicate subgraph's expected maximum level
+  tracks O(log(s·n)) — i.e. grows with selectivity at fixed n.
+- §6.3.1 degree lower bound: expected filtered degree ≈ s·M·γ.
+- §6.2 construction: TTI grows superlinearly in γ (the γ·log γ factor)
+  — covered by bench_ablation_gamma; here we check the per-node
+  candidate budget that drives it.
+- §6.1 memory: per-node bytes track O(Mβ + M + m_L·M·γ).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attributes import AttributeTable
+from repro.core import AcornIndex, AcornParams
+from repro.predicates import Equals
+
+
+@pytest.fixture(scope="module")
+def world():
+    gen = np.random.default_rng(91)
+    n = 1200
+    vectors = gen.standard_normal((n, 12)).astype(np.float32)
+    table = AttributeTable(n)
+    # Two attribute columns giving a wide and a narrow predicate.
+    table.add_int_column("coarse", gen.integers(0, 2, size=n))   # s ~ 0.5
+    table.add_int_column("fine", gen.integers(0, 20, size=n))    # s ~ 0.05
+    params = AcornParams(m=8, gamma=12, m_beta=16, ef_construction=32)
+    index = AcornIndex.build(vectors, table, params=params, seed=3)
+    return index, table
+
+
+class TestSubgraphHeight:
+    def test_height_grows_with_selectivity(self, world):
+        """§6.3.2: predicate-subgraph max level ~ O(log(s·n))."""
+        index, table = world
+        graph = index.graph
+
+        def subgraph_height(mask):
+            height = 0
+            for level in range(graph.max_level + 1):
+                if any(mask[v] for v in graph.nodes_at_level(level)):
+                    height = level
+            return height
+
+        wide = Equals("coarse", 0).compile(table)
+        narrow = Equals("fine", 3).compile(table)
+        assert wide.cardinality > 5 * narrow.cardinality
+        assert subgraph_height(wide.mask) >= subgraph_height(narrow.mask)
+
+    def test_full_graph_height_logarithmic(self, world):
+        index, _ = world
+        n = len(index)
+        expected = math.log(n) / math.log(index.params.m)
+        assert index.graph.max_level <= expected + 2
+
+
+class TestFilteredDegree:
+    def test_expected_filtered_degree_tracks_s_m_gamma(self, world):
+        """§6.3.1: E[|N_p(v)|] = s·|N(v)| for uncorrelated predicates."""
+        index, table = world
+        graph = index.graph
+        predicate = Equals("coarse", 0)
+        mask = predicate.compile(table).mask
+        s = mask.mean()
+        ratios = []
+        for node in range(0, len(index), 7):
+            neighbors = graph.neighbors(node, 0)
+            if len(neighbors) < 10:
+                continue
+            passing = sum(1 for v in neighbors if mask[v])
+            ratios.append(passing / len(neighbors))
+        assert np.mean(ratios) == pytest.approx(s, abs=0.08)
+
+
+class TestMemoryShape:
+    def test_per_node_bytes_track_formula(self, world):
+        """§6.1: per-node memory ~ O(Mβ + M + m_L·M·γ) edges."""
+        index, _ = world
+        params = index.params
+        edges_per_node = index.graph.num_edges() / len(index)
+        formula = (
+            params.m_beta + params.m + params.m_l * params.max_degree
+        )
+        # Same order of magnitude: within a factor of 3 either way.
+        assert formula / 3 <= edges_per_node <= formula * 3
+
+    def test_construction_budget_is_m_gamma(self, world):
+        """§6.2's per-node candidate budget: every stored list is within
+        the M·γ candidate bound (uncompressed levels may reach it)."""
+        index, _ = world
+        graph = index.graph
+        budget = index.params.max_degree
+        longest = max(
+            len(graph.neighbors(node, level))
+            for level in range(graph.max_level + 1)
+            for node in graph.nodes_at_level(level)
+        )
+        assert longest <= budget

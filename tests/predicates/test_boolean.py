@@ -1,0 +1,91 @@
+"""Unit tests for boolean predicate composition."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import And, Between, ContainsAny, Equals, Not, Or
+
+
+@pytest.fixture
+def table():
+    t = AttributeTable(6)
+    t.add_int_column("year", [1990, 2000, 2010, 2020, 2000, 1985])
+    t.add_keywords_column(
+        "areas", [["a"], ["b"], ["a", "b"], ["c"], ["a"], ["b", "c"]]
+    )
+    return t
+
+
+class TestAnd:
+    def test_mask(self, table):
+        pred = And(Between("year", 1990, 2010), ContainsAny("areas", ["a"]))
+        np.testing.assert_array_equal(
+            pred.mask(table), [True, False, True, False, True, False]
+        )
+
+    def test_three_children(self, table):
+        pred = And(
+            Between("year", 1980, 2020),
+            ContainsAny("areas", ["a", "b"]),
+            Not(Equals("year", 2000)),
+        )
+        assert pred.mask(table).sum() == 3
+
+    def test_requires_two_children(self):
+        with pytest.raises(ValueError):
+            And(Equals("year", 1))
+
+    def test_matches(self, table):
+        pred = And(Equals("year", 2000), ContainsAny("areas", ["b"]))
+        assert pred.matches(table, 1)
+        assert not pred.matches(table, 4)
+
+
+class TestOr:
+    def test_mask(self, table):
+        pred = Or(Equals("year", 1990), Equals("year", 1985))
+        np.testing.assert_array_equal(
+            pred.mask(table), [True, False, False, False, False, True]
+        )
+
+    def test_requires_two_children(self):
+        with pytest.raises(ValueError):
+            Or(Equals("year", 1))
+
+
+class TestNot:
+    def test_mask_complement(self, table):
+        pred = Equals("year", 2000)
+        np.testing.assert_array_equal(Not(pred).mask(table), ~pred.mask(table))
+
+    def test_matches(self, table):
+        assert Not(Equals("year", 2000)).matches(table, 0)
+
+
+class TestOperatorSugar:
+    def test_and_operator(self, table):
+        combined = Equals("year", 2000) & ContainsAny("areas", ["b"])
+        assert isinstance(combined, And)
+        assert combined.mask(table).sum() == 1
+
+    def test_or_operator(self, table):
+        combined = Equals("year", 1990) | Equals("year", 1985)
+        assert isinstance(combined, Or)
+        assert combined.mask(table).sum() == 2
+
+    def test_invert_operator(self, table):
+        assert isinstance(~Equals("year", 2000), Not)
+
+
+class TestBooleanLaws:
+    def test_de_morgan(self, table):
+        a = Equals("year", 2000)
+        b = ContainsAny("areas", ["a"])
+        lhs = Not(And(a, b)).mask(table)
+        rhs = Or(Not(a), Not(b)).mask(table)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_double_negation(self, table):
+        a = Between("year", 1990, 2010)
+        np.testing.assert_array_equal(Not(Not(a)).mask(table), a.mask(table))

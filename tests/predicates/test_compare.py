@@ -1,0 +1,74 @@
+"""Unit tests for comparison predicates."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import Between, Equals, OneOf
+
+
+@pytest.fixture
+def table():
+    t = AttributeTable(6)
+    t.add_int_column("year", [1990, 2000, 2010, 2020, 2000, 1985])
+    t.add_string_column("kind", ["a", "b", "a", "c", "b", "a"])
+    t.add_keywords_column("tags", [["x"]] * 6)
+    return t
+
+
+class TestEquals:
+    def test_int_column(self, table):
+        np.testing.assert_array_equal(
+            Equals("year", 2000).mask(table),
+            [False, True, False, False, True, False],
+        )
+
+    def test_string_column(self, table):
+        assert Equals("kind", "c").mask(table).sum() == 1
+
+    def test_matches_single(self, table):
+        assert Equals("year", 1990).matches(table, 0)
+        assert not Equals("year", 1990).matches(table, 1)
+
+    def test_no_match(self, table):
+        assert Equals("year", 1234).mask(table).sum() == 0
+
+    def test_rejects_keywords_column(self, table):
+        with pytest.raises(ValueError, match="int, float, or string"):
+            Equals("tags", "x").mask(table)
+
+    def test_repr(self):
+        assert repr(Equals("year", 5)) == "Equals('year', 5)"
+
+
+class TestOneOf:
+    def test_mask(self, table):
+        got = OneOf("year", [1990, 2020]).mask(table)
+        np.testing.assert_array_equal(got, [True, False, False, True, False, False])
+
+    def test_matches(self, table):
+        assert OneOf("kind", ["a", "c"]).matches(table, 3)
+        assert not OneOf("kind", ["a", "c"]).matches(table, 1)
+
+    def test_requires_values(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OneOf("year", [])
+
+
+class TestBetween:
+    def test_inclusive_bounds(self, table):
+        got = Between("year", 2000, 2010).mask(table)
+        np.testing.assert_array_equal(got, [False, True, True, False, True, False])
+
+    def test_matches(self, table):
+        assert Between("year", 1980, 1990).matches(table, 5)
+
+    def test_single_point_range(self, table):
+        assert Between("year", 2020, 2020).mask(table).sum() == 1
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Between("year", 2020, 2000)
+
+    def test_empty_range_result(self, table):
+        assert Between("year", 2021, 2022).mask(table).sum() == 0

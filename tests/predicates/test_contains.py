@@ -1,0 +1,65 @@
+"""Unit tests for keyword containment predicates."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import ContainsAll, ContainsAny
+
+
+@pytest.fixture
+def table():
+    t = AttributeTable(5)
+    t.add_keywords_column(
+        "areas",
+        [["cardio", "onco"], ["onco"], ["neuro"], [], ["cardio", "neuro"]],
+    )
+    t.add_int_column("year", [0, 1, 2, 3, 4])
+    return t
+
+
+class TestContainsAny:
+    def test_single_keyword(self, table):
+        np.testing.assert_array_equal(
+            ContainsAny("areas", ["onco"]).mask(table),
+            [True, True, False, False, False],
+        )
+
+    def test_disjunction(self, table):
+        got = ContainsAny("areas", ["onco", "neuro"]).mask(table)
+        np.testing.assert_array_equal(got, [True, True, True, False, True])
+
+    def test_unknown_keyword(self, table):
+        assert ContainsAny("areas", ["derm"]).mask(table).sum() == 0
+
+    def test_matches_single_entity(self, table):
+        pred = ContainsAny("areas", ["cardio"])
+        assert pred.matches(table, 0)
+        assert not pred.matches(table, 3)
+
+    def test_empty_list_entity_never_passes(self, table):
+        pred = ContainsAny("areas", ["cardio", "onco", "neuro"])
+        assert not pred.mask(table)[3]
+
+    def test_requires_keywords(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ContainsAny("areas", [])
+
+    def test_requires_keywords_column(self, table):
+        with pytest.raises(ValueError, match="keywords column"):
+            ContainsAny("year", ["x"]).mask(table)
+
+
+class TestContainsAll:
+    def test_conjunction(self, table):
+        got = ContainsAll("areas", ["cardio", "onco"]).mask(table)
+        np.testing.assert_array_equal(got, [True, False, False, False, False])
+
+    def test_single_equals_any(self, table):
+        any_mask = ContainsAny("areas", ["neuro"]).mask(table)
+        all_mask = ContainsAll("areas", ["neuro"]).mask(table)
+        np.testing.assert_array_equal(any_mask, all_mask)
+
+    def test_requires_keywords(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ContainsAll("areas", [])

@@ -1,0 +1,52 @@
+"""Unit tests for regex predicates."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import RegexMatch
+
+
+@pytest.fixture
+def table():
+    t = AttributeTable(4)
+    t.add_string_column(
+        "caption",
+        ["a photo of a dog", "two cats playing", "dog and cat", "a 1990 photo"],
+    )
+    t.add_int_column("year", [1, 2, 3, 4])
+    return t
+
+
+class TestRegexMatch:
+    def test_word_match(self, table):
+        np.testing.assert_array_equal(
+            RegexMatch("caption", r"\bdog\b").mask(table),
+            [True, False, True, False],
+        )
+
+    def test_anchored(self, table):
+        got = RegexMatch("caption", r"^a ").mask(table)
+        np.testing.assert_array_equal(got, [True, False, False, True])
+
+    def test_digit_class(self, table):
+        assert RegexMatch("caption", r"[0-9]{4}").mask(table).sum() == 1
+
+    def test_alternation(self, table):
+        got = RegexMatch("caption", r"(cats|1990)").mask(table)
+        assert got.sum() == 2
+
+    def test_matches_single(self, table):
+        assert RegexMatch("caption", "photo").matches(table, 0)
+        assert not RegexMatch("caption", "photo").matches(table, 1)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError, match="invalid regex"):
+            RegexMatch("caption", "[unclosed")
+
+    def test_requires_string_column(self, table):
+        with pytest.raises(ValueError, match="string column"):
+            RegexMatch("year", "x").mask(table)
+
+    def test_no_match_anywhere(self, table):
+        assert RegexMatch("caption", "zebra").mask(table).sum() == 0

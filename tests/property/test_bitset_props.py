@@ -1,0 +1,55 @@
+"""Property-based tests for the packed bitset."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes.bitset import Bitset
+
+bool_arrays = st.integers(min_value=0, max_value=200).flatmap(
+    lambda n: st.lists(st.booleans(), min_size=n, max_size=n)
+)
+
+
+@given(bool_arrays)
+def test_roundtrip(bits):
+    mask = np.asarray(bits, dtype=bool)
+    assert np.array_equal(Bitset.from_bool_array(mask).to_bool_array(), mask)
+
+
+@given(bool_arrays)
+def test_count_matches_sum(bits):
+    mask = np.asarray(bits, dtype=bool)
+    assert Bitset.from_bool_array(mask).count() == int(mask.sum())
+
+
+@given(bool_arrays)
+def test_double_invert_identity(bits):
+    mask = np.asarray(bits, dtype=bool)
+    bitset = Bitset.from_bool_array(mask)
+    assert ~~bitset == bitset
+
+
+@given(bool_arrays, st.randoms())
+def test_and_or_de_morgan(bits, rng):
+    mask_a = np.asarray(bits, dtype=bool)
+    mask_b = np.asarray([rng.random() < 0.5 for _ in bits], dtype=bool)
+    a = Bitset.from_bool_array(mask_a)
+    b = Bitset.from_bool_array(mask_b)
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+
+
+@given(bool_arrays)
+def test_invert_partitions_universe(bits):
+    mask = np.asarray(bits, dtype=bool)
+    bitset = Bitset.from_bool_array(mask)
+    assert bitset.count() + (~bitset).count() == bitset.size
+    assert (bitset & ~bitset).count() == 0
+
+
+@settings(max_examples=30)
+@given(st.sets(st.integers(min_value=0, max_value=99), max_size=40))
+def test_from_indices_roundtrip(indices):
+    bitset = Bitset.from_indices(indices, size=100)
+    assert set(bitset.indices().tolist()) == indices

@@ -1,0 +1,58 @@
+"""Property-based tests for distance kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.vectors.distance import DistanceComputer, pairwise_distances
+
+finite_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, width=32
+)
+matrices = hnp.arrays(
+    np.float32,
+    st.tuples(st.integers(2, 12), st.integers(1, 6)),
+    elements=finite_floats,
+)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_l2_symmetry(base):
+    d_ab = pairwise_distances(base, base)
+    np.testing.assert_allclose(d_ab, d_ab.T, rtol=1e-3, atol=1e-2)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_l2_identity(base):
+    d = pairwise_distances(base, base)
+    np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-2)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_l2_nonnegative(base):
+    assert (pairwise_distances(base, base) >= 0).all()
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_counter_accumulates_exactly(base):
+    computer = DistanceComputer(base)
+    total = 0
+    for take in (1, 2, base.shape[0]):
+        computer.distances_to(base[0], np.arange(take))
+        total += take
+    assert computer.count == total
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_batched_matches_single(base):
+    computer = DistanceComputer(base)
+    query = base[0] + 1.0
+    batch = computer.distances_to(query, np.arange(base.shape[0]))
+    singles = [computer.distance_one(query, i) for i in range(base.shape[0])]
+    np.testing.assert_allclose(batch, singles, rtol=1e-4, atol=1e-4)

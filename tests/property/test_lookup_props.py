@@ -1,0 +1,87 @@
+"""Property-based tests for ACORN's neighbor-lookup strategies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search import (
+    compressed_neighbors,
+    expanded_neighbors,
+    filtered_neighbors,
+    freeze_graph,
+)
+from repro.hnsw.graph import LayeredGraph
+
+
+@st.composite
+def frozen_level(draw):
+    """A random single-level adjacency plus a random predicate mask."""
+    n = draw(st.integers(2, 25))
+    graph = LayeredGraph()
+    for node in range(n):
+        graph.add_node(node, 0)
+    for node in range(n):
+        degree = draw(st.integers(0, min(6, n - 1)))
+        others = [v for v in range(n) if v != node]
+        neighbors = draw(
+            st.lists(st.sampled_from(others), min_size=degree,
+                     max_size=degree, unique=True)
+        )
+        graph.set_neighbors(node, 0, neighbors)
+    mask = np.asarray(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    return freeze_graph(graph)[0], mask
+
+
+@settings(max_examples=60)
+@given(frozen_level(), st.integers(0, 24))
+def test_all_lookup_outputs_pass_mask(world, node_pick):
+    adjacency, mask = world
+    node = node_pick % len(adjacency)
+    for out in (
+        filtered_neighbors(adjacency, node, mask),
+        compressed_neighbors(adjacency, node, mask, m_beta=2),
+        expanded_neighbors(adjacency, node, mask),
+    ):
+        assert all(mask[v] for v in out)
+        assert len(out) == len(set(out))
+
+
+@settings(max_examples=60)
+@given(frozen_level(), st.integers(0, 24))
+def test_filtered_matches_bruteforce(world, node_pick):
+    adjacency, mask = world
+    node = node_pick % len(adjacency)
+    got = filtered_neighbors(adjacency, node, mask)
+    want = [v for v in adjacency[node].tolist() if mask[v]]
+    assert got == want
+
+
+@settings(max_examples=60)
+@given(frozen_level(), st.integers(0, 24), st.integers(0, 8))
+def test_compressed_superset_of_filtered_head(world, node_pick, m_beta):
+    """Phase 1 passing entries always appear in the compressed output."""
+    adjacency, mask = world
+    node = node_pick % len(adjacency)
+    head = adjacency[node][:m_beta]
+    head_passing = [v for v in head.tolist() if mask[v]]
+    got = compressed_neighbors(adjacency, node, mask, m_beta=m_beta)
+    assert set(head_passing) <= set(got)
+
+
+@settings(max_examples=60)
+@given(frozen_level(), st.integers(0, 24))
+def test_expansion_covers_passing_two_hop(world, node_pick):
+    """ACORN-1's lookup must return exactly the passing 1-hop + 2-hop set."""
+    adjacency, mask = world
+    node = node_pick % len(adjacency)
+    got = set(expanded_neighbors(adjacency, node, mask))
+    want = set()
+    for hop in adjacency[node].tolist():
+        if mask[hop]:
+            want.add(hop)
+        for two in adjacency[hop].tolist():
+            if mask[two]:
+                want.add(two)
+    assert got == want

@@ -1,0 +1,48 @@
+"""Property-based round-trip tests for persistence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes import AttributeTable
+from repro.core import AcornIndex, AcornParams
+from repro.persistence import load_index, save_index
+from repro.predicates import Equals
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(5, 40),
+    m=st.integers(2, 5),
+    gamma=st.integers(1, 3),
+    seed=st.integers(0, 500),
+)
+def test_acorn_roundtrip_preserves_graph(tmp_path_factory, n, m, gamma, seed):
+    gen = np.random.default_rng(seed)
+    vectors = gen.standard_normal((n, 4)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("label", gen.integers(0, 3, size=n))
+    params = AcornParams(m=m, gamma=gamma, m_beta=m, ef_construction=12)
+    index = AcornIndex.build(vectors, table, params=params, seed=seed)
+
+    path = tmp_path_factory.mktemp("rt") / "index.npz"
+    save_index(index, path)
+    restored = load_index(path)
+
+    assert restored.graph.entry_point == index.graph.entry_point
+    assert restored.graph.max_level == index.graph.max_level
+    for level in range(index.graph.max_level + 1):
+        for node in index.graph.nodes_at_level(level):
+            assert restored.graph.neighbors(node, level) == (
+                index.graph.neighbors(node, level)
+            )
+            np.testing.assert_allclose(
+                restored._edge_dists[level][node],
+                index._edge_dists[level][node],
+            )
+    np.testing.assert_array_equal(restored.store.vectors, index.store.vectors)
+
+    query = gen.standard_normal(4).astype(np.float32)
+    a = index.search(query, Equals("label", 1), 5, ef_search=16)
+    b = restored.search(query, Equals("label", 1), 5, ef_search=16)
+    np.testing.assert_array_equal(a.ids, b.ids)

@@ -1,0 +1,89 @@
+"""Property-based tests for the predicate algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import And, Between, Equals, Not, OneOf, Or, TruePredicate
+
+
+@pytest.fixture(scope="module")
+def table():
+    gen = np.random.default_rng(42)
+    t = AttributeTable(300)
+    t.add_int_column("a", gen.integers(0, 10, size=300))
+    t.add_int_column("b", gen.integers(0, 5, size=300))
+    return t
+
+
+atoms = st.one_of(
+    st.integers(0, 9).map(lambda v: Equals("a", v)),
+    st.integers(0, 4).map(lambda v: Equals("b", v)),
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).map(
+        lambda p: Between("a", min(p), max(p))
+    ),
+    st.lists(st.integers(0, 9), min_size=1, max_size=3).map(
+        lambda vs: OneOf("a", vs)
+    ),
+)
+
+
+def predicates(depth=2):
+    if depth == 0:
+        return atoms
+    sub = predicates(depth - 1)
+    return st.one_of(
+        atoms,
+        st.tuples(sub, sub).map(lambda p: And(*p)),
+        st.tuples(sub, sub).map(lambda p: Or(*p)),
+        sub.map(Not),
+    )
+
+
+@settings(max_examples=60)
+@given(predicates())
+def test_matches_agrees_with_mask(table, predicate):
+    mask = predicate.mask(table)
+    sample = [0, 7, 55, 123, 299]
+    for i in sample:
+        assert predicate.matches(table, i) == bool(mask[i])
+
+
+@settings(max_examples=60)
+@given(predicates())
+def test_mask_idempotent(table, predicate):
+    np.testing.assert_array_equal(predicate.mask(table), predicate.mask(table))
+
+
+@settings(max_examples=60)
+@given(predicates())
+def test_excluded_middle(table, predicate):
+    union = Or(predicate, Not(predicate)).mask(table)
+    assert union.all()
+
+
+@settings(max_examples=60)
+@given(predicates(), predicates())
+def test_and_is_intersection(table, p, q):
+    np.testing.assert_array_equal(
+        And(p, q).mask(table), p.mask(table) & q.mask(table)
+    )
+
+
+@settings(max_examples=60)
+@given(predicates())
+def test_compiled_selectivity_consistent(table, predicate):
+    compiled = predicate.compile(table)
+    assert compiled.cardinality == int(predicate.mask(table).sum())
+    assert compiled.selectivity == pytest.approx(compiled.cardinality / 300)
+    assert compiled.passes_many(compiled.passing_ids).all()
+
+
+@settings(max_examples=30)
+@given(predicates())
+def test_and_with_true_is_identity(table, predicate):
+    np.testing.assert_array_equal(
+        And(predicate, TruePredicate()).mask(table), predicate.mask(table)
+    )

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.dataset == "sift"
+        assert args.methods == "acorn,acorn1,pre,post"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        main(["info"])
+        out = capsys.readouterr().out
+        assert "ACORN" in out
+        assert "datasets:" in out
+
+    def test_correlation_small(self, capsys):
+        main(["correlation", "--n", "300", "--queries", "10"])
+        out = capsys.readouterr().out
+        assert "pos-cor" in out and "neg-cor" in out
+
+    def test_sweep_small(self, capsys):
+        main([
+            "sweep", "--dataset", "sift", "--n", "400", "--queries", "10",
+            "--m", "8", "--gamma", "6", "--methods", "acorn,pre",
+            "--efforts", "16", "--recall-target", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert "ACORN-gamma" in out
+        assert "pre-filter" in out
+
+    def test_sweep_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main([
+                "sweep", "--dataset", "sift", "--n", "300", "--queries", "5",
+                "--methods", "magic",
+            ])

@@ -1,0 +1,62 @@
+"""Documentation contract: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ runs the CLI on import; its one-liner is covered by cli.
+    if not name.endswith("__main__")
+]
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        defined_here = getattr(member, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in _public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_") or not inspect.isfunction(attr):
+                    continue
+                if attr.__doc__ and attr.__doc__.strip():
+                    continue
+                # An override inherits its contract's docstring when a
+                # base class documents the same method (the standard
+                # Python convention — e.g. every Predicate.mask).
+                inherited = any(
+                    getattr(getattr(base, attr_name, None), "__doc__", None)
+                    for base in member.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, (
+        f"{module_name}: undocumented public items: {undocumented}"
+    )

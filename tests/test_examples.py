@@ -1,0 +1,40 @@
+"""Smoke tests: every example imports cleanly and is main-guarded.
+
+Full example runs take tens of seconds; importing them (their entry
+points are ``if __name__ == "__main__"``-guarded) catches syntax
+errors, missing imports, and API drift cheaply.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_is_guarded(path):
+    source = path.read_text()
+    assert 'if __name__ == "__main__":' in source, (
+        f"{path.name} must guard its entry point"
+    )
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # must not run main()
+    assert callable(getattr(module, "main", None)), (
+        f"{path.name} must expose a main() function"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_has_module_docstring(path):
+    source = path.read_text()
+    assert source.lstrip().startswith('"""'), (
+        f"{path.name} needs a usage docstring"
+    )

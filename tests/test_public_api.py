@@ -1,0 +1,76 @@
+"""Contract tests for the public API surface."""
+
+import numpy as np
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing {name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_key_classes_importable(self):
+        from repro import (
+            AcornIndex,
+            AcornOneIndex,
+            AcornParams,
+            AttributeTable,
+            FlatAcornIndex,
+            HnswIndex,
+            HybridSearcher,
+            load_index,
+            save_index,
+        )
+
+        assert AcornIndex and AcornOneIndex and FlatAcornIndex
+        assert AcornParams and AttributeTable and HnswIndex
+        assert HybridSearcher and load_index and save_index
+
+    def test_baselines_namespace(self):
+        from repro import baselines
+
+        for name in baselines.__all__:
+            assert hasattr(baselines, name)
+
+    def test_predicates_namespace(self):
+        from repro import predicates
+
+        for name in predicates.__all__:
+            assert hasattr(predicates, name)
+
+
+class TestDeterminism:
+    """Identical seeds must give identical indexes and results —
+    the property every benchmark and persistence test leans on."""
+
+    def _build(self):
+        from repro import AcornIndex, AcornParams, AttributeTable, Equals
+
+        gen = np.random.default_rng(99)
+        vectors = gen.standard_normal((150, 8)).astype(np.float32)
+        table = AttributeTable(150)
+        table.add_int_column("label", gen.integers(0, 3, size=150))
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24),
+            seed=7,
+        )
+        result = index.search(vectors[0], Equals("label", 1), 5, ef_search=32)
+        return index, result
+
+    def test_builds_identical(self):
+        index_a, result_a = self._build()
+        index_b, result_b = self._build()
+        assert index_a.graph.entry_point == index_b.graph.entry_point
+        for level in range(index_a.graph.max_level + 1):
+            for node in index_a.graph.nodes_at_level(level):
+                assert index_a.graph.neighbors(node, level) == (
+                    index_b.graph.neighbors(node, level)
+                )
+        np.testing.assert_array_equal(result_a.ids, result_b.ids)
+        assert result_a.distance_computations == result_b.distance_computations

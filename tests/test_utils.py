@@ -1,0 +1,43 @@
+"""Tests for shared utilities (rng helpers, timer)."""
+
+import time
+
+import numpy as np
+
+from repro.utils import Timer, default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_int_seed_deterministic(self):
+        assert default_rng(5).random() == default_rng(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic_given_seed(self):
+        first = [g.random() for g in spawn_rngs(9, 3)]
+        second = [g.random() for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for distance kernels and the computation counter."""
+
+import numpy as np
+import pytest
+
+from repro.vectors.distance import (
+    DistanceComputer,
+    Metric,
+    pairwise_distances,
+    resolve_metric,
+)
+
+
+@pytest.fixture
+def base():
+    gen = np.random.default_rng(0)
+    return gen.standard_normal((50, 8)).astype(np.float32)
+
+
+class TestResolveMetric:
+    def test_accepts_enum(self):
+        assert resolve_metric(Metric.L2) is Metric.L2
+
+    def test_accepts_string(self):
+        assert resolve_metric("cosine") is Metric.COSINE
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            resolve_metric("manhattan")
+
+
+class TestPairwiseDistances:
+    def test_l2_matches_naive(self, base):
+        queries = base[:3] + 0.1
+        got = pairwise_distances(base, queries, metric="l2")
+        want = ((queries[:, None, :] - base[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_l2_non_negative(self, base):
+        got = pairwise_distances(base, base)
+        assert (got >= 0).all()
+
+    def test_l2_self_distance_zero(self, base):
+        got = pairwise_distances(base, base)
+        np.testing.assert_allclose(np.diag(got), 0.0, atol=1e-3)
+
+    def test_inner_product_matches_naive(self, base):
+        queries = base[:3]
+        got = pairwise_distances(base, queries, metric="ip")
+        np.testing.assert_allclose(got, -(queries @ base.T), rtol=1e-5)
+
+    def test_cosine_range(self, base):
+        got = pairwise_distances(base, base[:5], metric="cosine")
+        assert (got >= -1e-5).all() and (got <= 2 + 1e-5).all()
+
+    def test_cosine_self_distance_zero(self, base):
+        got = pairwise_distances(base, base[:5], metric="cosine")
+        np.testing.assert_allclose(np.diag(got[:, :5]), 0.0, atol=1e-5)
+
+    def test_single_query_promoted(self, base):
+        got = pairwise_distances(base, base[0])
+        assert got.shape == (1, len(base))
+
+
+class TestDistanceComputer:
+    def test_rejects_non_2d_base(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DistanceComputer(np.zeros(5, dtype=np.float32))
+
+    def test_counts_batched(self, base):
+        computer = DistanceComputer(base)
+        computer.distances_to(base[0], np.arange(7))
+        assert computer.count == 7
+
+    def test_counts_single(self, base):
+        computer = DistanceComputer(base)
+        computer.distance_one(base[0], 3)
+        computer.distance_one(base[0], 4)
+        assert computer.count == 2
+
+    def test_counts_all(self, base):
+        computer = DistanceComputer(base)
+        computer.distances_to_all(base[0])
+        assert computer.count == len(base)
+
+    def test_reset(self, base):
+        computer = DistanceComputer(base)
+        computer.distances_to_all(base[0])
+        computer.reset()
+        assert computer.count == 0
+
+    def test_distances_match_pairwise(self, base):
+        computer = DistanceComputer(base)
+        ids = np.array([1, 5, 9])
+        got = computer.distances_to(base[0], ids)
+        want = pairwise_distances(base, base[0])[0][ids]
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_set_query_validates_dim(self, base):
+        computer = DistanceComputer(base)
+        with pytest.raises(ValueError, match="dim"):
+            computer.set_query(np.zeros(3))
+
+    def test_nearest_neighbor_order_preserved_cosine(self, base):
+        # Rank-preserving variants must sort identically to true metric.
+        computer = DistanceComputer(base, metric="cosine")
+        query = base[0]
+        got = computer.distances_to(query, np.arange(len(base)))
+        true = np.array([
+            1 - (query @ b) / (np.linalg.norm(query) * np.linalg.norm(b))
+            for b in base
+        ])
+        np.testing.assert_array_equal(np.argsort(got), np.argsort(true))
+
+    def test_dim_and_len(self, base):
+        computer = DistanceComputer(base)
+        assert computer.dim == 8
+        assert len(computer) == 50

@@ -1,0 +1,98 @@
+"""Unit tests for the SQ8 and PQ codecs."""
+
+import numpy as np
+import pytest
+
+from repro.vectors.quantization import ProductQuantizer, ScalarQuantizer
+
+
+@pytest.fixture(scope="module")
+def data():
+    gen = np.random.default_rng(0)
+    return gen.standard_normal((400, 16)).astype(np.float32) * 3.0
+
+
+class TestScalarQuantizer:
+    def test_roundtrip_error_bounded(self, data):
+        sq = ScalarQuantizer(data)
+        decoded = sq.decode(sq.encode(data))
+        # Max error per dimension is half a quantization step.
+        assert np.abs(decoded - data).max() <= (sq.scale.max() / 2) + 1e-5
+
+    def test_codes_are_uint8(self, data):
+        codes = ScalarQuantizer(data).encode(data)
+        assert codes.dtype == np.uint8
+
+    def test_constant_dimension(self):
+        data = np.ones((10, 3), dtype=np.float32)
+        data[:, 1] = 7.0
+        sq = ScalarQuantizer(data)
+        np.testing.assert_allclose(sq.decode(sq.encode(data)), data)
+
+    def test_asymmetric_distance_close_to_exact(self, data):
+        sq = ScalarQuantizer(data)
+        codes = sq.encode(data)
+        query = data[0] + 0.1
+        approx = sq.distances(query, codes)
+        exact = ((data - query) ** 2).sum(axis=1)
+        assert np.abs(approx - exact).mean() < 0.05 * exact.mean()
+
+    def test_distance_preserves_nn_ranking(self, data):
+        sq = ScalarQuantizer(data)
+        codes = sq.encode(data)
+        query = data[5] + 0.05
+        approx_top = np.argsort(sq.distances(query, codes))[:10]
+        exact_top = np.argsort(((data - query) ** 2).sum(axis=1))[:10]
+        assert len(set(approx_top) & set(exact_top)) >= 8
+
+    def test_code_nbytes(self, data):
+        sq = ScalarQuantizer(data)
+        assert sq.code_nbytes(100) == 100 * 16
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarQuantizer(np.empty((0, 4), dtype=np.float32))
+
+
+class TestProductQuantizer:
+    def test_code_shape_and_dtype(self, data):
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=32, seed=0)
+        codes = pq.encode(data)
+        assert codes.shape == (400, 4)
+        assert codes.dtype == np.uint8
+
+    def test_decode_reduces_error_vs_random(self, data):
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=64, seed=0)
+        decoded = pq.decode(pq.encode(data))
+        err = ((decoded - data) ** 2).sum(axis=1).mean()
+        baseline = ((data - data.mean(axis=0)) ** 2).sum(axis=1).mean()
+        assert err < baseline
+
+    def test_adc_matches_decoded_distance(self, data):
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=32, seed=0)
+        codes = pq.encode(data)
+        query = data[3]
+        adc = pq.distances(query, codes)
+        decoded = pq.decode(codes)
+        explicit = ((decoded - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, explicit, rtol=1e-3, atol=1e-2)
+
+    def test_nn_ranking_mostly_preserved(self, data):
+        pq = ProductQuantizer(data, n_subspaces=8, n_centroids=64, seed=0)
+        codes = pq.encode(data)
+        query = data[7] + 0.05
+        approx_top = set(np.argsort(pq.distances(query, codes))[:20].tolist())
+        exact_top = set(
+            np.argsort(((data - query) ** 2).sum(axis=1))[:10].tolist()
+        )
+        assert len(approx_top & exact_top) >= 5
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError, match="divide"):
+            ProductQuantizer(data, n_subspaces=5)
+        with pytest.raises(ValueError, match="n_centroids"):
+            ProductQuantizer(data, n_subspaces=4, n_centroids=500)
+
+    def test_code_nbytes(self, data):
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=16, seed=0)
+        assert pq.code_nbytes(100) == 400

@@ -1,0 +1,74 @@
+"""Unit tests for the vector store."""
+
+import numpy as np
+import pytest
+
+from repro.vectors.store import VectorStore
+
+
+class TestConstruction:
+    def test_rejects_non_positive_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            VectorStore(0)
+
+    def test_from_array(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        store = VectorStore.from_array(data)
+        assert len(store) == 3
+        np.testing.assert_array_equal(store.vectors, data)
+
+    def test_from_array_copies(self):
+        data = np.ones((2, 3), dtype=np.float32)
+        store = VectorStore.from_array(data)
+        data[0, 0] = 99.0
+        assert store.get(0)[0] == 1.0
+
+
+class TestAdd:
+    def test_returns_sequential_ids(self):
+        store = VectorStore(4)
+        assert store.add(np.zeros(4)) == 0
+        assert store.add(np.ones(4)) == 1
+
+    def test_growth_beyond_capacity(self):
+        store = VectorStore(2, capacity=1)
+        for i in range(20):
+            store.add(np.full(2, i, dtype=np.float32))
+        assert len(store) == 20
+        assert store.get(19)[0] == 19.0
+
+    def test_rejects_wrong_dim(self):
+        store = VectorStore(4)
+        with pytest.raises(ValueError, match="dim"):
+            store.add(np.zeros(5))
+
+    def test_get_out_of_range(self):
+        store = VectorStore(4)
+        store.add(np.zeros(4))
+        with pytest.raises(IndexError):
+            store.get(1)
+
+    def test_vectors_view_read_only(self):
+        store = VectorStore.from_array(np.ones((2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            store.vectors[0, 0] = 5.0
+
+
+class TestComputer:
+    def test_snapshot_excludes_later_adds(self):
+        store = VectorStore(2)
+        store.add(np.zeros(2))
+        computer = store.computer()
+        store.add(np.ones(2))
+        assert len(computer) == 1
+
+    def test_metric_propagates(self):
+        store = VectorStore(2, metric="cosine")
+        store.add(np.ones(2))
+        assert store.computer().metric.value == "cosine"
+
+
+class TestNbytes:
+    def test_matches_payload(self):
+        store = VectorStore.from_array(np.zeros((10, 8), dtype=np.float32))
+        assert store.nbytes() == 10 * 8 * 4
