@@ -19,6 +19,12 @@ Quickstart::
         vectors, table, params=AcornParams(m=16, gamma=8, m_beta=32)
     )
     result = index.search(vectors[0], Equals("price", 42), k=10)
+
+    # Batched, concurrent execution with per-query instrumentation:
+    batch = index.search_batch(
+        vectors[:8], [Equals("price", 42)] * 8, 10,
+        num_workers=4, with_stats=True,
+    )
 """
 
 from repro.attributes import AttributeTable, Bitset, InvertedIndex
@@ -30,6 +36,13 @@ from repro.core import (
     HybridSearcher,
 )
 from repro.core.params import PruningStrategy
+from repro.engine import (
+    BatchResult,
+    PredicateCache,
+    QueryBatch,
+    QueryStats,
+    SearchEngine,
+)
 from repro.datasets import (
     HybridDataset,
     HybridQuery,
@@ -64,6 +77,7 @@ __all__ = [
     "AcornParams",
     "And",
     "AttributeTable",
+    "BatchResult",
     "Between",
     "Bitset",
     "ContainsAll",
@@ -80,8 +94,12 @@ __all__ = [
     "OneOf",
     "Or",
     "Predicate",
+    "PredicateCache",
     "PruningStrategy",
+    "QueryBatch",
+    "QueryStats",
     "RegexMatch",
+    "SearchEngine",
     "SearchResult",
     "TruePredicate",
     "VectorStore",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.baselines.vamana_common import extract_equality_label, greedy_search, robust_prune
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
@@ -21,7 +22,7 @@ from repro.vectors.distance import Metric
 from repro.vectors.store import VectorStore
 
 
-class FilteredVamanaIndex:
+class FilteredVamanaIndex(BatchSearchMixin):
     """Label-filtered Vamana graph (equality predicates only).
 
     Args:

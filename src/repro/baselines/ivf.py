@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.utils.rng import default_rng
@@ -56,7 +57,7 @@ def kmeans(
     return centroids, assignments
 
 
-class IvfFlatIndex:
+class IvfFlatIndex(BatchSearchMixin):
     """Inverted-file index with exact in-cell distances.
 
     Args:
@@ -179,7 +180,7 @@ class IvfSq8Index(IvfFlatIndex):
     def _candidate_distances(self, computer, query, candidates):
         # Counted like exact distances: each candidate costs one
         # (approximate) distance evaluation.
-        computer.count += candidates.size
+        computer.add_count(candidates.size)
         return self._quantizer.distances(query, self._codes[candidates])
 
     def nbytes(self) -> int:
@@ -213,7 +214,7 @@ class IvfPqIndex(IvfFlatIndex):
         self._codes = self._quantizer.encode(self.store.vectors)
 
     def _candidate_distances(self, computer, query, candidates):
-        computer.count += candidates.size
+        computer.add_count(candidates.size)
         return self._quantizer.distances(query, self._codes[candidates])
 
     def nbytes(self) -> int:

@@ -21,6 +21,7 @@ import heapq
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.baselines.vamana_common import extract_equality_label
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
@@ -29,7 +30,7 @@ from repro.vectors.distance import Metric, pairwise_distances
 from repro.vectors.store import VectorStore
 
 
-class NhqIndex:
+class NhqIndex(BatchSearchMixin):
     """Fusion-distance KNN graph over vectors plus one equality attribute.
 
     Args:

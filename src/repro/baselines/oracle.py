@@ -16,6 +16,7 @@ from collections.abc import Callable, Hashable, Iterable
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.hnsw import HnswIndex, SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.vectors.distance import Metric
@@ -26,7 +27,7 @@ def _default_key(predicate: Predicate) -> Hashable:
     return repr(predicate)
 
 
-class OraclePartitionIndex:
+class OraclePartitionIndex(BatchSearchMixin):
     """One HNSW partition per known query predicate.
 
     Args:

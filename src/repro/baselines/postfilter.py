@@ -17,11 +17,12 @@ import math
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.hnsw import HnswIndex, SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
 
 
-class PostFilterSearcher:
+class PostFilterSearcher(BatchSearchMixin):
     """Post-filtering over an unfiltered HNSW index.
 
     Args:

@@ -13,13 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.vectors.distance import Metric
 from repro.vectors.store import VectorStore
 
 
-class PreFilterSearcher:
+class PreFilterSearcher(BatchSearchMixin):
     """Brute-force hybrid search over the predicate-passing subset."""
 
     def __init__(

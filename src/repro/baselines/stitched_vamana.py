@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attributes.table import AttributeTable
+from repro.engine.batching import BatchSearchMixin
 from repro.baselines.vamana_common import extract_equality_label, greedy_search, robust_prune
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
@@ -83,7 +84,7 @@ def build_vamana_adjacency(
     }
 
 
-class StitchedVamanaIndex:
+class StitchedVamanaIndex(BatchSearchMixin):
     """Per-label Vamana graphs stitched into one filtered index.
 
     Args:

@@ -5,18 +5,26 @@ dataset surrogates without touching pytest::
 
     python -m repro sweep --dataset sift --n 4000 --methods acorn,acorn1,pre,post
     python -m repro correlation --n 2000
+    python -m repro bench-batch --n 10000 --queries 256 --workers 4
     python -m repro info
 
-Every command prints the same text tables the benchmark harness emits.
+Every command prints the same text tables the benchmark harness emits;
+``bench-batch`` additionally appends a JSON record to
+``BENCH_engine.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
 import repro
+from repro.attributes import AttributeTable
 from repro.baselines import PostFilterSearcher, PreFilterSearcher
 from repro.core import AcornIndex, AcornOneIndex, AcornParams
 from repro.datasets import (
@@ -26,8 +34,10 @@ from repro.datasets import (
     make_tripclick_like,
     query_correlation,
 )
-from repro.eval import SweepRunner, render_sweeps
+from repro.engine import QueryBatch, SearchEngine
+from repro.eval import SweepRunner, percentile_summary, render_sweeps
 from repro.hnsw import HnswIndex
+from repro.predicates import RegexMatch
 from repro.utils.timer import Timer
 
 DATASETS = {
@@ -108,6 +118,121 @@ def _cmd_correlation(args: argparse.Namespace) -> None:
               f"{dataset.selectivities().mean():.3f}  C={c:+10.2f}")
 
 
+_BENCH_VOCAB = [
+    "amber", "basalt", "cedar", "delta", "ember", "fjord", "garnet",
+    "harbor", "indigo", "juniper", "krypton", "lagoon", "meadow",
+    "nimbus", "onyx", "prairie", "quartz", "russet", "sierra", "tundra",
+    "umber", "violet", "willow", "xenon", "yarrow", "zephyr",
+]
+
+
+def _make_bench_world(n: int, dim: int, n_queries: int, distinct: int,
+                      seed: int):
+    """Synthetic serving workload: clustered vectors, caption column,
+    and a query stream cycling through ``distinct`` regex predicates."""
+    gen = np.random.default_rng(seed)
+    centers = gen.standard_normal((16, dim)).astype(np.float32)
+    assign = gen.integers(0, 16, size=n)
+    vectors = (centers[assign]
+               + 0.35 * gen.standard_normal((n, dim))).astype(np.float32)
+    captions = [
+        " ".join(gen.choice(_BENCH_VOCAB, size=8, replace=False))
+        for _ in range(n)
+    ]
+    table = AttributeTable(n)
+    table.add_string_column("caption", captions)
+    words = list(gen.choice(_BENCH_VOCAB, size=distinct, replace=False))
+    predicates = [
+        RegexMatch("caption", rf"\b{words[i % distinct]}\b")
+        for i in range(n_queries)
+    ]
+    queries = vectors[gen.choice(n, size=n_queries, replace=False)].copy()
+    return vectors, table, queries, predicates
+
+
+def _cmd_bench_batch(args: argparse.Namespace) -> None:
+    print(f"generating serving workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries}, {args.distinct_predicates} distinct "
+          "regex predicates)...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params, seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}) "
+          f"in {t.elapsed:.1f}s")
+    index.freeze()
+
+    # Baseline: the pre-engine serving path — one query at a time, each
+    # call re-materializing its predicate mask.
+    with Timer() as t:
+        seq_results = [
+            index.search(q, p, args.k, ef_search=args.ef)
+            for q, p in zip(queries, predicates)
+        ]
+    seq_qps = len(queries) / t.elapsed
+
+    batch = QueryBatch.build(queries, predicates, k=args.k,
+                             ef_search=args.ef)
+    outcomes = {}
+    for workers in sorted({1, args.workers}):
+        with SearchEngine(index, num_workers=workers) as engine:
+            with Timer() as t:
+                outcome = engine.search_batch(batch)
+            outcomes[workers] = (outcome, len(queries) / t.elapsed)
+
+    outcome, engine_qps = outcomes[args.workers]
+    for seq, bat in zip(seq_results, outcome.results):
+        if not np.array_equal(seq.ids, bat.ids):
+            raise SystemExit("engine results diverged from sequential loop")
+    latency = percentile_summary(s.wall_time_s for s in outcome.stats)
+    ncomp = percentile_summary(s.distance_computations for s in outcome.stats)
+    speedup = engine_qps / seq_qps
+
+    print(f"\nsequential loop     : {seq_qps:10.1f} qps")
+    for workers, (_, qps) in sorted(outcomes.items()):
+        print(f"engine, {workers:2d} worker(s) : {qps:10.1f} qps "
+              f"({qps / seq_qps:.2f}x)")
+    print(f"cache               : {outcome.cache_hits} hits / "
+          f"{outcome.cache_misses} misses")
+    print(f"latency p50/p95/p99 : {latency.p50 * 1e3:.2f} / "
+          f"{latency.p95 * 1e3:.2f} / {latency.p99 * 1e3:.2f} ms")
+    print(f"distance comps p50  : {ncomp.p50:.0f} per query")
+
+    entry = {
+        "bench": "engine-batch",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": args.ef,
+        "index": "acorn-gamma",
+        "m": args.m,
+        "gamma": args.gamma,
+        "distinct_predicates": args.distinct_predicates,
+        "workers": args.workers,
+        "sequential_qps": round(seq_qps, 2),
+        "engine_qps_by_workers": {
+            str(w): round(qps, 2) for w, (_, qps) in outcomes.items()
+        },
+        "engine_qps": round(engine_qps, 2),
+        "speedup_vs_sequential": round(speedup, 3),
+        "latency_s": dataclasses.asdict(latency),
+        "distance_computations": dataclasses.asdict(ncomp),
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
+    }
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"\nrecorded entry in {out} "
+          f"(speedup vs sequential: {speedup:.2f}x)")
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -142,6 +267,23 @@ def build_parser() -> argparse.ArgumentParser:
     corr.add_argument("--queries", type=int, default=40)
     corr.add_argument("--seed", type=int, default=3)
     corr.set_defaults(func=_cmd_correlation)
+
+    bench = sub.add_parser(
+        "bench-batch",
+        help="batched-engine throughput vs a sequential search loop",
+    )
+    bench.add_argument("--n", type=int, default=10000)
+    bench.add_argument("--queries", type=int, default=256)
+    bench.add_argument("--dim", type=int, default=32)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--m", type=int, default=12)
+    bench.add_argument("--gamma", type=int, default=12)
+    bench.add_argument("--ef", type=int, default=32)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--distinct-predicates", type=int, default=8)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_engine.json")
+    bench.set_defaults(func=_cmd_bench_batch)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

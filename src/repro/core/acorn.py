@@ -22,21 +22,24 @@ from repro.attributes.table import AttributeTable
 from repro.core import construction as cons
 from repro.core.params import AcornParams, PruningStrategy
 from repro.core.search import (
+    FrozenLevel,
+    assert_frozen,
     compressed_neighbors,
     expanded_neighbors,
     filtered_neighbors,
     freeze_graph,
 )
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.hnsw import SearchResult
 from repro.hnsw.levels import LevelGenerator
-from repro.hnsw.traversal import search_layer
+from repro.hnsw.traversal import TraversalStats, search_layer
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.vectors.distance import DistanceComputer, Metric
 from repro.vectors.store import VectorStore
 
 
-class AcornIndex:
+class AcornIndex(BatchSearchMixin):
     """ACORN-γ: a predicate-agnostic hybrid-search index.
 
     Args:
@@ -292,6 +295,19 @@ class AcornIndex:
             self._frozen = freeze_graph(self.graph)
         return self._frozen
 
+    def freeze(self) -> list[FrozenLevel]:
+        """Materialize (and cache) the read-only adjacency snapshot.
+
+        The batch engine calls this before fanning a batch across
+        threads so every worker shares one immutable snapshot instead of
+        racing to build it.  The snapshot honours the
+        :func:`~repro.core.search.freeze_graph` immutability contract
+        (verified here); it is invalidated by :meth:`add`.
+        """
+        frozen = self._adjacency()
+        assert_frozen(frozen)
+        return frozen
+
     def _neighbor_fn(self, level: int, mask: np.ndarray):
         """The per-level neighbor-lookup strategy for ACORN-γ.
 
@@ -340,14 +356,17 @@ class AcornIndex:
             mask = mask.copy()
             mask[list(self._deleted)] = False
 
+        tstats = TraversalStats()
         entry = self.graph.entry_point if entry_point is None else entry_point
         best = (computer.distance_one(query, entry), entry)
+        tstats.visited += 1
         for lev in range(self.graph.node_level(entry), 0, -1):
             visited = np.zeros(len(self.store), dtype=bool)
             visited[best[1]] = True
             found = search_layer(
                 computer, query, [best], ef=1,
                 neighbor_fn=self._neighbor_fn(lev, mask), visited=visited,
+                stats=tstats,
             )
             best = found[0]
 
@@ -355,9 +374,11 @@ class AcornIndex:
         visited = np.zeros(len(self.store), dtype=bool)
         for _, seed_node in entry_points:
             visited[seed_node] = True
+        tstats.visited += len(entry_points)
         found = search_layer(
             computer, query, entry_points, ef=max(ef_search, k),
             neighbor_fn=self._neighbor_fn(0, mask), visited=visited,
+            stats=tstats,
         )
         # Seeds may fail the predicate (the fixed entry point need not
         # pass); every expanded node passed the filter, so one final
@@ -367,6 +388,8 @@ class AcornIndex:
             np.asarray([nid for _, nid in passing], dtype=np.intp),
             np.asarray([dist for dist, _ in passing], dtype=np.float32),
             computer.count,
+            hops=tstats.hops,
+            visited_nodes=tstats.visited,
         )
 
     def _bottom_seeds(
@@ -385,34 +408,9 @@ class AcornIndex:
         """
         return seeds
 
-    def search_batch(
-        self,
-        queries: np.ndarray,
-        predicates,
-        k: int,
-        ef_search: int = 64,
-    ) -> list[SearchResult]:
-        """Answer many hybrid queries.
-
-        Args:
-            queries: (q, dim) query matrix.
-            predicates: one predicate per query, or a single predicate
-                shared by all queries (compiled once).
-        """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if isinstance(predicates, (Predicate, CompiledPredicate)):
-            predicates = [self._compile(predicates)] * queries.shape[0]
-        else:
-            predicates = list(predicates)
-            if len(predicates) != queries.shape[0]:
-                raise ValueError(
-                    f"{queries.shape[0]} queries but {len(predicates)} "
-                    "predicates"
-                )
-        return [
-            self.search(query, predicate, k, ef_search=ef_search)
-            for query, predicate in zip(queries, predicates)
-        ]
+    # ``search_batch`` comes from BatchSearchMixin: batches run through
+    # repro.engine (predicate-mask caching, optional thread fan-out,
+    # per-query QueryStats) and return list[SearchResult] as before.
 
     def _compile(self, predicate: "Predicate | CompiledPredicate") -> CompiledPredicate:
         if isinstance(predicate, CompiledPredicate):

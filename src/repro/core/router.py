@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.baselines.prefilter import PreFilterSearcher
 from repro.core.acorn import AcornIndex
+from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.predicates.selectivity import ExactSelectivityEstimator, SelectivityEstimator
@@ -49,7 +50,7 @@ class QueryPlan:
     estimated_distance_computations: float
 
 
-class HybridSearcher:
+class HybridSearcher(BatchSearchMixin):
     """ACORN index + selectivity estimator + pre-filter fall-back.
 
     This is the complete system a downstream user deploys: build once,
@@ -57,6 +58,12 @@ class HybridSearcher:
     ``s_min = 1/γ`` are answered by brute-force pre-filtering (cheap and
     exact at that selectivity); everything else traverses the ACORN
     graph.
+
+    Batches (``search_batch``, via :class:`BatchSearchMixin`) route
+    each query independently.  Under a multi-worker batch,
+    ``last_decision`` reflects *some* query of the batch — it is a
+    single diagnostic slot, not a per-query log; use the engine's
+    ``QueryStats`` for per-query telemetry.
     """
 
     def __init__(
@@ -111,36 +118,17 @@ class HybridSearcher:
             return self.prefilter.search(query, source, k)
         return self.index.search(query, source, k, ef_search=ef_search)
 
-    def search_batch(
-        self,
-        queries: np.ndarray,
-        predicates,
-        k: int,
-        ef_search: int = 64,
-    ) -> list[SearchResult]:
-        """Answer many hybrid queries, routing each independently.
+    def freeze(self):
+        """Freeze the wrapped index's adjacency snapshot (engine hook).
 
-        Args:
-            queries: (q, dim) query matrix.
-            predicates: one predicate per query, or a single predicate
-                shared by all (compiled once against the index's table).
+        Lets the batch engine materialize the read-only snapshot once
+        before fanning a batch across threads, even when some queries
+        route to the pre-filter path.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if isinstance(predicates, (Predicate, CompiledPredicate)):
-            if not isinstance(predicates, CompiledPredicate):
-                predicates = predicates.compile(self.index.table)
-            predicates = [predicates] * queries.shape[0]
-        else:
-            predicates = list(predicates)
-            if len(predicates) != queries.shape[0]:
-                raise ValueError(
-                    f"{queries.shape[0]} queries but {len(predicates)} "
-                    "predicates"
-                )
-        return [
-            self.search(query, predicate, k, ef_search=ef_search)
-            for query, predicate in zip(queries, predicates)
-        ]
+        return self.index.freeze()
+
+    # ``search_batch`` comes from BatchSearchMixin: each query is
+    # routed independently through the batch engine.
 
     def explain(self, predicate: "Predicate | CompiledPredicate") -> QueryPlan:
         """Preview routing and cost for a predicate without searching.

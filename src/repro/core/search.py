@@ -42,16 +42,43 @@ FrozenLevel = dict[int, np.ndarray]
 
 
 def freeze_graph(graph: LayeredGraph) -> list[FrozenLevel]:
-    """Snapshot each level's adjacency as int64 arrays for fast masking."""
+    """Snapshot each level's adjacency as read-only int64 arrays.
+
+    Immutability contract: the returned arrays are marked
+    non-writeable, so any attempted in-place mutation raises a numpy
+    ``ValueError``.  Frozen snapshots are shared by every concurrent
+    reader of the batch engine (``repro.engine``); code that needs to
+    change the graph must mutate the live :class:`LayeredGraph` and
+    re-freeze (``AcornIndex.add`` invalidates the cached snapshot),
+    never write through a frozen level.  :func:`assert_frozen` checks
+    the contract.
+    """
     frozen: list[FrozenLevel] = []
     for level in range(graph.max_level + 1):
-        frozen.append(
-            {
-                node: np.asarray(graph.neighbors(node, level), dtype=np.int64)
-                for node in graph.nodes_at_level(level)
-            }
-        )
+        level_adjacency: FrozenLevel = {}
+        for node in graph.nodes_at_level(level):
+            arr = np.asarray(graph.neighbors(node, level), dtype=np.int64)
+            arr.setflags(write=False)
+            level_adjacency[node] = arr
+        frozen.append(level_adjacency)
     return frozen
+
+
+def assert_frozen(frozen: list[FrozenLevel]) -> None:
+    """Assert every adjacency array in ``frozen`` is non-writeable.
+
+    Raises:
+        AssertionError: if any level holds a writeable array — i.e. the
+            snapshot was built outside :func:`freeze_graph` or someone
+            flipped the write flag back on.
+    """
+    for level, adjacency in enumerate(frozen):
+        for node, arr in adjacency.items():
+            assert not arr.flags.writeable, (
+                f"frozen adjacency for node {node} at level {level} is "
+                "writeable; snapshots shared across search threads must "
+                "be immutable"
+            )
 
 
 def filtered_neighbors(

@@ -1,0 +1,107 @@
+"""LRU cache for compiled-predicate bitmasks.
+
+Real hybrid-search workloads repeat predicates heavily (the same
+category filter arrives thousands of times an hour), yet compiling a
+predicate materializes an O(n) boolean mask over the whole table —
+for string/regex predicates that is a full Python-level column scan.
+The batch engine therefore caches compiled masks keyed by a stable
+*predicate fingerprint*; a hit skips mask materialization entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+
+from repro.attributes.table import AttributeTable
+from repro.predicates.base import CompiledPredicate, Predicate
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheInfo:
+    """A point-in-time snapshot of cache effectiveness counters.
+
+    Attributes:
+        hits: lookups answered from the cache.
+        misses: lookups that had to compile a mask.
+        size: entries currently cached.
+        capacity: maximum entries before LRU eviction.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class PredicateCache:
+    """Thread-safe LRU cache of :class:`CompiledPredicate` masks.
+
+    Keys are :meth:`Predicate.fingerprint` strings, so two structurally
+    identical predicate objects share one cached mask.  Entries whose
+    mask length no longer matches the table (the table grew) are treated
+    as misses and recompiled, which keeps a long-lived cache correct
+    across snapshot generations.
+
+    Args:
+        capacity: maximum cached masks; least-recently-used entries are
+            evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CompiledPredicate]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(
+        self, predicate: Predicate, table: AttributeTable
+    ) -> tuple[CompiledPredicate, bool]:
+        """Return ``(compiled, was_hit)`` for ``predicate`` over ``table``.
+
+        Mask materialization happens outside the lock, so a slow compile
+        never blocks concurrent lookups of other predicates.
+        """
+        key = predicate.fingerprint()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None and len(cached) == len(table):
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached, True
+            self._misses += 1
+        compiled = predicate.compile(table)
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return compiled, False
+
+    def clear(self) -> None:
+        """Drop every cached mask (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/size counters as a :class:`CacheInfo`."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,340 @@
+"""Concurrent batched query execution over frozen index snapshots.
+
+The serving-side counterpart of the index structures: a
+:class:`SearchEngine` takes a :class:`QueryBatch` of (vector, predicate)
+queries, compiles predicates once through an LRU bitmask cache, freezes
+the underlying index's adjacency snapshot, and fans the queries across a
+``ThreadPoolExecutor``.  Results come back in submission order — byte
+identical to a sequential loop — with one
+:class:`~repro.engine.instrumentation.QueryStats` record per query and
+batch-level p50/p95/p99 summaries.
+
+Any searcher exposing ``search(query, predicate, k, ef_search=...) ->
+SearchResult`` works: the ACORN indices, the router, and every baseline.
+Thread safety rests on two invariants established elsewhere:
+
+- adjacency snapshots are frozen read-only arrays
+  (:func:`repro.core.search.freeze_graph`'s immutability contract);
+- distance counting is lock-protected
+  (:class:`repro.vectors.distance.DistanceComputer`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.engine.cache import CacheInfo, PredicateCache
+from repro.engine.instrumentation import QueryStats
+from repro.hnsw.hnsw import SearchResult
+from repro.predicates.base import CompiledPredicate, Predicate
+
+
+def resolve_table(searcher):
+    """Find the attribute table a searcher compiles predicates against.
+
+    Checks ``searcher.table`` first, then ``searcher.index.table`` (the
+    router's shape).  Returns None when the searcher carries no table —
+    such engines only accept pre-compiled predicates.
+    """
+    table = getattr(searcher, "table", None)
+    if table is not None:
+        return table
+    return getattr(getattr(searcher, "index", None), "table", None)
+
+
+@dataclasses.dataclass
+class QueryBatch:
+    """An ordered batch of hybrid queries sharing one K and ef_search.
+
+    Attributes:
+        queries: (q, dim) float32 query matrix.
+        predicates: one predicate (raw or compiled) per query row.
+        k: neighbors requested per query.
+        ef_search: search-effort knob forwarded to the searcher.
+    """
+
+    queries: np.ndarray
+    predicates: list
+    k: int
+    ef_search: int = 64
+
+    @classmethod
+    def build(cls, queries, predicates, k: int, ef_search: int = 64) -> "QueryBatch":
+        """Normalize raw inputs into a validated batch.
+
+        Args:
+            queries: (q, dim) matrix, a single vector, or an empty
+                sequence (the empty batch).
+            predicates: one predicate per query, or a single predicate
+                broadcast to every query (the engine's cache then
+                materializes its mask exactly once).
+            k: neighbors per query (must be positive).
+            ef_search: search-effort knob.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.size == 0:
+            queries = queries.reshape(0, queries.shape[-1] if queries.ndim >= 2 else 0)
+        else:
+            queries = np.atleast_2d(queries)
+        if isinstance(predicates, (Predicate, CompiledPredicate)):
+            predicates = [predicates] * queries.shape[0]
+        else:
+            predicates = list(predicates)
+            if len(predicates) != queries.shape[0]:
+                raise ValueError(
+                    f"{queries.shape[0]} queries but {len(predicates)} "
+                    "predicates"
+                )
+        return cls(
+            queries=queries,
+            predicates=predicates,
+            k=int(k),
+            ef_search=int(ef_search),
+        )
+
+    def __len__(self) -> int:
+        return int(self.queries.shape[0])
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Everything one batch execution produced, in submission order.
+
+    Attributes:
+        results: one :class:`SearchResult` per query, ordered by query
+            index regardless of thread completion order.
+        stats: one :class:`QueryStats` per query, same order.
+        wall_time_s: wall-clock seconds for the whole batch (compile +
+            fan-out + gather).
+        num_workers: worker threads the batch actually used.
+    """
+
+    results: list[SearchResult]
+    stats: list[QueryStats]
+    wall_time_s: float
+    num_workers: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    @property
+    def total_distance_computations(self) -> int:
+        """Sum of per-query distance computations across the batch."""
+        return sum(s.distance_computations for s in self.stats)
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries whose predicate mask was served from cache."""
+        return sum(1 for s in self.stats if s.predicate_cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries whose predicate mask had to be materialized."""
+        return len(self.stats) - self.cache_hits
+
+    @property
+    def qps(self) -> float:
+        """Batch throughput in queries per second."""
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return len(self.results) / self.wall_time_s
+
+    def summary(self) -> dict:
+        """Batch-level aggregation of the per-query instrumentation.
+
+        Returns a JSON-serializable dict with latency and
+        distance-computation percentiles (p50/p95/p99 via
+        :func:`repro.eval.stats.percentile_summary`), throughput, and
+        cache effectiveness.
+        """
+        from repro.eval.stats import percentile_summary
+
+        latency = percentile_summary(s.wall_time_s for s in self.stats)
+        ncomp = percentile_summary(
+            s.distance_computations for s in self.stats
+        )
+        return {
+            "queries": len(self.results),
+            "num_workers": self.num_workers,
+            "wall_time_s": self.wall_time_s,
+            "qps": self.qps,
+            "latency_s": dataclasses.asdict(latency),
+            "distance_computations": dataclasses.asdict(ncomp),
+            "total_distance_computations": self.total_distance_computations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class SearchEngine:
+    """Batched, concurrent query execution over one searcher.
+
+    The engine owns a worker pool and a predicate cache; one engine per
+    served index is the intended deployment shape.  Execution is
+    deterministic: for a fixed searcher and batch, results are byte
+    identical for any ``num_workers`` (queries never share mutable
+    state — the adjacency snapshot is frozen, each search binds its own
+    distance computer, and compiled masks are read-only inputs).
+
+    Args:
+        searcher: any object exposing ``search(query, predicate, k,
+            ef_search=...) -> SearchResult``.
+        num_workers: worker threads for batch fan-out; ``None`` or 1
+            runs queries inline on the calling thread.
+        cache_size: LRU capacity of the compiled-predicate cache.
+        table: attribute table for predicate compilation; defaults to
+            the searcher's own table (``searcher.table`` or
+            ``searcher.index.table``).
+    """
+
+    def __init__(
+        self,
+        searcher,
+        num_workers: int | None = None,
+        cache_size: int = 64,
+        table=None,
+    ) -> None:
+        self.searcher = searcher
+        self.num_workers = 1 if num_workers is None else max(int(num_workers), 1)
+        self.table = table if table is not None else resolve_table(searcher)
+        self.cache = PredicateCache(cache_size)
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-engine",
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def search_batch(
+        self,
+        batch,
+        predicates=None,
+        k: int | None = None,
+        ef_search: int = 64,
+    ) -> BatchResult:
+        """Execute a batch; returns results in submission order.
+
+        Accepts either a prebuilt :class:`QueryBatch` or the raw pieces
+        (``queries, predicates, k, ef_search``) which are normalized via
+        :meth:`QueryBatch.build`.
+        """
+        if not isinstance(batch, QueryBatch):
+            if k is None:
+                raise ValueError(
+                    "k is required when passing raw queries/predicates"
+                )
+            batch = QueryBatch.build(batch, predicates, k=k, ef_search=ef_search)
+
+        start = time.perf_counter()
+        # Materialize the frozen snapshot up front so worker threads
+        # share one immutable adjacency instead of racing to build it.
+        freeze = getattr(self.searcher, "freeze", None)
+        if callable(freeze):
+            freeze()
+        compiled, hit_flags = self._compile_predicates(batch.predicates)
+
+        if len(batch) == 0:
+            return BatchResult(
+                results=[], stats=[],
+                wall_time_s=time.perf_counter() - start,
+                num_workers=self.num_workers,
+            )
+
+        def run_one(index: int) -> tuple[SearchResult, QueryStats]:
+            begin = time.perf_counter()
+            result = self.searcher.search(
+                batch.queries[index], compiled[index], batch.k,
+                ef_search=batch.ef_search,
+            )
+            elapsed = time.perf_counter() - begin
+            stats = QueryStats(
+                query_index=index,
+                distance_computations=int(result.distance_computations),
+                hops=int(getattr(result, "hops", 0)),
+                visited_nodes=int(getattr(result, "visited_nodes", 0)),
+                predicate_cache_hit=hit_flags[index],
+                wall_time_s=elapsed,
+            )
+            return result, stats
+
+        if self.num_workers == 1 or len(batch) == 1:
+            pairs = [run_one(i) for i in range(len(batch))]
+        else:
+            # executor.map yields in submission order, so result
+            # ordering is deterministic whatever the completion order.
+            pairs = list(self._executor().map(run_one, range(len(batch))))
+
+        return BatchResult(
+            results=[result for result, _ in pairs],
+            stats=[stats for _, stats in pairs],
+            wall_time_s=time.perf_counter() - start,
+            num_workers=self.num_workers,
+        )
+
+    def _compile_predicates(self, predicates) -> tuple[list, list]:
+        """Compile each predicate through the LRU cache (main thread).
+
+        Pre-compiled predicates pass through untouched and count as
+        cache hits (no mask materialization happened on their behalf).
+        """
+        compiled: list[CompiledPredicate] = []
+        hit_flags: list[bool] = []
+        for predicate in predicates:
+            if isinstance(predicate, CompiledPredicate):
+                compiled.append(predicate)
+                hit_flags.append(True)
+                continue
+            if self.table is None:
+                raise ValueError(
+                    "engine has no attribute table to compile predicates "
+                    "against; pass CompiledPredicate inputs or table="
+                )
+            mask, was_hit = self.cache.get_or_compile(predicate, self.table)
+            compiled.append(mask)
+            hit_flags.append(was_hit)
+        return compiled, hit_flags
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size counters of the predicate cache."""
+        return self.cache.info()

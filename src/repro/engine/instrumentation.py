@@ -1,0 +1,45 @@
+"""Per-query telemetry emitted by the batch engine.
+
+Each query answered through :class:`~repro.engine.engine.SearchEngine`
+yields one :class:`QueryStats` record: the paper's hardware-independent
+cost measure (distance computations, Table 3), the traversal shape
+(hops, visited nodes), predicate-cache behaviour, and wall-time.  Batch
+summaries aggregate these into p50/p95/p99 percentiles via
+:func:`repro.eval.stats.percentile_summary`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryStats:
+    """Instrumentation for one query executed by the batch engine.
+
+    Attributes:
+        query_index: position of the query in its batch (results and
+            stats lists are both ordered by this index).
+        distance_computations: distances evaluated answering this query
+            — identical to ``SearchResult.distance_computations`` and to
+            the delta of the global distance tally for a lone query.
+        hops: graph nodes expanded during traversal (0 for flat scans).
+        visited_nodes: visited-set insertions during traversal (0 for
+            flat scans).
+        predicate_cache_hit: True when the query's predicate mask came
+            from the engine's LRU cache (or was supplied pre-compiled);
+            False when the engine had to materialize the mask.
+        wall_time_s: wall-clock seconds spent inside the underlying
+            ``search`` call, measured on the worker thread.
+    """
+
+    query_index: int
+    distance_computations: int
+    hops: int
+    visited_nodes: int
+    predicate_cache_hit: bool
+    wall_time_s: float
+
+    def to_dict(self) -> dict:
+        """The record as a plain JSON-serializable dict."""
+        return dataclasses.asdict(self)

@@ -39,6 +39,7 @@ def sweeps_to_record(
                         "mean_latency_s": p.mean_latency_s,
                         "p50_latency_s": p.p50_latency_s,
                         "p95_latency_s": p.p95_latency_s,
+                        "p99_latency_s": p.p99_latency_s,
                     }
                     for p in sweep.points
                 ],

@@ -6,6 +6,15 @@ the graph methods, L for the Vamana family, nprobe for IVF; §7.2).
 :class:`SweepRunner` reproduces that protocol for any object exposing
 ``search(query, predicate, k, ef_search=...) -> SearchResult``.
 
+Every operating point executes through the batch engine
+(:class:`repro.engine.SearchEngine`), so per-query costs come from the
+engine's ``QueryStats`` instrumentation — in particular, Table 3's
+distance-computation counts are read from ``QueryStats`` rather than
+re-derived from raw results — and latency percentiles use the shared
+:func:`repro.eval.stats.percentile_summary` aggregation.  A
+``num_workers`` knob turns the same sweep into a concurrent-throughput
+measurement.
+
 Because pure-Python wall-clock QPS also measures interpreter overhead,
 each sweep point additionally records mean *distance computations per
 query* — the paper's own dominant-cost model (§3.2) — and comparative
@@ -22,7 +31,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.datasets.base import HybridDataset
+from repro.engine.engine import QueryBatch, SearchEngine
 from repro.eval.metrics import recall_at_k
+from repro.eval.stats import percentile_summary
 
 
 @dataclasses.dataclass
@@ -36,6 +47,7 @@ class SweepPoint:
     mean_latency_s: float
     p50_latency_s: float = 0.0
     p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
 
 
 @dataclasses.dataclass
@@ -50,13 +62,14 @@ class MethodSweep:
         ready for external plotting tools."""
         lines = [
             "method,effort,recall,qps,mean_distance_computations,"
-            "mean_latency_s,p50_latency_s,p95_latency_s"
+            "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s"
         ]
         for p in self.points:
             lines.append(
                 f"{self.method},{p.effort},{p.recall:.6f},{p.qps:.3f},"
                 f"{p.mean_distance_computations:.2f},{p.mean_latency_s:.6f},"
-                f"{p.p50_latency_s:.6f},{p.p95_latency_s:.6f}"
+                f"{p.p50_latency_s:.6f},{p.p95_latency_s:.6f},"
+                f"{p.p99_latency_s:.6f}"
             )
         return "\n".join(lines)
 
@@ -87,13 +100,26 @@ class SweepRunner:
     Predicates are compiled once per workload and shared across methods
     and sweep points, so curves differ only in search behaviour (the
     paper's baselines likewise amortize filter bitmaps; §7.2).
+
+    Args:
+        dataset: the hybrid workload to sweep.
+        k: neighbors per query.
+        num_workers: engine worker threads per operating point; the
+            default 1 preserves the paper's single-threaded QPS
+            semantics, higher values measure concurrent throughput.
     """
 
-    def __init__(self, dataset: HybridDataset, k: int = 10) -> None:
+    def __init__(
+        self, dataset: HybridDataset, k: int = 10, num_workers: int = 1
+    ) -> None:
         self.dataset = dataset
         self.k = int(k)
+        self.num_workers = int(num_workers)
         self.ground_truth = dataset.ground_truth(self.k)
         self.compiled = dataset.compiled_predicates()
+        self._query_matrix = np.stack(
+            [np.asarray(q.vector, dtype=np.float32) for q in dataset.queries]
+        )
 
     def sweep(
         self,
@@ -106,29 +132,32 @@ class SweepRunner:
         return MethodSweep(method=method_name, points=points)
 
     def run_point(self, searcher, effort: int) -> SweepPoint:
-        """Measure one operating point (all queries once)."""
-        recalls: list[float] = []
-        ncomps: list[int] = []
-        latencies: list[float] = []
+        """Measure one operating point (all queries once, via the engine)."""
+        batch = QueryBatch.build(
+            self._query_matrix, list(self.compiled),
+            k=self.k, ef_search=int(effort),
+        )
         start = time.perf_counter()
-        for query, predicate, gt in zip(
-            self.dataset.queries, self.compiled, self.ground_truth
-        ):
-            begin = time.perf_counter()
-            result = searcher.search(
-                query.vector, predicate, self.k, ef_search=effort
-            )
-            latencies.append(time.perf_counter() - begin)
-            recalls.append(recall_at_k(result.ids, gt, self.k))
-            ncomps.append(result.distance_computations)
+        with SearchEngine(searcher, num_workers=self.num_workers) as engine:
+            outcome = engine.search_batch(batch)
         elapsed = time.perf_counter() - start
-        n_queries = len(self.dataset.queries)
+
+        recalls = [
+            recall_at_k(result.ids, gt, self.k)
+            for result, gt in zip(outcome.results, self.ground_truth)
+        ]
+        # Table 3's cost measure comes from the engine's per-query
+        # instrumentation, not from re-reading raw results.
+        ncomps = [s.distance_computations for s in outcome.stats]
+        latency = percentile_summary(s.wall_time_s for s in outcome.stats)
+        n_queries = len(batch)
         return SweepPoint(
             effort=int(effort),
             recall=float(np.mean(recalls)),
             qps=n_queries / elapsed if elapsed > 0 else float("inf"),
             mean_distance_computations=float(np.mean(ncomps)),
             mean_latency_s=elapsed / n_queries,
-            p50_latency_s=float(np.percentile(latencies, 50)),
-            p95_latency_s=float(np.percentile(latencies, 95)),
+            p50_latency_s=latency.p50,
+            p95_latency_s=latency.p95,
+            p99_latency_s=latency.p99,
         )

@@ -1,21 +1,70 @@
-"""Graph-quality statistics for predicate subgraphs (paper Figure 13).
+"""Evaluation statistics: percentile aggregation and graph quality.
 
-Figure 13 compares ACORN-γ's predicate subgraphs against HNSW oracle
-partitions on three axes: (a) strongly connected components per level,
+Two families live here.  :func:`percentile_summary` condenses any
+per-query measure (wall-time, distance computations) into the
+p50/p95/p99 summaries the batch engine and sweep runner report —
+the per-query latency breakdowns concurrent-workload evaluations
+(NaviX, the PostgreSQL filter-agnostic study) present.
+
+The rest reproduces paper Figure 13: ACORN-γ's predicate subgraphs vs
+HNSW oracle partitions on (a) strongly connected components per level,
 (b) graph height, and (c) average out-degree after search-time
-filtering.  This module extracts a predicate subgraph from a built
-index and computes those statistics, with a dependency-free iterative
-Tarjan SCC implementation.
+filtering, with a dependency-free iterative Tarjan SCC implementation.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
 
 import numpy as np
 
 from repro.core.acorn import AcornIndex
 from repro.hnsw.hnsw import HnswIndex
+
+
+@dataclasses.dataclass(frozen=True)
+class PercentileSummary:
+    """p50/p95/p99 (plus mean and extremes) of one per-query measure.
+
+    Attributes:
+        count: number of observations summarized.
+        mean: arithmetic mean (0.0 for an empty sample).
+        p50: median.
+        p95: 95th percentile.
+        p99: 99th percentile.
+        min: smallest observation.
+        max: largest observation.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+
+def percentile_summary(values: Iterable[float]) -> PercentileSummary:
+    """Summarize per-query observations into a :class:`PercentileSummary`.
+
+    Accepts any iterable of numbers; an empty sample yields an all-zero
+    summary rather than NaNs, so callers can serialize unconditionally.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return PercentileSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+    return PercentileSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
 
 
 def strongly_connected_components(adjacency: dict[int, list[int]]) -> list[set[int]]:

@@ -29,11 +29,17 @@ class SearchResult:
         distances: matching distances (rank-preserving metric values).
         distance_computations: distances evaluated while answering, the
             paper's hardware-independent cost measure (Table 3).
+        hops: graph nodes expanded during traversal (0 for flat scans,
+            which visit no graph).
+        visited_nodes: visited-set insertions during traversal (0 for
+            flat scans).
     """
 
     ids: np.ndarray
     distances: np.ndarray
     distance_computations: int
+    hops: int = 0
+    visited_nodes: int = 0
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])

@@ -10,6 +10,7 @@ compression-expanding, or two-hop-expanding lookups (Figure 4).
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from collections.abc import Callable, Sequence
 
@@ -20,6 +21,26 @@ from repro.vectors.distance import DistanceComputer
 NeighborFn = Callable[[int], Sequence[int]]
 
 
+@dataclasses.dataclass
+class TraversalStats:
+    """Mutable per-query traversal counters filled in by ``search_layer``.
+
+    One instance is threaded through every layer traversal of a single
+    query, so the totals cover the whole descent plus the bottom-level
+    search.
+
+    Attributes:
+        hops: nodes popped from the candidate heap and expanded (graph
+            hops, summed over all levels).
+        visited: visited-set insertions (seeds plus newly discovered
+            neighbors; a node reached again on another level counts once
+            per level, matching the per-level visited arrays).
+    """
+
+    hops: int = 0
+    visited: int = 0
+
+
 def search_layer(
     computer: DistanceComputer,
     query: np.ndarray,
@@ -27,6 +48,7 @@ def search_layer(
     ef: int,
     neighbor_fn: NeighborFn,
     visited: np.ndarray,
+    stats: TraversalStats | None = None,
 ) -> list[tuple[float, int]]:
     """Best-first search on one level; returns ``ef`` nearest as (dist, id).
 
@@ -42,6 +64,7 @@ def search_layer(
             truncated per the index's lookup strategy.
         visited: boolean scratch array over all node ids, mutated in
             place; lets multi-seed callers share a visited set.
+        stats: optional per-query counters, incremented in place.
 
     Returns:
         Up to ``ef`` (distance, id) pairs sorted by ascending distance.
@@ -57,9 +80,13 @@ def search_layer(
         dist_c, current = heapq.heappop(candidates)
         if dist_c > -results[0][0] and len(results) >= ef:
             break
+        if stats is not None:
+            stats.hops += 1
         unvisited = [v for v in neighbor_fn(current) if not visited[v]]
         if not unvisited:
             continue
+        if stats is not None:
+            stats.visited += len(unvisited)
         for node in unvisited:
             visited[node] = True
         dists = computer.distances_to(query, np.asarray(unvisited, dtype=np.intp))

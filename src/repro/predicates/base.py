@@ -39,6 +39,18 @@ class Predicate(abc.ABC):
         """Materialize this predicate over ``table`` for fast evaluation."""
         return CompiledPredicate(self, self.mask(table))
 
+    def fingerprint(self) -> str:
+        """Stable identity key for compiled-mask caching.
+
+        Two predicates with equal fingerprints must produce identical
+        masks over the same table; the batch engine's LRU cache keys on
+        this.  The default derives the key from the class name and
+        ``repr`` — every predicate in this library has a canonical repr
+        that fully describes its parameters.  Subclasses whose repr is
+        lossy must override.
+        """
+        return f"{type(self).__qualname__}:{self!r}"
+
     def __and__(self, other: "Predicate") -> "Predicate":
         from repro.predicates.boolean import And
 

@@ -14,6 +14,7 @@ cheaper: ``l2`` returns squared Euclidean distance and ``cosine`` returns
 from __future__ import annotations
 
 import enum
+import threading
 
 import numpy as np
 
@@ -94,6 +95,39 @@ def pairwise_distances(
     return 1.0 - (queries @ base.T) / denom
 
 
+class _GlobalTally:
+    """Process-wide, thread-safe running total of distance evaluations.
+
+    Every :class:`DistanceComputer` reports its evaluations here in
+    addition to its own per-computer count.  The tally is monotonic —
+    per-computer :meth:`DistanceComputer.reset` calls do not rewind it —
+    so concurrency tests can assert that the tally's delta across a
+    workload equals the sum of per-query counts (a mismatch means a
+    counter increment raced and was lost).
+    """
+
+    __slots__ = ("_lock", "_total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n: int) -> None:
+        """Atomically record ``n`` distance evaluations."""
+        with self._lock:
+            self._total += int(n)
+
+    @property
+    def total(self) -> int:
+        """Total evaluations recorded since process start."""
+        with self._lock:
+            return self._total
+
+
+GLOBAL_TALLY = _GlobalTally()
+"""The process-wide distance-evaluation tally shared by all computers."""
+
+
 class DistanceComputer:
     """Batched query-to-base distances over one dataset, with counting.
 
@@ -102,6 +136,10 @@ class DistanceComputer:
     query to those base vectors.  ``count`` accumulates the number of
     individual distance evaluations, which the evaluation harness reads
     to reproduce Table 3.
+
+    Counting is thread-safe: increments go through a lock (and are
+    mirrored into :data:`GLOBAL_TALLY`), so a computer shared by the
+    concurrent batch engine never loses increments to races.
 
     Attributes:
         count: total distances computed since construction or last
@@ -115,7 +153,29 @@ class DistanceComputer:
         self.base = base
         self.metric = resolve_metric(metric)
         self._kernel = _KERNELS[self.metric]
-        self.count = 0
+        self._count_lock = threading.Lock()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Distances evaluated since construction or last :meth:`reset`."""
+        return self._count
+
+    @count.setter
+    def count(self, value: int) -> None:
+        with self._count_lock:
+            self._count = int(value)
+
+    def add_count(self, n: int) -> None:
+        """Thread-safely record ``n`` distance evaluations.
+
+        Use this instead of ``computer.count += n`` (a racy
+        read-modify-write) when accounting for evaluations performed
+        outside the computer — e.g. quantized-code distances.
+        """
+        with self._count_lock:
+            self._count += int(n)
+        GLOBAL_TALLY.add(n)
 
     @property
     def dim(self) -> int:
@@ -126,7 +186,11 @@ class DistanceComputer:
         return self.base.shape[0]
 
     def reset(self) -> None:
-        """Zero the distance-computation counter."""
+        """Zero the distance-computation counter.
+
+        Per-computer only: :data:`GLOBAL_TALLY` is monotonic and keeps
+        its running total.
+        """
         self.count = 0
 
     def set_query(self, query: np.ndarray) -> np.ndarray:
@@ -141,15 +205,15 @@ class DistanceComputer:
     def distances_to(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
         """Distances from ``query`` to base rows ``ids`` (counted)."""
         ids = np.asarray(ids, dtype=np.intp)
-        self.count += ids.size
+        self.add_count(ids.size)
         return self._kernel(self.base[ids], query)
 
     def distance_one(self, query: np.ndarray, node_id: int) -> float:
         """Distance from ``query`` to a single base row (counted)."""
-        self.count += 1
+        self.add_count(1)
         return float(self._kernel(self.base[node_id : node_id + 1], query)[0])
 
     def distances_to_all(self, query: np.ndarray) -> np.ndarray:
         """Distances from ``query`` to every base vector (counted)."""
-        self.count += self.base.shape[0]
+        self.add_count(self.base.shape[0])
         return self._kernel(self.base, query)

@@ -1,0 +1,45 @@
+"""Fixtures for the batch-engine suite.
+
+Reuses the session-scoped dataset and ACORN indexes from the top-level
+conftest and adds the baseline searchers plus a shared query/predicate
+workload, so equivalence tests can sweep every index type without
+rebuilding anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IvfFlatIndex, PostFilterSearcher, PreFilterSearcher
+from repro.predicates import Equals
+
+
+@pytest.fixture(scope="session")
+def engine_queries(small_vectors):
+    """12 query vectors sampled from the shared dataset."""
+    vectors, _ = small_vectors
+    gen = np.random.default_rng(99)
+    picks = gen.choice(vectors.shape[0], size=12, replace=False)
+    return vectors[picks].copy()
+
+
+@pytest.fixture(scope="session")
+def engine_predicates():
+    """One label-equality predicate per query, cycling all 6 labels."""
+    return [Equals("label", i % 6) for i in range(12)]
+
+
+@pytest.fixture(scope="session")
+def prefilter_searcher(small_vectors, labeled_table):
+    return PreFilterSearcher(small_vectors[0], labeled_table)
+
+
+@pytest.fixture(scope="session")
+def postfilter_searcher(hnsw_index, labeled_table):
+    return PostFilterSearcher(hnsw_index, labeled_table, max_oversearch=0.5)
+
+
+@pytest.fixture(scope="session")
+def ivf_searcher(small_vectors, labeled_table):
+    return IvfFlatIndex(small_vectors[0], labeled_table, n_clusters=16, seed=0)

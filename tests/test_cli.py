@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,6 +12,13 @@ class TestParser:
         args = build_parser().parse_args(["sweep"])
         assert args.dataset == "sift"
         assert args.methods == "acorn,acorn1,pre,post"
+
+    def test_bench_batch_defaults(self):
+        args = build_parser().parse_args(["bench-batch"])
+        assert args.n == 10000
+        assert args.queries == 256
+        assert args.workers == 4
+        assert args.out == "BENCH_engine.json"
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -41,6 +50,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ACORN-gamma" in out
         assert "pre-filter" in out
+
+    def test_bench_batch_small(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        main([
+            "bench-batch", "--n", "400", "--queries", "12", "--dim", "16",
+            "--m", "8", "--gamma", "6", "--workers", "2",
+            "--distinct-predicates", "4", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "sequential loop" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        assert entries[0]["queries"] == 12
+        assert entries[0]["cache_misses"] == 4
 
     def test_sweep_unknown_method(self):
         with pytest.raises(SystemExit, match="unknown method"):
