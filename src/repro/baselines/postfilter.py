@@ -82,6 +82,14 @@ class PostFilterSearcher(BatchSearchMixin):
             ncomp,
         )
 
+    def freeze(self):
+        """Freeze the wrapped HNSW's CSR snapshot (batch-engine hook).
+
+        Without this the engine's worker threads would race to build the
+        lazy snapshot on the first batch after construction.
+        """
+        return self.index.freeze()
+
     def nbytes(self) -> int:
         """Footprint of the wrapped HNSW index."""
         return self.index.nbytes()

@@ -6,11 +6,14 @@ dataset surrogates without touching pytest::
     python -m repro sweep --dataset sift --n 4000 --methods acorn,acorn1,pre,post
     python -m repro correlation --n 2000
     python -m repro bench-batch --n 10000 --queries 256 --workers 4
+    python -m repro bench-traversal --n 10000 --queries 128
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
 ``bench-batch`` additionally appends a JSON record to
-``BENCH_engine.json``.
+``BENCH_engine.json`` and ``bench-traversal`` to ``BENCH_traversal.json``
+(CSR kernel vs the legacy dict kernel; ``--smoke`` turns it into a CI
+regression gate).
 """
 
 from __future__ import annotations
@@ -233,6 +236,165 @@ def _cmd_bench_batch(args: argparse.Namespace) -> None:
           f"(speedup vs sequential: {speedup:.2f}x)")
 
 
+TRAVERSAL_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "workers", "smoke", "dict_kernel", "csr_kernel",
+    "hops_per_s_speedup", "single_query_speedup", "batch_qps_speedup",
+}
+
+_TRAVERSAL_KERNEL_KEYS = {
+    "p50_ms", "p99_ms", "batch_qps", "hops_per_s", "total_hops",
+    "total_seconds",
+}
+
+
+def validate_traversal_entry(entry: dict) -> None:
+    """Check one BENCH_traversal.json record against the schema.
+
+    Raises:
+        ValueError: if required keys are missing or mis-typed.  Used by
+            the CI smoke job and ``tests/test_cli.py``.
+    """
+    missing = TRAVERSAL_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-traversal entry missing keys: {sorted(missing)}")
+    for kernel in ("dict_kernel", "csr_kernel"):
+        sub = entry[kernel]
+        if not isinstance(sub, dict):
+            raise ValueError(f"{kernel} must be an object, got {type(sub)}")
+        sub_missing = _TRAVERSAL_KERNEL_KEYS - sub.keys()
+        if sub_missing:
+            raise ValueError(f"{kernel} missing keys: {sorted(sub_missing)}")
+        for key in _TRAVERSAL_KERNEL_KEYS:
+            if not isinstance(sub[key], (int, float)):
+                raise ValueError(f"{kernel}.{key} must be numeric")
+    for key in ("hops_per_s_speedup", "single_query_speedup",
+                "batch_qps_speedup"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+
+
+def _time_single_queries(search_one, queries, predicates):
+    """Per-query wall times plus total hops for one kernel."""
+    times = []
+    hops = 0
+    for query, predicate in zip(queries, predicates):
+        start = time.perf_counter()
+        result = search_one(query, predicate)
+        times.append(time.perf_counter() - start)
+        hops += result.hops
+    return times, hops
+
+
+def _cmd_bench_traversal(args: argparse.Namespace) -> None:
+    from repro.core.dictsearch import LegacySearcherAdapter, legacy_acorn_search
+    from repro.eval import percentile_summary
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.queries = min(args.queries, 32)
+    print(f"generating traversal workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries})...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params, seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}) "
+          f"in {t.elapsed:.1f}s")
+
+    adapter = LegacySearcherAdapter(index)
+    index.freeze()
+    adapter.freeze()
+    # Compile predicates once so the single-query loops time graph
+    # traversal, not per-call mask materialization (regex compilation
+    # dominates otherwise and affects both kernels identically).
+    predicates = [predicate.compile(table) for predicate in predicates]
+
+    def run_csr(query, predicate):
+        return index.search(query, predicate, args.k, ef_search=args.ef)
+
+    def run_dict(query, predicate):
+        return legacy_acorn_search(index, query, predicate, args.k,
+                                   ef_search=args.ef,
+                                   frozen=adapter.freeze())
+
+    # Warm-up + equivalence guard: the benchmark is meaningless if the
+    # two kernels return different work.
+    for query, predicate in zip(queries[:4], predicates[:4]):
+        before = run_dict(query, predicate)
+        after = run_csr(query, predicate)
+        if (not np.array_equal(before.ids, after.ids)
+                or before.hops != after.hops):
+            raise SystemExit("CSR kernel diverged from dict kernel")
+
+    kernels = {}
+    for name, runner in (("dict", run_dict), ("csr", run_csr)):
+        times, hops = _time_single_queries(runner, queries, predicates)
+        total = sum(times)
+        latency = percentile_summary(times)
+        batch = QueryBatch.build(queries, predicates, k=args.k,
+                                 ef_search=args.ef)
+        searcher = adapter if name == "dict" else index
+        with SearchEngine(searcher, num_workers=args.workers) as engine:
+            with Timer() as t:
+                engine.search_batch(batch)
+        qps = len(queries) / t.elapsed
+        kernels[name] = {
+            "p50_ms": round(latency.p50 * 1e3, 4),
+            "p99_ms": round(latency.p99 * 1e3, 4),
+            "batch_qps": round(qps, 2),
+            "hops_per_s": round(hops / total, 1) if total else 0.0,
+            "total_hops": int(hops),
+            "total_seconds": round(total, 4),
+        }
+        print(f"{name:>4} kernel: p50 {kernels[name]['p50_ms']:8.3f} ms   "
+              f"p99 {kernels[name]['p99_ms']:8.3f} ms   "
+              f"batch {qps:8.1f} qps   "
+              f"{kernels[name]['hops_per_s']:12.1f} hops/s")
+
+    hops_speedup = (kernels["csr"]["hops_per_s"]
+                    / max(kernels["dict"]["hops_per_s"], 1e-9))
+    single_speedup = (kernels["dict"]["p50_ms"]
+                      / max(kernels["csr"]["p50_ms"], 1e-9))
+    batch_speedup = (kernels["csr"]["batch_qps"]
+                     / max(kernels["dict"]["batch_qps"], 1e-9))
+    print(f"\nCSR vs dict: {hops_speedup:.2f}x hops/s, "
+          f"{single_speedup:.2f}x single-query, {batch_speedup:.2f}x batch")
+
+    entry = {
+        "bench": "traversal-kernel",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "dict_kernel": kernels["dict"],
+        "csr_kernel": kernels["csr"],
+        "hops_per_s_speedup": round(hops_speedup, 3),
+        "single_query_speedup": round(single_speedup, 3),
+        "batch_qps_speedup": round(batch_speedup, 3),
+    }
+    validate_traversal_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+    if args.smoke and hops_speedup < 1.0:
+        raise SystemExit(
+            f"smoke check failed: CSR kernel slower than dict kernel "
+            f"({hops_speedup:.2f}x hops/s)"
+        )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -284,6 +446,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_engine.json")
     bench.set_defaults(func=_cmd_bench_batch)
+
+    trav = sub.add_parser(
+        "bench-traversal",
+        help="CSR traversal kernel vs the legacy dict kernel",
+    )
+    trav.add_argument("--n", type=int, default=10000)
+    trav.add_argument("--queries", type=int, default=128)
+    trav.add_argument("--dim", type=int, default=32)
+    trav.add_argument("--k", type=int, default=10)
+    trav.add_argument("--m", type=int, default=12)
+    trav.add_argument("--gamma", type=int, default=12)
+    trav.add_argument("--ef", type=int, default=32)
+    trav.add_argument("--workers", type=int, default=4)
+    trav.add_argument("--distinct-predicates", type=int, default=8)
+    trav.add_argument("--seed", type=int, default=0)
+    trav.add_argument("--out", default="BENCH_traversal.json")
+    trav.add_argument(
+        "--smoke", action="store_true",
+        help="small workload; exit nonzero if CSR is slower than dict",
+    )
+    trav.set_defaults(func=_cmd_bench_traversal)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -19,13 +19,16 @@ from repro.core.acorn import AcornIndex, AcornOneIndex
 from repro.core.flat import FlatAcornIndex
 from repro.core.params import AcornParams
 from repro.core.router import HybridSearcher, QueryPlan, RoutingDecision
+from repro.core.search import FrozenLevel, freeze_graph
 
 __all__ = [
     "AcornIndex",
     "AcornOneIndex",
     "AcornParams",
     "FlatAcornIndex",
+    "FrozenLevel",
     "HybridSearcher",
     "QueryPlan",
     "RoutingDecision",
+    "freeze_graph",
 ]

@@ -15,6 +15,7 @@ and recovers density at search time via full 2-hop expansion.
 from __future__ import annotations
 
 import bisect
+import threading
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.core.params import AcornParams, PruningStrategy
 from repro.core.search import (
     FrozenLevel,
     assert_frozen,
+    attach_expansion,
     compressed_neighbors,
     expanded_neighbors,
     filtered_neighbors,
@@ -33,6 +35,7 @@ from repro.engine.batching import BatchSearchMixin
 from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.hnsw import SearchResult
 from repro.hnsw.levels import LevelGenerator
+from repro.hnsw.scratch import thread_scratch
 from repro.hnsw.traversal import TraversalStats, search_layer
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.vectors.distance import DistanceComputer, Metric
@@ -79,8 +82,13 @@ class AcornIndex(BatchSearchMixin):
         if self.params.pruning is PruningStrategy.RNG_METADATA and labels is None:
             raise ValueError("metadata-aware pruning requires `labels`")
         self.pruning_stats = cons.PruningStats()
-        self._frozen: list[dict[int, np.ndarray]] | None = None
+        self._frozen: list[FrozenLevel] | None = None
         self._deleted: set[int] = set()
+        # Tombstone-composed predicate masks, keyed on (mask identity,
+        # deleted-set version); see _effective_mask.
+        self._deleted_version = 0
+        self._mask_cache: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
+        self._mask_cache_lock = threading.Lock()
         # Level-0 shrink triggers: pruned indexes re-prune once a list
         # outgrows M·γ (the pruning rule's own |H| + kept budget); an
         # unpruned one keeps nearest up to 2·M·γ (mirroring HNSW's 2M
@@ -143,46 +151,53 @@ class AcornIndex(BatchSearchMixin):
             return node
 
         computer = self.store.computer()
-        query = computer.set_query(vector)
-        entry = self.graph.entry_point
-        top = self.graph.node_level(entry)
-        best = (computer.distance_one(query, entry), entry)
+        computer.defer_counts()
+        try:
+            query = computer.set_query(vector)
+            entry = self.graph.entry_point
+            top = self.graph.node_level(entry)
+            best = (computer.distance_one(query, entry), entry)
 
-        # Greedy descent above the node's level, truncated-M lookups.
-        for lev in range(top, level, -1):
-            best = self._greedy_step(computer, query, best, lev)
+            # Greedy descent above the node's level, truncated-M lookups.
+            for lev in range(top, level, -1):
+                best = self._greedy_step(computer, query, best, lev)
 
-        self._register_node(node, level)
-        ef_cand = self.params.effective_ef_construction
-        entry_points = [best]
-        for lev in range(min(level, top), -1, -1):
-            if lev == 0:
-                entry_points = self._bottom_seeds(computer, query, entry_points)
-            visited = np.zeros(len(self.store), dtype=bool)
-            for _, seed_node in entry_points:
-                visited[seed_node] = True
-            found = search_layer(
-                computer,
-                query,
-                entry_points,
-                ef=ef_cand,
-                neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev)[:trunc],
-                visited=visited,
-            )
-            # The node under insertion is already registered; seed hooks
-            # (flat substrate) could surface it — never self-link.
-            candidates = [
-                (dist, cand) for dist, cand in found if cand != node
-            ][: self.params.max_degree]
-            selected = self._select_edges(computer, node, candidates, lev)
-            self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
-            self._edge_dists[lev][node] = [dist for dist, _ in selected]
-            for dist, neighbor in selected:
-                self._add_reverse_edge(computer, neighbor, node, dist, lev)
-            entry_points = found
+            self._register_node(node, level)
+            ef_cand = self.params.effective_ef_construction
+            scratch = thread_scratch(len(self.store))
+            entry_points = [best]
+            for lev in range(min(level, top), -1, -1):
+                if lev == 0:
+                    entry_points = self._bottom_seeds(computer, query,
+                                                      entry_points)
+                scratch.begin(len(self.store))
+                for _, seed_node in entry_points:
+                    scratch.mark(seed_node)
+                found = search_layer(
+                    computer,
+                    query,
+                    entry_points,
+                    ef=ef_cand,
+                    neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev)[:trunc],
+                    scratch=scratch,
+                )
+                # The node under insertion is already registered; seed
+                # hooks (flat substrate) could surface it — never
+                # self-link.
+                candidates = [
+                    (dist, cand) for dist, cand in found if cand != node
+                ][: self.params.max_degree]
+                selected = self._select_edges(computer, node, candidates, lev)
+                self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
+                self._edge_dists[lev][node] = [dist for dist, _ in selected]
+                for dist, neighbor in selected:
+                    self._add_reverse_edge(computer, neighbor, node, dist, lev)
+                entry_points = found
 
-        if level > top:
-            self.graph.entry_point = node
+            if level > top:
+                self.graph.entry_point = node
+        finally:
+            computer.flush_counts()
         return node
 
     def _register_node(self, node: int, level: int) -> None:
@@ -200,12 +215,13 @@ class AcornIndex(BatchSearchMixin):
         level: int,
     ) -> tuple[float, int]:
         trunc = self.params.m if self.params.truncate_construction else None
-        visited = np.zeros(len(self.store), dtype=bool)
-        visited[best[1]] = True
+        scratch = thread_scratch(len(self.store))
+        scratch.begin(len(self.store))
+        scratch.mark(best[1])
         found = search_layer(
             computer, query, [best], ef=1,
             neighbor_fn=lambda c: self.graph.neighbors(c, level)[:trunc],
-            visited=visited,
+            scratch=scratch,
         )
         return found[0]
 
@@ -290,10 +306,25 @@ class AcornIndex(BatchSearchMixin):
     # Search (paper §5.1, Algorithm 2)
     # ------------------------------------------------------------------
 
-    def _adjacency(self) -> list[dict[int, np.ndarray]]:
+    def _adjacency(self) -> list[FrozenLevel]:
         if self._frozen is None:
-            self._frozen = freeze_graph(self.graph)
+            frozen = freeze_graph(self.graph)
+            self._attach_expansions(frozen)
+            self._frozen = frozen
         return self._frozen
+
+    def _attach_expansions(self, frozen: list[FrozenLevel]) -> None:
+        """Materialize compressed-level expansion lists on the snapshot.
+
+        Done while the snapshot is built (before it is published to
+        ``_frozen``), so engine workers only ever read a complete one.
+        Levels whose expansion would blow the size bound keep the
+        dynamic per-hop lookup (see
+        :func:`~repro.core.search.attach_expansion`).
+        """
+        for level in range(len(frozen)):
+            if self._is_compressed(level):
+                attach_expansion(frozen[level], self.params.m_beta)
 
     def freeze(self) -> list[FrozenLevel]:
         """Materialize (and cache) the read-only adjacency snapshot.
@@ -348,38 +379,41 @@ class AcornIndex(BatchSearchMixin):
                 np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float32), 0
             )
         computer = self.store.computer()
-        query = computer.set_query(query)
-        mask = compiled.mask
-        if self._deleted:
-            # Tombstones compose with the predicate: a deleted entity
-            # simply never passes, exactly like a failing attribute.
-            mask = mask.copy()
-            mask[list(self._deleted)] = False
+        computer.defer_counts()
+        try:
+            query = computer.set_query(query)
+            mask = self._effective_mask(compiled.mask)
 
-        tstats = TraversalStats()
-        entry = self.graph.entry_point if entry_point is None else entry_point
-        best = (computer.distance_one(query, entry), entry)
-        tstats.visited += 1
-        for lev in range(self.graph.node_level(entry), 0, -1):
-            visited = np.zeros(len(self.store), dtype=bool)
-            visited[best[1]] = True
+            tstats = TraversalStats()
+            scratch = thread_scratch(len(self.store))
+            entry = (self.graph.entry_point if entry_point is None
+                     else entry_point)
+            best = (computer.distance_one(query, entry), entry)
+            tstats.visited += 1
+            # One scratch buffer serves the whole descent: each level
+            # opens a fresh epoch instead of allocating O(N) booleans.
+            for lev in range(self.graph.node_level(entry), 0, -1):
+                scratch.begin(len(self.store))
+                scratch.mark(best[1])
+                found = search_layer(
+                    computer, query, [best], ef=1,
+                    neighbor_fn=self._neighbor_fn(lev, mask),
+                    scratch=scratch, stats=tstats,
+                )
+                best = found[0]
+
+            entry_points = self._bottom_seeds(computer, query, [best])
+            scratch.begin(len(self.store))
+            for _, seed_node in entry_points:
+                scratch.mark(seed_node)
+            tstats.visited += len(entry_points)
             found = search_layer(
-                computer, query, [best], ef=1,
-                neighbor_fn=self._neighbor_fn(lev, mask), visited=visited,
+                computer, query, entry_points, ef=max(ef_search, k),
+                neighbor_fn=self._neighbor_fn(0, mask), scratch=scratch,
                 stats=tstats,
             )
-            best = found[0]
-
-        entry_points = self._bottom_seeds(computer, query, [best])
-        visited = np.zeros(len(self.store), dtype=bool)
-        for _, seed_node in entry_points:
-            visited[seed_node] = True
-        tstats.visited += len(entry_points)
-        found = search_layer(
-            computer, query, entry_points, ef=max(ef_search, k),
-            neighbor_fn=self._neighbor_fn(0, mask), visited=visited,
-            stats=tstats,
-        )
+        finally:
+            computer.flush_counts()
         # Seeds may fail the predicate (the fixed entry point need not
         # pass); every expanded node passed the filter, so one final
         # mask application yields the hybrid result set.
@@ -391,6 +425,32 @@ class AcornIndex(BatchSearchMixin):
             hops=tstats.hops,
             visited_nodes=tstats.visited,
         )
+
+    def _effective_mask(self, mask: np.ndarray) -> np.ndarray:
+        """The predicate mask with tombstones composed in, cached.
+
+        Tombstones compose with the predicate: a deleted entity simply
+        never passes, exactly like a failing attribute.  The composed
+        mask is cached keyed on (mask identity, deleted-set version), so
+        a batch reusing one compiled predicate pays the O(N) copy once
+        instead of per query.  Entries pin the source mask object, so an
+        ``id`` can never be recycled while its entry is live.
+        """
+        if not self._deleted:
+            return mask
+        key = id(mask)
+        version = self._deleted_version
+        with self._mask_cache_lock:
+            hit = self._mask_cache.get(key)
+            if (hit is not None and hit[0] is mask and hit[1] == version):
+                return hit[2]
+            composed = mask.copy()
+            composed[list(self._deleted)] = False
+            composed.setflags(write=False)
+            if len(self._mask_cache) >= 8:
+                self._mask_cache.pop(next(iter(self._mask_cache)))
+            self._mask_cache[key] = (mask, version, composed)
+            return composed
 
     def _bottom_seeds(
         self,
@@ -437,10 +497,12 @@ class AcornIndex(BatchSearchMixin):
         if not 0 <= node_id < len(self.store):
             raise IndexError(f"node {node_id} out of range [0, {len(self.store)})")
         self._deleted.add(node_id)
+        self._deleted_version += 1
 
     def unmark_deleted(self, node_id: int) -> None:
         """Remove a tombstone (no-op if the node is not deleted)."""
         self._deleted.discard(node_id)
+        self._deleted_version += 1
 
     def is_deleted(self, node_id: int) -> bool:
         """Whether ``node_id`` is tombstoned."""
@@ -551,6 +613,15 @@ class AcornOneIndex(AcornIndex):
         for vector in vectors:
             index.add(vector)
         return index
+
+    def _attach_expansions(self, frozen: list[FrozenLevel]) -> None:
+        """ACORN-1 expands every stored entry, i.e. ``m_beta = 0``.
+
+        Its unpruned 2-hop sets usually exceed the materialization
+        bound, in which case level 0 keeps the dynamic lookup.
+        """
+        if frozen:
+            attach_expansion(frozen[0], 0)
 
     def _neighbor_fn(self, level: int, mask: np.ndarray):
         adjacency = self._adjacency()[level]

@@ -106,14 +106,15 @@ class HybridSearcher(BatchSearchMixin):
         )
         if use_prefilter:
             if self.index.num_deleted:
-                # Tombstones must hold on the pre-filter path too.
+                # Tombstones must hold on the pre-filter path too; the
+                # composed mask comes from the index's per-predicate
+                # cache, so repeated queries share one copy.
                 compiled = (
                     source
                     if isinstance(source, CompiledPredicate)
                     else source.compile(self.index.table)
                 )
-                mask = compiled.mask.copy()
-                mask[list(self.index._deleted)] = False
+                mask = self.index._effective_mask(compiled.mask)
                 source = CompiledPredicate(compiled.predicate, mask)
             return self.prefilter.search(query, source, k)
         return self.index.search(query, source, k, ef_search=ef_search)

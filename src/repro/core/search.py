@@ -28,21 +28,88 @@ s·M·γ, and γ = 1/s_min calibrates it to M at the lowest served
 selectivity — so M remains the paper's *expected* per-node bound rather
 than a hard one.  See DESIGN.md §3.
 
-Lookups operate on a frozen (numpy-array) adjacency snapshot so the
-predicate mask can be applied vectorized.
+Lookups operate on a frozen CSR adjacency snapshot (one
+:class:`FrozenLevel` per level) so every strategy is a handful of numpy
+slice/gather operations: the predicate mask is applied as
+``mask[indices[start:stop]]`` and 2-hop expansion is an ``indptr``
+gather + ``np.concatenate`` + stable dedup, with no per-neighbor Python
+iteration.  The previous dict-of-arrays kernel survives in
+:mod:`repro.core.dictsearch` as the equivalence/benchmark reference.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from repro.hnsw.graph import LayeredGraph
 
-FrozenLevel = dict[int, np.ndarray]
+_INDEX_DTYPE = np.int32
+
+_EMPTY = np.empty(0, dtype=_INDEX_DTYPE)
+_EMPTY.setflags(write=False)
+
+
+class FrozenLevel:
+    """CSR-flattened, read-only adjacency of one graph level.
+
+    Neighbor lists of every node on the level are concatenated into one
+    contiguous ``indices`` array; ``indptr`` (length ``num_ids + 1``,
+    indexed by *global* node id) delimits each node's slice.  Nodes
+    absent from the level simply own an empty slice, so lookups never
+    branch on membership — the traversal only ever asks for nodes the
+    level contains.
+
+    Attributes:
+        indptr: int32 array of slice offsets, shape ``(num_ids + 1,)``.
+        indices: int32 array of concatenated neighbor ids, shape
+            ``(num_edges,)``, each list in its stored
+            (ascending-distance) order.
+        node_ids: int32 array of the node ids present on this level,
+            ascending.
+
+    A level may additionally carry *materialized expansion lists* (see
+    :func:`attach_expansion`): a second CSR pair per ``m_beta`` holding
+    each node's deduplicated 2-hop candidate sequence, which turns the
+    compression/expansion lookups into a single slice + mask gather.
+    """
+
+    __slots__ = ("indptr", "indices", "node_ids", "_expansions")
+
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, node_ids: np.ndarray
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.node_ids = node_ids
+        self._expansions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        """Number of nodes present on the level."""
+        return int(self.node_ids.size)
+
+    def __contains__(self, node: int) -> bool:
+        pos = int(np.searchsorted(self.node_ids, node))
+        return pos < self.node_ids.size and int(self.node_ids[pos]) == node
+
+    def __getitem__(self, node: int) -> np.ndarray:
+        """The (read-only) neighbor array of ``node``, stored order."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    @property
+    def num_ids(self) -> int:
+        """Size of the global id space the level is indexed by."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Total directed edges stored on the level."""
+        return int(self.indices.size)
 
 
 def freeze_graph(graph: LayeredGraph) -> list[FrozenLevel]:
-    """Snapshot each level's adjacency as read-only int64 arrays.
+    """Snapshot each level's adjacency as a read-only CSR layout.
 
     Immutability contract: the returned arrays are marked
     non-writeable, so any attempted in-place mutation raises a numpy
@@ -53,42 +120,194 @@ def freeze_graph(graph: LayeredGraph) -> list[FrozenLevel]:
     never write through a frozen level.  :func:`assert_frozen` checks
     the contract.
     """
+    num_ids = len(graph)
     frozen: list[FrozenLevel] = []
     for level in range(graph.max_level + 1):
-        level_adjacency: FrozenLevel = {}
-        for node in graph.nodes_at_level(level):
-            arr = np.asarray(graph.neighbors(node, level), dtype=np.int64)
+        node_ids = graph.nodes_at_level(level)
+        counts = np.zeros(num_ids, dtype=np.int64)
+        flat: list[int] = []
+        for node in node_ids:
+            neighbor_ids = graph.neighbors(node, level)
+            counts[node] = len(neighbor_ids)
+            flat.extend(neighbor_ids)
+        if len(flat) >= np.iinfo(_INDEX_DTYPE).max:
+            raise OverflowError(
+                f"level {level} holds {len(flat)} edges, beyond the int32 "
+                "CSR layout"
+            )
+        indptr = np.zeros(num_ids + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indptr = indptr.astype(_INDEX_DTYPE)
+        indices = np.asarray(flat, dtype=_INDEX_DTYPE)
+        ids = np.asarray(sorted(node_ids), dtype=_INDEX_DTYPE)
+        for arr in (indptr, indices, ids):
             arr.setflags(write=False)
-            level_adjacency[node] = arr
-        frozen.append(level_adjacency)
+        frozen.append(FrozenLevel(indptr, indices, ids))
     return frozen
 
 
 def assert_frozen(frozen: list[FrozenLevel]) -> None:
-    """Assert every adjacency array in ``frozen`` is non-writeable.
+    """Assert every CSR array in ``frozen`` is non-writeable.
 
     Raises:
         AssertionError: if any level holds a writeable array — i.e. the
             snapshot was built outside :func:`freeze_graph` or someone
             flipped the write flag back on.
     """
-    for level, adjacency in enumerate(frozen):
-        for node, arr in adjacency.items():
+    for level, csr in enumerate(frozen):
+        assert isinstance(csr, FrozenLevel), (
+            f"level {level} of the snapshot is {type(csr).__name__}, "
+            "expected FrozenLevel"
+        )
+        for name in ("indptr", "indices", "node_ids"):
+            arr = getattr(csr, name)
             assert not arr.flags.writeable, (
-                f"frozen adjacency for node {node} at level {level} is "
-                "writeable; snapshots shared across search threads must "
-                "be immutable"
+                f"frozen {name} at level {level} is writeable; snapshots "
+                "shared across search threads must be immutable"
             )
+        for m_beta, (exp_indptr, exp_indices) in csr._expansions.items():
+            for arr in (exp_indptr, exp_indices):
+                assert not arr.flags.writeable, (
+                    f"expansion (m_beta={m_beta}) at level {level} is "
+                    "writeable; snapshots shared across search threads "
+                    "must be immutable"
+                )
+
+
+_DEDUP_LOCAL = threading.local()
+
+
+def _dedup_table(num_ids: int) -> np.ndarray:
+    """The calling thread's position table for :func:`_stable_unique`."""
+    table = getattr(_DEDUP_LOCAL, "table", None)
+    if table is None or table.size < num_ids:
+        table = np.empty(max(num_ids, 1024), dtype=np.intp)
+        _DEDUP_LOCAL.table = table
+    return table
+
+
+def _stable_unique(ids: np.ndarray, num_ids: int) -> np.ndarray:
+    """Drop duplicate ids, keeping each first occurrence in order.
+
+    Sort-free: scatters each id's position into a reusable per-thread
+    table — reversed, so for duplicated ids the *first* occurrence's
+    write wins — then keeps entries whose gathered position equals
+    their own.  Stale table contents from earlier calls are harmless
+    because only entries written by this call are read back.
+    """
+    if ids.size <= 1:
+        return ids
+    table = _dedup_table(num_ids)
+    positions = np.arange(ids.size, dtype=np.intp)
+    table[ids[::-1]] = positions[::-1]
+    keep = table[ids] == positions
+    if keep.all():
+        return ids
+    return ids[keep]
 
 
 def filtered_neighbors(
     adjacency: FrozenLevel, node: int, mask: np.ndarray
-) -> list[int]:
+) -> np.ndarray:
     """Filter strategy (Fig 4a): passing entries of N(v), in list order."""
     neighbor_ids = adjacency[node]
     if neighbor_ids.size == 0:
-        return []
-    return neighbor_ids[mask[neighbor_ids]].tolist()
+        return neighbor_ids
+    return neighbor_ids[mask[neighbor_ids]]
+
+
+def _expansion_candidates(
+    indptr: np.ndarray, indices: np.ndarray, node: int, m_beta: int
+) -> tuple[np.ndarray, bool]:
+    """The interleaved (pre-mask, pre-dedup) expansion sequence of a node.
+
+    Returns ``(candidates, expanded)``: the sequence head, tail[0],
+    N(tail[0]), tail[1], N(tail[1]), ... assembled by scatter/gather
+    rather than a per-hop Python loop.  ``expanded`` is False when the
+    stored list fits within ``m_beta`` (no tail) — the sequence is then
+    the raw head and callers must skip dedup to mirror the sequential
+    reference, which never dedups a pure head.
+    """
+    start = int(indptr[node])
+    stop = int(indptr[node + 1])
+    if stop == start:
+        return _EMPTY, False
+    split = min(start + m_beta, stop)
+    head = indices[start:split]
+    tail = indices[split:stop]
+    if tail.size == 0:
+        return head, False
+    hop_starts = indptr[tail]
+    counts = indptr[tail + 1] - hop_starts
+    total_edges = int(counts.sum())
+    candidates = np.empty(head.size + tail.size + total_edges,
+                          dtype=indices.dtype)
+    candidates[: head.size] = head
+    edge_offsets = np.cumsum(counts) - counts
+    tail_pos = head.size + edge_offsets + np.arange(tail.size)
+    candidates[tail_pos] = tail
+    if total_edges:
+        edge_pos = np.ones(tail.size + total_edges, dtype=bool)
+        edge_pos[tail_pos - head.size] = False
+        flat = np.repeat(hop_starts - edge_offsets, counts)
+        flat += np.arange(total_edges)
+        candidates[head.size :][edge_pos] = indices[flat]
+    return candidates, True
+
+
+def attach_expansion(
+    level: FrozenLevel, m_beta: int, max_ratio: float = 16.0
+) -> bool:
+    """Materialize per-node expansion lists on a frozen level.
+
+    The compression/expansion lookup's candidate sequence — and its
+    stable dedup — depend only on the graph, never on the query
+    predicate: a mask either passes every occurrence of a value or
+    none, so filtering commutes with first-occurrence dedup.  Both can
+    therefore be computed once per snapshot, turning each query-time
+    lookup into one CSR slice plus one mask gather while returning
+    byte-identical candidate sequences.
+
+    This spends memory to buy traversal speed, so it is bounded: if the
+    materialized lists would exceed ``max_ratio`` times the level's
+    stored edges (as happens for ACORN-1's unpruned 2-hop sets), the
+    build aborts and lookups fall back to the dynamic per-hop path.
+
+    Returns:
+        True if the expansion was attached (or already present), False
+        if the size bound was hit and the level is left unchanged.
+    """
+    if m_beta in level._expansions:
+        return True
+    indptr = level.indptr
+    indices = level.indices
+    num_ids = level.num_ids
+    budget = int(max_ratio * max(indices.size, 1))
+    counts_out = np.zeros(num_ids, dtype=np.int64)
+    chunks: list[np.ndarray] = []
+    total = 0
+    for node in level.node_ids.tolist():
+        cand, expanded = _expansion_candidates(indptr, indices, node, m_beta)
+        if expanded:
+            cand = _stable_unique(cand, num_ids)
+        total += cand.size
+        if total > budget:
+            return False
+        counts_out[node] = cand.size
+        chunks.append(cand)
+    if total >= np.iinfo(_INDEX_DTYPE).max:
+        return False
+    exp_indptr = np.zeros(num_ids + 1, dtype=np.int64)
+    np.cumsum(counts_out, out=exp_indptr[1:])
+    exp_indptr = exp_indptr.astype(_INDEX_DTYPE)
+    exp_indices = (
+        np.concatenate(chunks).astype(_INDEX_DTYPE, copy=False)
+        if chunks else np.empty(0, dtype=_INDEX_DTYPE)
+    )
+    exp_indptr.setflags(write=False)
+    exp_indices.setflags(write=False)
+    level._expansions[m_beta] = (exp_indptr, exp_indices)
+    return True
 
 
 def compressed_neighbors(
@@ -96,38 +315,37 @@ def compressed_neighbors(
     node: int,
     mask: np.ndarray,
     m_beta: int,
-) -> list[int]:
+) -> np.ndarray:
     """Compression strategy (Fig 4b): filter first Mβ, expand the rest.
 
     Phase 1 filters the first ``m_beta`` stored entries directly.
-    Phase 2 walks the remaining entries in order; each contributes
+    Phase 2 expands the remaining entries in order; each contributes
     itself plus its one-hop neighborhood (recovering edges the
-    predicate-agnostic pruning dropped), filtered by the predicate.
+    predicate-agnostic pruning dropped).  One mask gather filters the
+    interleaved candidates; a stable dedup keeps first occurrences, so
+    the output order matches the sequential reference exactly.
+
+    When the level carries a materialized expansion for this ``m_beta``
+    (:func:`attach_expansion`), the whole lookup collapses to a slice
+    of the precomputed deduplicated sequence plus the mask gather.
     """
-    neighbor_ids = adjacency[node]
-    if neighbor_ids.size == 0:
-        return []
-    head = neighbor_ids[:m_beta]
-    out = head[mask[head]].tolist()
-    seen = set(out)
-    for hop in neighbor_ids[m_beta:].tolist():
-        if mask[hop] and hop not in seen:
-            seen.add(hop)
-            out.append(hop)
-        two_hop = adjacency[hop]
-        if two_hop.size == 0:
-            continue
-        passing = two_hop[mask[two_hop]]
-        for cand in passing.tolist():
-            if cand not in seen:
-                seen.add(cand)
-                out.append(cand)
-    return out
+    expansion = adjacency._expansions.get(m_beta)
+    if expansion is not None:
+        exp_indptr, exp_indices = expansion
+        cand = exp_indices[exp_indptr[node] : exp_indptr[node + 1]]
+        return cand[mask[cand]]
+    candidates, expanded = _expansion_candidates(
+        adjacency.indptr, adjacency.indices, node, m_beta
+    )
+    passing = candidates[mask[candidates]]
+    if not expanded:
+        return passing
+    return _stable_unique(passing, adjacency.num_ids)
 
 
 def expanded_neighbors(
     adjacency: FrozenLevel, node: int, mask: np.ndarray
-) -> list[int]:
+) -> np.ndarray:
     """ACORN-1's expansion strategy (Fig 4c): 1-hop + 2-hop, filtered.
 
     Equivalent to the compression strategy with ``m_beta = 0``: every
@@ -137,7 +355,9 @@ def expanded_neighbors(
     return compressed_neighbors(adjacency, node, mask, m_beta=0)
 
 
-def truncated_neighbors(adjacency: FrozenLevel, node: int, m: int) -> list[int]:
+def truncated_neighbors(
+    adjacency: FrozenLevel, node: int, m: int
+) -> np.ndarray:
     """Metadata-agnostic construction lookup (§5.2): first M entries.
 
     During ACORN-γ construction the traversal ignores predicates and
@@ -145,4 +365,5 @@ def truncated_neighbors(adjacency: FrozenLevel, node: int, m: int) -> list[int]:
     M edges suffice for navigability, so scanning more would only add
     distance computations and TTI.
     """
-    return adjacency[node][:m].tolist()
+    start = adjacency.indptr[node]
+    return adjacency.indices[start : min(start + m, adjacency.indptr[node + 1])]

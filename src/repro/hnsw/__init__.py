@@ -13,14 +13,17 @@ from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.hnsw import HnswIndex
 from repro.hnsw.heuristics import select_neighbors_heuristic, select_neighbors_simple
 from repro.hnsw.levels import LevelGenerator
+from repro.hnsw.scratch import TraversalScratch, thread_scratch
 from repro.hnsw.traversal import greedy_descent, search_layer
 
 __all__ = [
     "HnswIndex",
     "LayeredGraph",
     "LevelGenerator",
+    "TraversalScratch",
     "greedy_descent",
     "search_layer",
     "select_neighbors_heuristic",
     "select_neighbors_simple",
+    "thread_scratch",
 ]

@@ -15,6 +15,7 @@ import numpy as np
 from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.heuristics import select_neighbors_heuristic
 from repro.hnsw.levels import LevelGenerator
+from repro.hnsw.scratch import thread_scratch
 from repro.hnsw.traversal import search_layer
 from repro.vectors.distance import DistanceComputer, Metric
 from repro.vectors.store import VectorStore
@@ -75,6 +76,7 @@ class HnswIndex:
         self.store = VectorStore(dim, metric=metric)
         self.graph = LayeredGraph()
         self._levels = LevelGenerator(self.m, seed=seed)
+        self._frozen = None
 
     def __len__(self) -> int:
         return len(self.store)
@@ -91,6 +93,7 @@ class HnswIndex:
     def add(self, vector: np.ndarray) -> int:
         """Insert one vector; returns its node id."""
         node = self.store.add(vector)
+        self._frozen = None
         level = self._levels.draw()
         if len(self.graph) == 0:
             self.graph.add_node(node, level)
@@ -98,42 +101,48 @@ class HnswIndex:
             return node
 
         computer = self.store.computer()
-        query = computer.set_query(vector)
-        entry = self.graph.entry_point
-        top = self.graph.node_level(entry)
-        best = (computer.distance_one(query, entry), entry)
+        computer.defer_counts()
+        try:
+            query = computer.set_query(vector)
+            entry = self.graph.entry_point
+            top = self.graph.node_level(entry)
+            best = (computer.distance_one(query, entry), entry)
 
-        # Phase 1: greedy descent with ef=1 from the top level to level+1.
-        for lev in range(top, level, -1):
-            best = self._greedy_step(computer, query, best, lev)
+            # Phase 1: greedy descent with ef=1 from the top level to
+            # level+1.
+            for lev in range(top, level, -1):
+                best = self._greedy_step(computer, query, best, lev)
 
-        # Phase 2: efc-search and neighbor selection from min(level, top)
-        # down to level 0.
-        self.graph.add_node(node, level)
-        entry_points = [best]
-        for lev in range(min(level, top), -1, -1):
-            visited = np.zeros(len(self.store), dtype=bool)
-            for _, seed_node in entry_points:
-                visited[seed_node] = True
-            found = search_layer(
-                computer,
-                query,
-                entry_points,
-                ef=self.ef_construction,
-                neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev),
-                visited=visited,
-            )
-            selected = select_neighbors_heuristic(
-                computer.base, found, self.m, metric=self.metric
-            )
-            self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
-            cap = self.m if lev > 0 else self.m_max0
-            for dist, neighbor in selected:
-                self._add_reverse_edge(computer, neighbor, node, lev, cap)
-            entry_points = found
+            # Phase 2: efc-search and neighbor selection from
+            # min(level, top) down to level 0.
+            self.graph.add_node(node, level)
+            scratch = thread_scratch(len(self.store))
+            entry_points = [best]
+            for lev in range(min(level, top), -1, -1):
+                scratch.begin(len(self.store))
+                for _, seed_node in entry_points:
+                    scratch.mark(seed_node)
+                found = search_layer(
+                    computer,
+                    query,
+                    entry_points,
+                    ef=self.ef_construction,
+                    neighbor_fn=lambda c, lev=lev: self.graph.neighbors(c, lev),
+                    scratch=scratch,
+                )
+                selected = select_neighbors_heuristic(
+                    computer.base, found, self.m, metric=self.metric
+                )
+                self.graph.set_neighbors(node, lev, [nid for _, nid in selected])
+                cap = self.m if lev > 0 else self.m_max0
+                for dist, neighbor in selected:
+                    self._add_reverse_edge(computer, neighbor, node, lev, cap)
+                entry_points = found
 
-        if level > top:
-            self.graph.entry_point = node
+            if level > top:
+                self.graph.entry_point = node
+        finally:
+            computer.flush_counts()
         return node
 
     def add_batch(self, vectors: np.ndarray) -> np.ndarray:
@@ -162,13 +171,16 @@ class HnswIndex:
         query: np.ndarray,
         best: tuple[float, int],
         level: int,
+        neighbor_fn=None,
     ) -> tuple[float, int]:
-        visited = np.zeros(len(self.store), dtype=bool)
-        visited[best[1]] = True
+        scratch = thread_scratch(len(self.store))
+        scratch.begin(len(self.store))
+        scratch.mark(best[1])
         found = search_layer(
             computer, query, [best], ef=1,
-            neighbor_fn=lambda c: self.graph.neighbors(c, level),
-            visited=visited,
+            neighbor_fn=(neighbor_fn if neighbor_fn is not None
+                         else lambda c: self.graph.neighbors(c, level)),
+            scratch=scratch,
         )
         return found[0]
 
@@ -199,6 +211,27 @@ class HnswIndex:
     # Search (Algorithm 1)
     # ------------------------------------------------------------------
 
+    def _adjacency(self):
+        """The cached CSR snapshot (see :func:`repro.core.search.freeze_graph`)."""
+        if self._frozen is None:
+            from repro.core.search import freeze_graph
+
+            self._frozen = freeze_graph(self.graph)
+        return self._frozen
+
+    def freeze(self):
+        """Materialize (and cache) the read-only CSR adjacency snapshot.
+
+        The batch engine calls this before fanning a batch across
+        threads so every worker shares one immutable snapshot.
+        Invalidated by :meth:`add`.
+        """
+        from repro.core.search import assert_frozen
+
+        frozen = self._adjacency()
+        assert_frozen(frozen)
+        return frozen
+
     def search(self, query: np.ndarray, k: int, ef_search: int = 64) -> SearchResult:
         """K-nearest-neighbor search (paper Algorithm 1).
 
@@ -214,8 +247,12 @@ class HnswIndex:
             empty = np.empty(0, dtype=np.intp)
             return SearchResult(empty, np.empty(0, dtype=np.float32), 0)
         computer = self.store.computer()
-        query = computer.set_query(query)
-        found = self._search_candidates(computer, query, max(ef_search, k))
+        computer.defer_counts()
+        try:
+            query = computer.set_query(query)
+            found = self._search_candidates(computer, query, max(ef_search, k))
+        finally:
+            computer.flush_counts()
         top = found[:k]
         return SearchResult(
             np.asarray([nid for _, nid in top], dtype=np.intp),
@@ -234,23 +271,34 @@ class HnswIndex:
         if len(self.graph) == 0:
             return [], 0
         computer = self.store.computer()
-        query = computer.set_query(query)
-        found = self._search_candidates(computer, query, ef_search)
+        computer.defer_counts()
+        try:
+            query = computer.set_query(query)
+            found = self._search_candidates(computer, query, ef_search)
+        finally:
+            computer.flush_counts()
         return found, computer.count
 
     def _search_candidates(
         self, computer: DistanceComputer, query: np.ndarray, ef: int
     ) -> list[tuple[float, int]]:
+        frozen = self._adjacency()
         entry = self.graph.entry_point
         best = (computer.distance_one(query, entry), entry)
         for lev in range(self.graph.node_level(entry), 0, -1):
-            best = self._greedy_step(computer, query, best, lev)
-        visited = np.zeros(len(self.store), dtype=bool)
-        visited[best[1]] = True
+            level_csr = frozen[lev]
+            best = self._greedy_step(
+                computer, query, best, lev,
+                neighbor_fn=level_csr.__getitem__,
+            )
+        level0 = frozen[0]
+        scratch = thread_scratch(len(self.store))
+        scratch.begin(len(self.store))
+        scratch.mark(best[1])
         return search_layer(
             computer, query, [best], ef=ef,
-            neighbor_fn=lambda c: self.graph.neighbors(c, 0),
-            visited=visited,
+            neighbor_fn=level0.__getitem__,
+            scratch=scratch,
         )
 
     # ------------------------------------------------------------------

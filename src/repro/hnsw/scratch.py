@@ -1,0 +1,105 @@
+"""Reusable per-thread traversal scratch state.
+
+The pre-CSR traversal allocated a fresh O(N) boolean ``visited`` array
+for every level of every query — for a hierarchical descent that is
+``levels × N`` bytes of allocation and zeroing per query, all of it
+garbage one level later.  :class:`TraversalScratch` replaces those
+throwaway arrays with one *epoch-stamped* array per thread: a node is
+"visited" when its stamp equals the current epoch, so starting a fresh
+visited scope is a single integer increment instead of an O(N) zeroing
+pass.
+
+Epoch stamps are uint32.  When the epoch counter reaches the dtype
+maximum the array is zeroed once and the counter restarts at 1 — stale
+stamps from 4 billion scopes ago can therefore never alias a live
+epoch.  ``tests/hnsw/test_scratch.py`` holds the property tests for the
+rollover.
+
+One scratch serves a whole thread: the engine's worker threads each
+lazily create their own through :func:`thread_scratch`, and every level
+of every query on that thread reuses the same buffers.  Scratch state
+is never shared across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_EPOCH_DTYPE = np.uint32
+MAX_EPOCH = int(np.iinfo(_EPOCH_DTYPE).max)
+
+
+class TraversalScratch:
+    """Epoch-stamped visited marks plus reusable heap buffers.
+
+    Attributes:
+        visited: uint32 stamp array over node ids; ``visited[v] ==
+            epoch`` means ``v`` was visited in the current scope.
+        epoch: the live epoch (0 before the first :meth:`begin`).
+        candidates: reusable min-heap list for ``search_layer``'s
+            candidate queue (cleared at each layer entry).
+        results: reusable max-heap list for ``search_layer``'s dynamic
+            result list (cleared at each layer entry).
+    """
+
+    __slots__ = ("visited", "epoch", "candidates", "results")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.visited = np.zeros(int(capacity), dtype=_EPOCH_DTYPE)
+        self.epoch = 0
+        self.candidates: list[tuple[float, int]] = []
+        self.results: list[tuple[float, int]] = []
+
+    def begin(self, num_nodes: int) -> int:
+        """Open a fresh visited scope covering ids ``[0, num_nodes)``.
+
+        Grows the stamp array if needed (preserving live marks — growth
+        can only happen between scopes, but cheap safety is cheap) and
+        advances the epoch, zeroing the array on uint32 rollover so no
+        stale stamp can collide with the new epoch.
+
+        Returns:
+            The new epoch value (also available as ``self.epoch``).
+        """
+        if self.visited.size < num_nodes:
+            grown = np.zeros(max(num_nodes, 2 * self.visited.size),
+                             dtype=_EPOCH_DTYPE)
+            grown[: self.visited.size] = self.visited
+            self.visited = grown
+        if self.epoch >= MAX_EPOCH:
+            self.visited[:] = 0
+            self.epoch = 0
+        self.epoch += 1
+        return self.epoch
+
+    def mark(self, node: int) -> None:
+        """Stamp one node as visited in the current scope."""
+        self.visited[node] = self.epoch
+
+    def mark_many(self, ids: np.ndarray) -> None:
+        """Stamp many nodes as visited in the current scope."""
+        self.visited[ids] = self.epoch
+
+    def is_marked(self, node: int) -> bool:
+        """Whether ``node`` was visited in the current scope."""
+        return bool(self.visited[node] == self.epoch)
+
+
+_LOCAL = threading.local()
+
+
+def thread_scratch(num_nodes: int) -> TraversalScratch:
+    """The calling thread's scratch, grown to cover ``num_nodes`` ids.
+
+    Lazily creates one :class:`TraversalScratch` per thread and reuses
+    it for every query that thread executes, across all indices — the
+    stamp array only ever grows.  Callers still :meth:`~TraversalScratch.begin`
+    their own scopes.
+    """
+    scratch = getattr(_LOCAL, "scratch", None)
+    if scratch is None:
+        scratch = TraversalScratch(num_nodes)
+        _LOCAL.scratch = scratch
+    return scratch

@@ -4,8 +4,18 @@
 search) and Algorithm 2 (ACORN-SEARCH-LAYER): the only difference
 between the two papers' listings is how the neighborhood of a visited
 node is produced, so the neighborhood policy is injected as a callable.
-HNSW passes the raw adjacency list; ACORN passes predicate-filtering,
+HNSW passes the raw adjacency (a CSR slice at search time, a live list
+during construction); ACORN passes predicate-filtering,
 compression-expanding, or two-hop-expanding lookups (Figure 4).
+
+The hot loop is vectorized: the neighborhood arrives as a numpy array
+(the CSR strategies of :mod:`repro.core.search` return int32 slices),
+the visited check is one gather against the epoch-stamped scratch
+array, and marking is one scatter.  Python survives only in the heap
+maintenance, whose per-candidate branching is inherently sequential.
+Visited state lives in a :class:`~repro.hnsw.scratch.TraversalScratch`
+shared across all levels and queries of a thread instead of a fresh
+O(N) allocation per level.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.hnsw.scratch import TraversalScratch
 from repro.vectors.distance import DistanceComputer
 
 NeighborFn = Callable[[int], Sequence[int]]
@@ -34,7 +45,7 @@ class TraversalStats:
             hops, summed over all levels).
         visited: visited-set insertions (seeds plus newly discovered
             neighbors; a node reached again on another level counts once
-            per level, matching the per-level visited arrays).
+            per level, matching the per-level visited scopes).
     """
 
     hops: int = 0
@@ -47,7 +58,7 @@ def search_layer(
     entry_points: Sequence[tuple[float, int]],
     ef: int,
     neighbor_fn: NeighborFn,
-    visited: np.ndarray,
+    scratch: TraversalScratch,
     stats: TraversalStats | None = None,
 ) -> list[tuple[float, int]]:
     """Best-first search on one level; returns ``ef`` nearest as (dist, id).
@@ -57,13 +68,16 @@ def search_layer(
             every distance evaluated).
         query: the query vector.
         entry_points: (distance, id) seeds; their ids must already be
-            marked in ``visited``.
+            marked in the scratch's current epoch.
         ef: size of the dynamic candidate list (paper's ``ef``).
         neighbor_fn: maps a visited node id to its candidate
             neighborhood for this level/query — already filtered and
-            truncated per the index's lookup strategy.
-        visited: boolean scratch array over all node ids, mutated in
-            place; lets multi-seed callers share a visited set.
+            truncated per the index's lookup strategy.  A numpy int
+            array avoids a conversion; plain sequences also work.
+        scratch: per-thread traversal scratch whose current epoch scopes
+            the visited set; the caller opens the scope with
+            :meth:`~repro.hnsw.scratch.TraversalScratch.begin` and marks
+            the seeds.
         stats: optional per-query counters, incremented in place.
 
     Returns:
@@ -71,9 +85,15 @@ def search_layer(
     """
     if ef <= 0:
         raise ValueError(f"ef must be positive, got {ef}")
-    candidates: list[tuple[float, int]] = list(entry_points)
+    visited = scratch.visited
+    epoch = scratch.epoch
+    candidates = scratch.candidates
+    candidates.clear()
+    candidates.extend(entry_points)
     heapq.heapify(candidates)
-    results = [(-dist, node) for dist, node in entry_points]
+    results = scratch.results
+    results.clear()
+    results.extend((-dist, node) for dist, node in entry_points)
     heapq.heapify(results)
 
     while candidates:
@@ -82,16 +102,20 @@ def search_layer(
             break
         if stats is not None:
             stats.hops += 1
-        unvisited = [v for v in neighbor_fn(current) if not visited[v]]
-        if not unvisited:
+        neighbor_ids = neighbor_fn(current)
+        if not isinstance(neighbor_ids, np.ndarray):
+            neighbor_ids = np.asarray(neighbor_ids, dtype=np.intp)
+        if neighbor_ids.size == 0:
             continue
+        unvisited = neighbor_ids[visited[neighbor_ids] != epoch]
+        if unvisited.size == 0:
+            continue
+        visited[unvisited] = epoch
         if stats is not None:
-            stats.visited += len(unvisited)
-        for node in unvisited:
-            visited[node] = True
-        dists = computer.distances_to(query, np.asarray(unvisited, dtype=np.intp))
+            stats.visited += int(unvisited.size)
+        dists = computer.distances_to(query, unvisited)
         worst = -results[0][0]
-        for node, dist in zip(unvisited, dists.tolist()):
+        for node, dist in zip(unvisited.tolist(), dists.tolist()):
             if len(results) < ef or dist < worst:
                 heapq.heappush(candidates, (dist, node))
                 heapq.heappush(results, (-dist, node))
@@ -110,19 +134,26 @@ def greedy_descent(
     levels: Sequence[int],
     neighbor_fn_for_level: Callable[[int], NeighborFn],
     num_nodes: int,
+    scratch: TraversalScratch | None = None,
+    stats: TraversalStats | None = None,
 ) -> tuple[float, int]:
     """Descend through ``levels`` with ef=1, returning the final entry.
 
     This is the upper-level phase of Algorithm 1/2: at each level one
-    greedy search selects a single node that seeds the next level.
+    greedy search selects a single node that seeds the next level.  One
+    scratch buffer serves the whole descent — each level opens a fresh
+    epoch instead of allocating its own O(N) visited array.
     """
+    if scratch is None:
+        scratch = TraversalScratch(num_nodes)
     best = entry
     for level in levels:
-        visited = np.zeros(num_nodes, dtype=bool)
-        visited[best[1]] = True
+        scratch.begin(num_nodes)
+        scratch.mark(best[1])
         found = search_layer(
-            computer, query, [best], ef=1, neighbor_fn=neighbor_fn_for_level(level),
-            visited=visited,
+            computer, query, [best], ef=1,
+            neighbor_fn=neighbor_fn_for_level(level), scratch=scratch,
+            stats=stats,
         )
         best = found[0]
     return best

@@ -128,6 +128,15 @@ GLOBAL_TALLY = _GlobalTally()
 """The process-wide distance-evaluation tally shared by all computers."""
 
 
+def _cosine_from_norms(
+    rows: np.ndarray, norms: np.ndarray, query: np.ndarray
+) -> np.ndarray:
+    """Cosine distance using precomputed base-row norms."""
+    qn = np.linalg.norm(query)
+    denom = np.maximum(norms * qn, np.finfo(np.float32).tiny)
+    return 1.0 - (rows @ query) / denom
+
+
 class DistanceComputer:
     """Batched query-to-base distances over one dataset, with counting.
 
@@ -139,43 +148,101 @@ class DistanceComputer:
 
     Counting is thread-safe: increments go through a lock (and are
     mirrored into :data:`GLOBAL_TALLY`), so a computer shared by the
-    concurrent batch engine never loses increments to races.
+    concurrent batch engine never loses increments to races.  A search
+    path that owns its computer exclusively can instead switch to
+    *deferred* counting (:meth:`defer_counts`): evaluations accumulate
+    in a plain local integer and :meth:`flush_counts` settles them into
+    ``count`` and :data:`GLOBAL_TALLY` once per query — two lock
+    acquisitions per query instead of two per graph hop.
+
+    For the cosine metric, base-vector norms are computed once at
+    construction (or passed in precomputed by
+    :class:`~repro.vectors.store.VectorStore`) instead of being
+    recomputed on every :meth:`distances_to`/:meth:`distance_one` call.
 
     Attributes:
         count: total distances computed since construction or last
-            :meth:`reset`.
+            :meth:`reset` (deferred-but-unflushed evaluations included).
     """
 
-    def __init__(self, base: np.ndarray, metric: "Metric | str" = Metric.L2) -> None:
+    def __init__(
+        self,
+        base: np.ndarray,
+        metric: "Metric | str" = Metric.L2,
+        base_norms: np.ndarray | None = None,
+    ) -> None:
         base = np.asarray(base, dtype=np.float32)
         if base.ndim != 2:
             raise ValueError(f"base must be 2-D, got shape {base.shape}")
         self.base = base
         self.metric = resolve_metric(metric)
         self._kernel = _KERNELS[self.metric]
+        if self.metric is Metric.COSINE:
+            if base_norms is None:
+                base_norms = np.linalg.norm(base, axis=1)
+            elif base_norms.shape[0] != base.shape[0]:
+                raise ValueError(
+                    f"base_norms covers {base_norms.shape[0]} rows, base "
+                    f"has {base.shape[0]}"
+                )
+            self._base_norms = base_norms
+        else:
+            self._base_norms = None
         self._count_lock = threading.Lock()
         self._count = 0
+        self._deferred = False
+        self._pending = 0
 
     @property
     def count(self) -> int:
         """Distances evaluated since construction or last :meth:`reset`."""
-        return self._count
+        return self._count + self._pending
 
     @count.setter
     def count(self, value: int) -> None:
         with self._count_lock:
             self._count = int(value)
+            self._pending = 0
 
     def add_count(self, n: int) -> None:
-        """Thread-safely record ``n`` distance evaluations.
+        """Record ``n`` distance evaluations.
 
-        Use this instead of ``computer.count += n`` (a racy
-        read-modify-write) when accounting for evaluations performed
-        outside the computer — e.g. quantized-code distances.
+        Thread-safe by default (lock + :data:`GLOBAL_TALLY` mirror); in
+        deferred mode the increment is a plain local addition settled by
+        :meth:`flush_counts`.  Use this instead of ``computer.count +=
+        n`` (a racy read-modify-write) when accounting for evaluations
+        performed outside the computer — e.g. quantized-code distances.
         """
+        if self._deferred:
+            self._pending += int(n)
+            return
         with self._count_lock:
             self._count += int(n)
         GLOBAL_TALLY.add(n)
+
+    def defer_counts(self) -> None:
+        """Switch to per-query local counting (see class docstring).
+
+        Only valid while the computer is used by a single thread — the
+        per-query computers the indices create qualify; a computer
+        shared across engine workers does not.
+        """
+        self._deferred = True
+
+    def flush_counts(self) -> int:
+        """Settle deferred evaluations into ``count``/:data:`GLOBAL_TALLY`.
+
+        Idempotent; returns the number of evaluations flushed.  Search
+        paths call this exactly once per query, in a ``finally`` block,
+        so the global tally stays exact even on error paths.
+        """
+        pending = self._pending
+        if pending:
+            self._pending = 0
+            with self._count_lock:
+                self._count += pending
+            GLOBAL_TALLY.add(pending)
+        return pending
 
     @property
     def dim(self) -> int:
@@ -186,7 +253,7 @@ class DistanceComputer:
         return self.base.shape[0]
 
     def reset(self) -> None:
-        """Zero the distance-computation counter.
+        """Zero the distance-computation counter (pending included).
 
         Per-computer only: :data:`GLOBAL_TALLY` is monotonic and keeps
         its running total.
@@ -206,14 +273,25 @@ class DistanceComputer:
         """Distances from ``query`` to base rows ``ids`` (counted)."""
         ids = np.asarray(ids, dtype=np.intp)
         self.add_count(ids.size)
+        if self._base_norms is not None:
+            return _cosine_from_norms(
+                self.base[ids], self._base_norms[ids], query
+            )
         return self._kernel(self.base[ids], query)
 
     def distance_one(self, query: np.ndarray, node_id: int) -> float:
         """Distance from ``query`` to a single base row (counted)."""
         self.add_count(1)
-        return float(self._kernel(self.base[node_id : node_id + 1], query)[0])
+        row = self.base[node_id : node_id + 1]
+        if self._base_norms is not None:
+            return float(_cosine_from_norms(
+                row, self._base_norms[node_id : node_id + 1], query
+            )[0])
+        return float(self._kernel(row, query)[0])
 
     def distances_to_all(self, query: np.ndarray) -> np.ndarray:
         """Distances from ``query`` to every base vector (counted)."""
         self.add_count(self.base.shape[0])
+        if self._base_norms is not None:
+            return _cosine_from_norms(self.base, self._base_norms, query)
         return self._kernel(self.base, query)

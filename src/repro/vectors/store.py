@@ -22,6 +22,11 @@ class VectorStore:
         self.metric = resolve_metric(metric)
         self._data = np.empty((max(int(capacity), 1), self.dim), dtype=np.float32)
         self._size = 0
+        # Cosine norm cache: norms of rows [0, _norm_size) — extended
+        # incrementally, so repeated computer() calls never re-norm the
+        # whole matrix.  Rows are append-only, so cached norms stay valid.
+        self._norms = np.empty(0, dtype=np.float32)
+        self._norm_size = 0
 
     @classmethod
     def from_array(cls, vectors: np.ndarray, metric: "Metric | str" = Metric.L2) -> "VectorStore":
@@ -61,13 +66,38 @@ class VectorStore:
         self._size += 1
         return self._size - 1
 
+    def base_norms(self) -> np.ndarray | None:
+        """Cached L2 norms of the stored rows (cosine metric only).
+
+        Computed incrementally: only rows appended since the last call
+        are normed, so per-:meth:`add` construction stays O(d) here
+        instead of O(n·d).  Returns ``None`` for metrics that never
+        touch norms.
+        """
+        if self.metric is not Metric.COSINE:
+            return None
+        if self._norm_size < self._size:
+            fresh = np.linalg.norm(
+                self._data[self._norm_size : self._size], axis=1
+            )
+            if self._norms.shape[0] < self._size:
+                grown = np.empty(self._data.shape[0], dtype=fresh.dtype)
+                grown[: self._norm_size] = self._norms[: self._norm_size]
+                self._norms = grown
+            self._norms[self._norm_size : self._size] = fresh
+            self._norm_size = self._size
+        return self._norms[: self._size]
+
     def computer(self) -> DistanceComputer:
         """A :class:`DistanceComputer` over the current contents.
 
         The computer snapshots the present size; vectors added later are
         not visible to it.  Indexes create one per build/search session.
         """
-        return DistanceComputer(self._data[: self._size], metric=self.metric)
+        return DistanceComputer(
+            self._data[: self._size], metric=self.metric,
+            base_norms=self.base_norms(),
+        )
 
     def nbytes(self) -> int:
         """Bytes used by live vector payload (for Table 5 index sizing)."""

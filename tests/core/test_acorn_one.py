@@ -103,4 +103,4 @@ class TestSearch:
         from repro.core.search import expanded_neighbors
 
         got = expanded_neighbors(adjacency, node, mask)
-        assert got == [target]
+        assert got.tolist() == [target]

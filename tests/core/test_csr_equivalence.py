@@ -1,0 +1,300 @@
+"""CSR kernel vs the legacy dict kernel: byte-identical results.
+
+The CSR flattening is a pure performance change; these tests pin the
+contract that makes it safe: for every index type and every neighbor
+strategy, the production search path returns *exactly* what the
+pre-CSR dict-of-arrays kernel (:mod:`repro.core.dictsearch`) returned —
+same ids, same distance bytes, same distance-computation counts, same
+hop and visited-node counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AcornParams, FlatAcornIndex
+from repro.core.dictsearch import (
+    LegacySearcherAdapter,
+    compressed_neighbors_dict,
+    expanded_neighbors_dict,
+    filtered_neighbors_dict,
+    freeze_graph_dict,
+    legacy_acorn_search,
+    legacy_hnsw_search,
+    truncated_neighbors_dict,
+)
+from repro.core.search import (
+    attach_expansion,
+    compressed_neighbors,
+    expanded_neighbors,
+    filtered_neighbors,
+    freeze_graph,
+    truncated_neighbors,
+)
+from repro.engine import QueryBatch, SearchEngine
+from repro.predicates import Equals, TruePredicate
+
+K = 10
+EF = 48
+
+
+@pytest.fixture(scope="module")
+def flat_index(small_vectors, labeled_table):
+    params = AcornParams(m=8, gamma=6, m_beta=16, ef_construction=32)
+    return FlatAcornIndex.build(
+        small_vectors[0], labeled_table, params=params, seed=3
+    )
+
+
+def _queries(small_vectors, n=12, seed=424):
+    vectors, _ = small_vectors
+    gen = np.random.default_rng(seed)
+    picks = gen.choice(vectors.shape[0], size=n, replace=False)
+    return vectors[picks] + 0.05 * gen.standard_normal(
+        (n, vectors.shape[1])
+    ).astype(np.float32)
+
+
+def _predicates(n=12):
+    preds = [Equals("label", i % 6) for i in range(n - 1)]
+    preds.append(TruePredicate())
+    return preds
+
+
+def assert_results_identical(csr, legacy):
+    assert csr.ids.dtype == legacy.ids.dtype
+    assert csr.ids.tobytes() == legacy.ids.tobytes()
+    assert csr.distances.dtype == legacy.distances.dtype
+    assert csr.distances.tobytes() == legacy.distances.tobytes()
+    assert csr.distance_computations == legacy.distance_computations
+    assert csr.hops == legacy.hops
+    assert csr.visited_nodes == legacy.visited_nodes
+
+
+class TestSearchEquivalence:
+    """Full searches through both kernels, compared byte for byte."""
+
+    def test_acorn_gamma(self, acorn_index, small_vectors):
+        for query, pred in zip(_queries(small_vectors), _predicates()):
+            csr = acorn_index.search(query, pred, K, ef_search=EF)
+            legacy = legacy_acorn_search(acorn_index, query, pred, K,
+                                         ef_search=EF)
+            assert_results_identical(csr, legacy)
+
+    def test_acorn_one(self, acorn_one_index, small_vectors):
+        for query, pred in zip(_queries(small_vectors), _predicates()):
+            csr = acorn_one_index.search(query, pred, K, ef_search=EF)
+            legacy = legacy_acorn_search(acorn_one_index, query, pred, K,
+                                         ef_search=EF)
+            assert_results_identical(csr, legacy)
+
+    def test_flat_acorn(self, flat_index, small_vectors):
+        for query, pred in zip(_queries(small_vectors), _predicates()):
+            csr = flat_index.search(query, pred, K, ef_search=EF)
+            legacy = legacy_acorn_search(flat_index, query, pred, K,
+                                         ef_search=EF)
+            assert_results_identical(csr, legacy)
+
+    def test_hnsw(self, hnsw_index, small_vectors):
+        for query in _queries(small_vectors):
+            csr = hnsw_index.search(query, K, ef_search=EF)
+            legacy = legacy_hnsw_search(hnsw_index, query, K, ef_search=EF)
+            assert csr.ids.tobytes() == legacy.ids.tobytes()
+            assert csr.distances.tobytes() == legacy.distances.tobytes()
+            assert csr.distance_computations == legacy.distance_computations
+
+    def test_acorn_with_tombstones(self, small_vectors, labeled_table):
+        params = AcornParams(m=8, gamma=6, m_beta=16, ef_construction=32)
+        from repro.core import AcornIndex
+
+        # A table larger than the vector set is allowed (spare rows
+        # serve later inserts), so the 600-row table works for 200 nodes.
+        index = AcornIndex.build(
+            small_vectors[0][:200], labeled_table, params=params, seed=4,
+        )
+        for node in (3, 17, 42, 99):
+            index.mark_deleted(node)
+        for query, pred in zip(_queries(small_vectors, n=6),
+                               _predicates(n=6)):
+            csr = index.search(query, pred, K, ef_search=EF)
+            legacy = legacy_acorn_search(index, query, pred, K, ef_search=EF)
+            assert_results_identical(csr, legacy)
+
+    def test_batched_legacy_adapter_matches_csr_engine(
+        self, acorn_index, small_vectors
+    ):
+        """The engine fanning the dict kernel equals the CSR kernel."""
+        queries = _queries(small_vectors)
+        batch = QueryBatch.build(queries, _predicates(), k=K, ef_search=EF)
+        with SearchEngine(acorn_index, num_workers=2) as engine:
+            csr_results = engine.search_batch(batch)
+        adapter = LegacySearcherAdapter(acorn_index)
+        with SearchEngine(adapter, num_workers=2) as engine:
+            legacy_results = engine.search_batch(batch)
+        for csr, legacy in zip(csr_results, legacy_results):
+            assert_results_identical(csr, legacy)
+
+
+class TestStrategyEquivalence:
+    """Vectorized CSR strategies vs the per-entry dict loops."""
+
+    @pytest.fixture(scope="class")
+    def levels(self, acorn_index):
+        csr = freeze_graph(acorn_index.graph)
+        dicts = freeze_graph_dict(acorn_index.graph)
+        return csr, dicts
+
+    def _masks(self, acorn_index):
+        n = len(acorn_index)
+        gen = np.random.default_rng(5)
+        yield np.ones(n, dtype=bool)
+        yield np.zeros(n, dtype=bool)
+        for density in (0.05, 0.3, 0.7):
+            yield gen.random(n) < density
+
+    def test_filtered(self, acorn_index, levels):
+        csr, dicts = levels
+        for mask in self._masks(acorn_index):
+            for node in dicts[0]:
+                assert (
+                    filtered_neighbors(csr[0], node, mask).tolist()
+                    == filtered_neighbors_dict(dicts[0], node, mask)
+                )
+
+    @pytest.mark.parametrize("m_beta", [0, 2, 8, 16, 64])
+    def test_compressed(self, acorn_index, levels, m_beta):
+        csr, dicts = levels
+        for mask in self._masks(acorn_index):
+            for node in list(dicts[0])[::7]:
+                assert (
+                    compressed_neighbors(csr[0], node, mask, m_beta).tolist()
+                    == compressed_neighbors_dict(dicts[0], node, mask, m_beta)
+                )
+
+    def test_expanded(self, acorn_index, levels):
+        csr, dicts = levels
+        for mask in self._masks(acorn_index):
+            for node in list(dicts[0])[::7]:
+                assert (
+                    expanded_neighbors(csr[0], node, mask).tolist()
+                    == expanded_neighbors_dict(dicts[0], node, mask)
+                )
+
+    @pytest.mark.parametrize("m", [0, 1, 4, 99])
+    def test_truncated(self, levels, m):
+        csr, dicts = levels
+        for node in dicts[0]:
+            assert (
+                truncated_neighbors(csr[0], node, m).tolist()
+                == truncated_neighbors_dict(dicts[0], node, m)
+            )
+
+    def test_upper_levels_too(self, acorn_index, levels):
+        csr, dicts = levels
+        mask = np.ones(len(acorn_index), dtype=bool)
+        for lev in range(1, len(dicts)):
+            for node in dicts[lev]:
+                assert (
+                    filtered_neighbors(csr[lev], node, mask).tolist()
+                    == filtered_neighbors_dict(dicts[lev], node, mask)
+                )
+
+
+class TestFrozenLevelContract:
+    def test_csr_arrays_read_only(self, acorn_index):
+        for level in acorn_index.freeze():
+            assert not level.indptr.flags.writeable
+            assert not level.indices.flags.writeable
+            assert not level.node_ids.flags.writeable
+
+    def test_level_len_and_contains(self, acorn_index):
+        csr = freeze_graph(acorn_index.graph)
+        dicts = freeze_graph_dict(acorn_index.graph)
+        for level_csr, level_dict in zip(csr, dicts):
+            assert len(level_csr) == len(level_dict)
+            for node in level_dict:
+                assert node in level_csr
+
+    def test_absent_nodes_have_empty_slices(self, acorn_index):
+        csr = freeze_graph(acorn_index.graph)
+        if len(csr) < 2:
+            pytest.skip("graph has a single level")
+        top = csr[-1]
+        dicts = freeze_graph_dict(acorn_index.graph)
+        absent = set(dicts[0]) - set(dicts[-1])
+        if not absent:
+            pytest.skip("all nodes reach the top level")
+        node = next(iter(absent))
+        assert node not in top
+        assert top[node].size == 0
+
+
+class TestMaterializedExpansion:
+    """attach_expansion's fast path vs the dynamic path vs the dict loop.
+
+    The materialized lists must be invisible at the result level: for
+    every mask, slicing the precomputed deduplicated sequence and
+    gathering the mask yields exactly what the dynamic per-hop
+    expansion (and the legacy dict loop) yields.
+    """
+
+    @pytest.fixture()
+    def fresh_level(self, acorn_index):
+        # A private snapshot so attaching here never leaks into the
+        # module-scoped fixtures used by the other test classes.
+        return freeze_graph(acorn_index.graph)[0]
+
+    @pytest.mark.parametrize("m_beta", [0, 2, 8, 16])
+    def test_fast_path_matches_dynamic_and_dict(
+        self, acorn_index, fresh_level, m_beta
+    ):
+        dict_level = freeze_graph_dict(acorn_index.graph)[0]
+        dynamic = {}
+        n = len(acorn_index)
+        gen = np.random.default_rng(11)
+        masks = [np.ones(n, dtype=bool), np.zeros(n, dtype=bool),
+                 gen.random(n) < 0.3]
+        nodes = list(dict_level)[::5]
+        for i, mask in enumerate(masks):
+            for node in nodes:
+                dynamic[i, node] = compressed_neighbors(
+                    fresh_level, node, mask, m_beta
+                ).tolist()
+        assert attach_expansion(fresh_level, m_beta)
+        assert m_beta in fresh_level._expansions
+        for i, mask in enumerate(masks):
+            for node in nodes:
+                fast = compressed_neighbors(
+                    fresh_level, node, mask, m_beta
+                ).tolist()
+                assert fast == dynamic[i, node]
+                assert fast == compressed_neighbors_dict(
+                    dict_level, node, mask, m_beta
+                )
+
+    def test_attach_is_idempotent(self, fresh_level):
+        assert attach_expansion(fresh_level, 4)
+        first = fresh_level._expansions[4]
+        assert attach_expansion(fresh_level, 4)
+        assert fresh_level._expansions[4] is first
+
+    def test_budget_rejection_leaves_level_unchanged(self, fresh_level):
+        # An absurdly small bound must refuse to materialize; the
+        # dynamic path still answers correctly afterwards.
+        assert not attach_expansion(fresh_level, 4, max_ratio=0.01)
+        assert 4 not in fresh_level._expansions
+        mask = np.ones(fresh_level.num_ids, dtype=bool)
+        node = int(fresh_level.node_ids[0])
+        got = compressed_neighbors(fresh_level, node, mask, 4)
+        assert isinstance(got, np.ndarray)
+
+    def test_expansion_arrays_read_only(self, fresh_level):
+        assert attach_expansion(fresh_level, 8)
+        exp_indptr, exp_indices = fresh_level._expansions[8]
+        assert not exp_indptr.flags.writeable
+        assert not exp_indices.flags.writeable
+
+    def test_production_acorn_gamma_attaches(self, acorn_index):
+        frozen = acorn_index.freeze()
+        assert acorn_index.params.m_beta in frozen[0]._expansions

@@ -80,3 +80,51 @@ class TestTombstones:
         assert searcher.last_decision.used_prefilter
         assert 7 not in after.ids
         idx.unmark_deleted(7)
+
+
+class TestTombstoneMaskCache:
+    def test_composed_mask_reused_across_queries(self, index):
+        idx, vectors = index
+        idx.mark_deleted(7)
+        pred = Equals("label", 1)
+        compiled = pred.compile(idx.table)
+        first = idx._effective_mask(compiled.mask)
+        second = idx._effective_mask(compiled.mask)
+        assert first is second
+        assert not first.flags.writeable
+        assert not first[7]
+
+    def test_cache_invalidated_by_deletion_changes(self, index):
+        idx, vectors = index
+        idx.mark_deleted(7)
+        compiled = Equals("label", 1).compile(idx.table)
+        first = idx._effective_mask(compiled.mask)
+        idx.mark_deleted(9)
+        second = idx._effective_mask(compiled.mask)
+        assert second is not first
+        assert not second[9]
+        idx.unmark_deleted(9)
+        third = idx._effective_mask(compiled.mask)
+        assert third is not second
+        assert third[9] or not compiled.mask[9]
+
+    def test_no_tombstones_passthrough(self, index):
+        idx, vectors = index
+        compiled = Equals("label", 0).compile(idx.table)
+        assert idx._effective_mask(compiled.mask) is compiled.mask
+
+    def test_source_mask_never_mutated(self, index):
+        idx, vectors = index
+        compiled = Equals("label", 2).compile(idx.table)
+        before = compiled.mask.copy()
+        idx.mark_deleted(int(np.flatnonzero(compiled.mask)[0]))
+        idx._effective_mask(compiled.mask)
+        np.testing.assert_array_equal(compiled.mask, before)
+
+    def test_cache_bounded(self, index):
+        idx, vectors = index
+        idx.mark_deleted(3)
+        masks = [np.ones(len(idx), dtype=bool) for _ in range(12)]
+        for mask in masks:
+            idx._effective_mask(mask)
+        assert len(idx._mask_cache) <= 8

@@ -39,19 +39,19 @@ def _mask(size, passing):
 class TestFilteredNeighbors:
     def test_keeps_passing_in_list_order(self, adjacency):
         mask = _mask(8, {2, 4})
-        assert filtered_neighbors(adjacency, 0, mask) == [2, 4]
+        assert filtered_neighbors(adjacency, 0, mask).tolist() == [2, 4]
 
     def test_all_pass_returns_whole_list(self, adjacency):
         mask = _mask(8, set(range(8)))
-        assert filtered_neighbors(adjacency, 0, mask) == [1, 2, 3, 4]
+        assert filtered_neighbors(adjacency, 0, mask).tolist() == [1, 2, 3, 4]
 
     def test_all_fail(self, adjacency):
         mask = _mask(8, set())
-        assert filtered_neighbors(adjacency, 0, mask) == []
+        assert filtered_neighbors(adjacency, 0, mask).tolist() == []
 
     def test_empty_list(self, adjacency):
         mask = _mask(8, {0, 1})
-        assert filtered_neighbors(adjacency, 4, mask) == []
+        assert filtered_neighbors(adjacency, 4, mask).tolist() == []
 
 
 class TestCompressedNeighbors:
@@ -59,7 +59,7 @@ class TestCompressedNeighbors:
         # With m_beta covering the whole list there is no expansion.
         mask = _mask(8, {1, 2})
         got = compressed_neighbors(adjacency, 0, mask, m_beta=4)
-        assert got == [1, 2]
+        assert got.tolist() == [1, 2]
 
     def test_two_hop_recovery_past_m_beta(self, adjacency):
         # With m_beta=2, entries 3 and 4 are expansion sources; node 7
@@ -73,12 +73,12 @@ class TestCompressedNeighbors:
         # m_beta=4): head entries are filtered, never expanded.
         mask = _mask(8, {5})
         got = compressed_neighbors(adjacency, 0, mask, m_beta=4)
-        assert got == []
+        assert got.tolist() == []
 
     def test_expansion_source_itself_included_when_passing(self, adjacency):
         mask = _mask(8, {3})
         got = compressed_neighbors(adjacency, 0, mask, m_beta=2)
-        assert got == [3]
+        assert got.tolist() == [3]
 
     def test_no_duplicates(self, adjacency):
         mask = _mask(8, {1, 3, 5, 7})
@@ -94,20 +94,20 @@ class TestCompressedNeighbors:
 
     def test_empty_list(self, adjacency):
         mask = _mask(8, {0})
-        assert compressed_neighbors(adjacency, 4, mask, m_beta=2) == []
+        assert compressed_neighbors(adjacency, 4, mask, m_beta=2).tolist() == []
 
 
 class TestExpandedNeighbors:
     def test_reaches_two_hops(self, adjacency):
         # From node 5: one-hop {1}, two-hop {0, 5}. Node 0 passes.
         mask = _mask(8, {0})
-        assert expanded_neighbors(adjacency, 5, mask) == [0]
+        assert expanded_neighbors(adjacency, 5, mask).tolist() == [0]
 
     def test_equivalent_to_compressed_beta_zero(self, adjacency):
         mask = _mask(8, {1, 5, 7})
         a = expanded_neighbors(adjacency, 0, mask)
         b = compressed_neighbors(adjacency, 0, mask, m_beta=0)
-        assert a == b
+        assert a.tolist() == b.tolist()
 
     def test_collects_full_two_hop_set(self, adjacency):
         mask = _mask(8, set(range(8)))
@@ -118,7 +118,7 @@ class TestExpandedNeighbors:
 
 class TestTruncatedNeighbors:
     def test_first_m_regardless_of_predicate(self, adjacency):
-        assert truncated_neighbors(adjacency, 0, m=2) == [1, 2]
+        assert truncated_neighbors(adjacency, 0, m=2).tolist() == [1, 2]
 
     def test_shorter_list_returned_whole(self, adjacency):
-        assert truncated_neighbors(adjacency, 2, m=5) == [6]
+        assert truncated_neighbors(adjacency, 2, m=5).tolist() == [6]

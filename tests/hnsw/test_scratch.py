@@ -1,0 +1,121 @@
+"""Property tests for the epoch-stamped traversal scratch.
+
+The one invariant that matters: a mark made in one scope is never
+visible in any other scope — including across the uint32 epoch
+rollover, where a stale stamp could otherwise alias a recycled epoch
+value.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hnsw.scratch import MAX_EPOCH, TraversalScratch, thread_scratch
+
+
+@settings(max_examples=80)
+@given(
+    n=st.integers(1, 64),
+    scopes=st.lists(
+        st.lists(st.integers(0, 63), max_size=8), min_size=1, max_size=6
+    ),
+)
+def test_marks_never_leak_between_scopes(n, scopes):
+    """Whatever was marked before ``begin`` is unmarked after it."""
+    scratch = TraversalScratch(n)
+    previous: set[int] = set()
+    for marks in scopes:
+        scratch.begin(n)
+        for node in previous:
+            assert not scratch.is_marked(node % n)
+        current = {node % n for node in marks}
+        for node in current:
+            scratch.mark(node)
+            assert scratch.is_marked(node)
+        for node in range(n):
+            assert scratch.is_marked(node) == (node in current)
+        previous = current
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(1, 64),
+    start_offset=st.integers(0, 3),
+    marks=st.lists(st.integers(0, 63), min_size=1, max_size=8),
+)
+def test_rollover_clears_stale_stamps(n, start_offset, marks):
+    """Epochs wrapping past uint32 max cannot resurrect old marks."""
+    scratch = TraversalScratch(n)
+    # Jump the counter to the edge of the dtype and plant stale stamps.
+    scratch.epoch = MAX_EPOCH - start_offset
+    planted = [node % n for node in marks]
+    scratch.mark_many(np.asarray(planted, dtype=np.intp))
+    for _ in range(start_offset + 2):  # crosses MAX_EPOCH at least once
+        epoch = scratch.begin(n)
+        assert 1 <= epoch <= MAX_EPOCH
+        for node in range(n):
+            assert not scratch.is_marked(node)
+    # The array was zeroed exactly at the wrap: every surviving stamp
+    # must be strictly below the live epoch.
+    assert scratch.visited.max(initial=0) <= scratch.epoch
+
+
+@settings(max_examples=40)
+@given(
+    initial=st.integers(0, 16),
+    grow_to=st.integers(0, 128),
+    marks=st.lists(st.integers(0, 15), max_size=6),
+)
+def test_growth_preserves_current_scope_marks(initial, grow_to, marks):
+    scratch = TraversalScratch(initial)
+    scratch.begin(max(initial, 1))
+    kept = [node % max(initial, 1) for node in marks if node < initial]
+    for node in kept:
+        scratch.mark(node)
+    epoch_before = scratch.epoch
+    if scratch.visited.size < grow_to:
+        # Trigger growth without opening a new scope.
+        grown = np.zeros(grow_to, dtype=scratch.visited.dtype)
+        grown[: scratch.visited.size] = scratch.visited
+        scratch.visited = grown
+    scratch.begin(grow_to)  # growth path inside begin
+    assert scratch.epoch == epoch_before + 1
+    for node in range(scratch.visited.size):
+        assert not scratch.is_marked(node)
+
+
+def test_begin_grows_capacity_and_keeps_marks_distinct():
+    scratch = TraversalScratch(4)
+    scratch.begin(4)
+    scratch.mark(3)
+    scratch.begin(100)  # grow mid-stream
+    assert scratch.visited.size >= 100
+    assert not scratch.is_marked(3)
+    scratch.mark(99)
+    assert scratch.is_marked(99)
+
+
+def test_thread_scratch_is_per_thread_singleton():
+    first = thread_scratch(10)
+    second = thread_scratch(50)
+    assert first is second
+
+    seen: dict[str, TraversalScratch] = {}
+
+    def grab(key: str) -> None:
+        seen[key] = thread_scratch(10)
+
+    threads = [threading.Thread(target=grab, args=(f"t{i}",)) for i in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    scratches = list(seen.values())
+    assert len(scratches) == 3
+    assert len({id(s) for s in scratches}) == 3
+    for scratch in scratches:
+        assert scratch is not first

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.vectors.distance import DistanceComputer
+from repro.hnsw.scratch import TraversalScratch
 from repro.hnsw.traversal import greedy_descent, search_layer
 
 
@@ -21,26 +22,30 @@ def _entry(computer, query, node):
     return [(computer.distance_one(query, node), node)]
 
 
+def _scratch(*seeds, n=10):
+    scratch = TraversalScratch(n)
+    scratch.begin(n)
+    for seed in seeds:
+        scratch.mark(seed)
+    return scratch
+
+
 class TestSearchLayer:
     def test_finds_nearest_from_far_entry(self, line_world):
         computer, adjacency = line_world
         query = np.array([8.9], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
         got = search_layer(
             computer, query, _entry(computer, query, 0), ef=3,
-            neighbor_fn=lambda c: adjacency[c], visited=visited,
+            neighbor_fn=lambda c: adjacency[c], scratch=_scratch(0),
         )
         assert [nid for _, nid in got] == [9, 8, 7]
 
     def test_returns_sorted_ascending(self, line_world):
         computer, adjacency = line_world
         query = np.array([4.2], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
         got = search_layer(
             computer, query, _entry(computer, query, 0), ef=5,
-            neighbor_fn=lambda c: adjacency[c], visited=visited,
+            neighbor_fn=lambda c: adjacency[c], scratch=_scratch(0),
         )
         dists = [d for d, _ in got]
         assert dists == sorted(dists)
@@ -48,11 +53,9 @@ class TestSearchLayer:
     def test_ef_bounds_result_size(self, line_world):
         computer, adjacency = line_world
         query = np.array([5.0], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
         got = search_layer(
             computer, query, _entry(computer, query, 0), ef=2,
-            neighbor_fn=lambda c: adjacency[c], visited=visited,
+            neighbor_fn=lambda c: adjacency[c], scratch=_scratch(0),
         )
         assert len(got) <= 2
 
@@ -63,29 +66,25 @@ class TestSearchLayer:
             search_layer(
                 computer, query, [], ef=0,
                 neighbor_fn=lambda c: adjacency[c],
-                visited=np.zeros(10, dtype=bool),
+                scratch=_scratch(),
             )
 
     def test_empty_neighborhood_terminates(self, line_world):
         computer, _ = line_world
         query = np.array([5.0], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
         got = search_layer(
             computer, query, _entry(computer, query, 0), ef=4,
-            neighbor_fn=lambda c: [], visited=visited,
+            neighbor_fn=lambda c: [], scratch=_scratch(0),
         )
         assert [nid for _, nid in got] == [0]
 
     def test_visited_nodes_not_reexpanded(self, line_world):
         computer, adjacency = line_world
         query = np.array([9.0], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
-        visited[5] = True  # pretend 5 was already seen: chain is cut
+        scratch = _scratch(0, 5)  # pretend 5 was already seen: chain is cut
         got = search_layer(
             computer, query, _entry(computer, query, 0), ef=10,
-            neighbor_fn=lambda c: adjacency[c], visited=visited,
+            neighbor_fn=lambda c: adjacency[c], scratch=scratch,
         )
         found = {nid for _, nid in got}
         assert found == {0, 1, 2, 3, 4}
@@ -94,14 +93,38 @@ class TestSearchLayer:
         computer, adjacency = line_world
         computer.reset()
         query = np.array([9.0], dtype=np.float32)
-        visited = np.zeros(10, dtype=bool)
-        visited[0] = True
         search_layer(
             computer, query, _entry(computer, query, 0), ef=10,
-            neighbor_fn=lambda c: adjacency[c], visited=visited,
+            neighbor_fn=lambda c: adjacency[c], scratch=_scratch(0),
         )
         # 1 entry distance + 9 neighbor evaluations, each exactly once.
         assert computer.count == 10
+
+    def test_ndarray_neighborhoods(self, line_world):
+        """CSR-style int32 neighbor arrays take the no-conversion path."""
+        computer, adjacency = line_world
+        arrays = {c: np.asarray(v, dtype=np.int32)
+                  for c, v in adjacency.items()}
+        query = np.array([8.9], dtype=np.float32)
+        got = search_layer(
+            computer, query, _entry(computer, query, 0), ef=3,
+            neighbor_fn=lambda c: arrays[c], scratch=_scratch(0),
+        )
+        assert [nid for _, nid in got] == [9, 8, 7]
+
+    def test_scratch_epoch_reuse_is_fresh(self, line_world):
+        """Reusing one scratch across calls must not leak visited marks."""
+        computer, adjacency = line_world
+        scratch = TraversalScratch(10)
+        query = np.array([8.9], dtype=np.float32)
+        for _ in range(3):
+            scratch.begin(10)
+            scratch.mark(0)
+            got = search_layer(
+                computer, query, _entry(computer, query, 0), ef=3,
+                neighbor_fn=lambda c: adjacency[c], scratch=scratch,
+            )
+            assert [nid for _, nid in got] == [9, 8, 7]
 
 
 class TestGreedyDescent:
@@ -115,3 +138,17 @@ class TestGreedyDescent:
             num_nodes=10,
         )
         assert best[1] == 7
+
+    def test_shared_scratch(self, line_world):
+        computer, adjacency = line_world
+        query = np.array([7.1], dtype=np.float32)
+        entry = (computer.distance_one(query, 0), 0)
+        scratch = TraversalScratch(10)
+        best = greedy_descent(
+            computer, query, entry, levels=[0, 0, 0],
+            neighbor_fn_for_level=lambda lev: (lambda c: adjacency[c]),
+            num_nodes=10, scratch=scratch,
+        )
+        assert best[1] == 7
+        # Three levels -> three epochs on the one shared buffer.
+        assert scratch.epoch == 3

@@ -55,7 +55,7 @@ def test_filtered_matches_bruteforce(world, node_pick):
     node = node_pick % len(adjacency)
     got = filtered_neighbors(adjacency, node, mask)
     want = [v for v in adjacency[node].tolist() if mask[v]]
-    assert got == want
+    assert got.tolist() == want
 
 
 @settings(max_examples=60)

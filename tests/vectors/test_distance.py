@@ -116,3 +116,44 @@ class TestDistanceComputer:
         computer = DistanceComputer(base)
         assert computer.dim == 8
         assert len(computer) == 50
+
+
+class TestPrecomputedCosineNorms:
+    @pytest.fixture
+    def base(self):
+        gen = np.random.default_rng(77)
+        return gen.standard_normal((40, 8)).astype(np.float32)
+
+    def test_matches_naive_kernel_bitwise(self, base):
+        # The norm-cached path must reproduce the naive kernel exactly:
+        # same multiply order, same float32 promotion.
+        query = base[3] * 1.7
+        cached = DistanceComputer(base, metric="cosine")
+        naive = pairwise_distances(base, query, metric="cosine")[0]
+        got = cached.distances_to(query, np.arange(len(base)))
+        np.testing.assert_allclose(got, naive, rtol=1e-6, atol=1e-7)
+
+    def test_accepts_external_norms(self, base):
+        norms = np.linalg.norm(base, axis=1)
+        computer = DistanceComputer(base, metric="cosine", base_norms=norms)
+        a = computer.distances_to(base[0], np.arange(10))
+        b = DistanceComputer(base, metric="cosine").distances_to(
+            base[0], np.arange(10)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_misaligned_norms(self, base):
+        with pytest.raises(ValueError, match="norms"):
+            DistanceComputer(base, metric="cosine",
+                             base_norms=np.ones(3, dtype=np.float32))
+
+    def test_norms_ignored_for_l2(self, base):
+        computer = DistanceComputer(base, metric="l2",
+                                    base_norms=np.ones(3))
+        assert computer._base_norms is None
+
+    def test_zero_vector_guard(self, base):
+        padded = np.vstack([base, np.zeros((1, 8), dtype=np.float32)])
+        computer = DistanceComputer(padded, metric="cosine")
+        got = computer.distances_to(padded[0], np.array([len(padded) - 1]))
+        assert np.isfinite(got).all()

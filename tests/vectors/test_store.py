@@ -72,3 +72,30 @@ class TestNbytes:
     def test_matches_payload(self):
         store = VectorStore.from_array(np.zeros((10, 8), dtype=np.float32))
         assert store.nbytes() == 10 * 8 * 4
+
+
+class TestNormCache:
+    def test_none_for_non_cosine(self):
+        store = VectorStore.from_array(np.ones((4, 2), dtype=np.float32))
+        assert store.base_norms() is None
+
+    def test_incremental_norms_match_full_recompute(self):
+        gen = np.random.default_rng(13)
+        store = VectorStore(4, metric="cosine")
+        for chunk in np.split(gen.standard_normal((30, 4)).astype(np.float32), 3):
+            for vec in chunk:
+                store.add(vec)
+            norms = store.base_norms()
+            want = np.linalg.norm(store.vectors, axis=1)
+            np.testing.assert_array_equal(norms, want)
+
+    def test_computer_snapshot_keeps_old_norms(self):
+        gen = np.random.default_rng(14)
+        store = VectorStore(4, metric="cosine")
+        store.add(gen.standard_normal(4).astype(np.float32))
+        computer = store.computer()
+        store.add(gen.standard_normal(4).astype(np.float32))
+        store.base_norms()
+        # The earlier computer still sees exactly one row and one norm.
+        assert len(computer) == 1
+        assert computer._base_norms.shape[0] == 1
