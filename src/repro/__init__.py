@@ -67,6 +67,13 @@ from repro.predicates import (
     RegexMatch,
     TruePredicate,
 )
+from repro.shard import (
+    AttributeRangePartitioner,
+    HashPartitioner,
+    ShardLoadError,
+    ShardRouter,
+    ShardedAcornIndex,
+)
 from repro.vectors import Metric, VectorStore
 
 __version__ = "1.0.0"
@@ -76,6 +83,7 @@ __all__ = [
     "AcornOneIndex",
     "AcornParams",
     "And",
+    "AttributeRangePartitioner",
     "AttributeTable",
     "BatchResult",
     "Between",
@@ -84,6 +92,7 @@ __all__ = [
     "ContainsAny",
     "Equals",
     "FlatAcornIndex",
+    "HashPartitioner",
     "HnswIndex",
     "HybridDataset",
     "HybridQuery",
@@ -101,6 +110,9 @@ __all__ = [
     "RegexMatch",
     "SearchEngine",
     "SearchResult",
+    "ShardLoadError",
+    "ShardRouter",
+    "ShardedAcornIndex",
     "TruePredicate",
     "VectorStore",
     "__version__",

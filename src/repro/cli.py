@@ -7,13 +7,16 @@ dataset surrogates without touching pytest::
     python -m repro correlation --n 2000
     python -m repro bench-batch --n 10000 --queries 256 --workers 4
     python -m repro bench-traversal --n 10000 --queries 128
+    python -m repro bench-shard --n 10000 --shards 4
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
 ``bench-batch`` additionally appends a JSON record to
-``BENCH_engine.json`` and ``bench-traversal`` to ``BENCH_traversal.json``
-(CSR kernel vs the legacy dict kernel; ``--smoke`` turns it into a CI
-regression gate).
+``BENCH_engine.json``, ``bench-traversal`` to ``BENCH_traversal.json``
+(CSR kernel vs the legacy dict kernel) and ``bench-shard`` to
+``BENCH_shard.json`` (scatter-gather over a sharded index vs the single
+monolithic index, with router-pruning accounting; ``--smoke`` turns
+either into a CI regression gate).
 """
 
 from __future__ import annotations
@@ -395,6 +398,165 @@ def _cmd_bench_traversal(args: argparse.Namespace) -> None:
         )
 
 
+SHARD_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "n_shards", "workers", "smoke", "partitioner",
+    "unsharded_qps", "sharded_qps", "qps_ratio", "shards_probed",
+    "shards_pruned", "prune_fraction", "results_identical",
+    "latency_s",
+}
+
+
+def validate_shard_entry(entry: dict) -> None:
+    """Check one BENCH_shard.json record against the schema.
+
+    Beyond key presence and types, enforces the router's accounting
+    invariant: every query either probes or prunes each shard, so
+    ``shards_probed + shards_pruned == queries * n_shards``.
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            shard accounting does not balance.  Used by the CI smoke
+            job and ``tests/test_cli.py``.
+    """
+    missing = SHARD_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-shard entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "n_shards", "workers", "shards_probed", "shards_pruned"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("unsharded_qps", "sharded_qps", "qps_ratio",
+                "prune_fraction"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    if not isinstance(entry["results_identical"], bool):
+        raise ValueError("results_identical must be a bool")
+    if not isinstance(entry["latency_s"], dict):
+        raise ValueError("latency_s must be an object")
+    expected = entry["queries"] * entry["n_shards"]
+    actual = entry["shards_probed"] + entry["shards_pruned"]
+    if actual != expected:
+        raise ValueError(
+            f"shard accounting does not balance: probed + pruned = "
+            f"{actual}, expected queries * n_shards = {expected}"
+        )
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> None:
+    from repro.predicates import Between
+    from repro.shard import AttributeRangePartitioner, ShardedAcornIndex
+
+    if args.smoke:
+        args.n = min(args.n, 1200)
+        args.queries = min(args.queries, 32)
+    print(f"generating sharded workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries}, shards={args.shards})...")
+    vectors, table, queries, _ = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+    # A numeric column the range partitioner can split on, with query
+    # windows narrow enough that the router can prove shards empty.
+    gen = np.random.default_rng(args.seed + 1)
+    years = gen.integers(2000, 2000 + 4 * args.shards, size=args.n)
+    table.add_int_column("year", years)
+    span = 4 * args.shards
+    predicates = [
+        Between("year", 2000 + (i * 3) % span,
+                2000 + (i * 3) % span + 2)
+        for i in range(args.queries)
+    ]
+
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        reference = AcornIndex.build(vectors, table, params=params,
+                                     seed=args.seed)
+    print(f"built monolithic ACORN-gamma in {t.elapsed:.1f}s")
+    with Timer() as t:
+        sharded = ShardedAcornIndex.build(
+            vectors, table,
+            partitioner=AttributeRangePartitioner("year",
+                                                  n_shards=args.shards),
+            params=params, seed=args.seed,
+        )
+    print(f"built {args.shards}-shard ACORN-gamma in {t.elapsed:.1f}s")
+
+    # In smoke mode saturate ef so sharded results are provably
+    # identical to the monolithic index (the exhaustive regime).
+    ef = args.n if args.smoke else args.ef
+    batch = QueryBatch.build(queries, predicates, k=args.k, ef_search=ef)
+    outcomes = {}
+    for name, searcher in (("unsharded", reference), ("sharded", sharded)):
+        with SearchEngine(searcher, num_workers=args.workers) as engine:
+            with Timer() as t:
+                outcomes[name] = engine.search_batch(batch)
+            outcomes[name + "_qps"] = len(queries) / t.elapsed
+
+    identical = all(
+        np.array_equal(a.ids, b.ids)
+        for a, b in zip(outcomes["unsharded"].results,
+                        outcomes["sharded"].results)
+    )
+    sharded_out = outcomes["sharded"]
+    probed = sharded_out.total_shards_probed
+    pruned = sharded_out.total_shards_pruned
+    prune_fraction = pruned / max(probed + pruned, 1)
+    latency = percentile_summary(
+        s.wall_time_s for s in sharded_out.stats
+    )
+    qps_ratio = outcomes["sharded_qps"] / max(outcomes["unsharded_qps"],
+                                              1e-9)
+
+    print(f"\nunsharded engine : {outcomes['unsharded_qps']:10.1f} qps")
+    print(f"sharded engine   : {outcomes['sharded_qps']:10.1f} qps "
+          f"({qps_ratio:.2f}x)")
+    print(f"router           : {probed} shard probes, {pruned} pruned "
+          f"({prune_fraction:.0%} of shard visits avoided)")
+    print(f"results identical: {identical}")
+
+    entry = {
+        "bench": "shard-scatter-gather",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "n_shards": args.shards,
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "partitioner": sharded.partitioner.spec(),
+        "unsharded_qps": round(outcomes["unsharded_qps"], 2),
+        "sharded_qps": round(outcomes["sharded_qps"], 2),
+        "qps_ratio": round(qps_ratio, 3),
+        "shards_probed": int(probed),
+        "shards_pruned": int(pruned),
+        "prune_fraction": round(prune_fraction, 4),
+        "results_identical": bool(identical),
+        "latency_s": dataclasses.asdict(latency),
+    }
+    validate_shard_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+    if args.smoke:
+        if pruned == 0:
+            raise SystemExit(
+                "smoke check failed: router pruned no shards on "
+                "range-partitioned data with selective predicates"
+            )
+        if not identical:
+            raise SystemExit(
+                "smoke check failed: sharded results diverged from the "
+                "monolithic index in the exhaustive regime"
+            )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -467,6 +629,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="small workload; exit nonzero if CSR is slower than dict",
     )
     trav.set_defaults(func=_cmd_bench_traversal)
+
+    shard = sub.add_parser(
+        "bench-shard",
+        help="sharded scatter-gather vs the monolithic index",
+    )
+    shard.add_argument("--n", type=int, default=10000)
+    shard.add_argument("--queries", type=int, default=128)
+    shard.add_argument("--dim", type=int, default=32)
+    shard.add_argument("--k", type=int, default=10)
+    shard.add_argument("--m", type=int, default=12)
+    shard.add_argument("--gamma", type=int, default=12)
+    shard.add_argument("--ef", type=int, default=32)
+    shard.add_argument("--workers", type=int, default=4)
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--distinct-predicates", type=int, default=8)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--out", default="BENCH_shard.json")
+    shard.add_argument(
+        "--smoke", action="store_true",
+        help="small workload at saturating ef; exit nonzero unless the "
+             "router pruned shards and results match the monolithic index",
+    )
+    shard.set_defaults(func=_cmd_bench_shard)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -88,8 +88,10 @@ class QueryBatch:
             predicates = list(predicates)
             if len(predicates) != queries.shape[0]:
                 raise ValueError(
-                    f"{queries.shape[0]} queries but {len(predicates)} "
-                    "predicates"
+                    f"QueryBatch.build got {queries.shape[0]} queries but "
+                    f"{len(predicates)} predicates; pass exactly one "
+                    "predicate per query, or a single Predicate/"
+                    "CompiledPredicate to broadcast across the batch"
                 )
         return cls(
             queries=queries,
@@ -140,6 +142,16 @@ class BatchResult:
         return sum(1 for s in self.stats if s.predicate_cache_hit)
 
     @property
+    def total_shards_probed(self) -> int:
+        """Sum of per-query probed-shard counts (0 for unsharded)."""
+        return sum(s.shards_probed for s in self.stats)
+
+    @property
+    def total_shards_pruned(self) -> int:
+        """Sum of per-query router-pruned-shard counts (0 for unsharded)."""
+        return sum(s.shards_pruned for s in self.stats)
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -175,6 +187,8 @@ class BatchResult:
             "total_distance_computations": self.total_distance_computations,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "shards_probed": self.total_shards_probed,
+            "shards_pruned": self.total_shards_pruned,
         }
 
 
@@ -217,10 +231,17 @@ class SearchEngine:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        """Shut the worker pool down.
+
+        Idempotent and interpreter-teardown safe: a second ``close``
+        (including the implicit one from ``__del__`` after an explicit
+        close, or a ``__del__`` racing a failed ``__init__``) is a
+        no-op rather than an error.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
             self._pool = None
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "SearchEngine":
         return self
@@ -295,6 +316,8 @@ class SearchEngine:
                 visited_nodes=int(getattr(result, "visited_nodes", 0)),
                 predicate_cache_hit=hit_flags[index],
                 wall_time_s=elapsed,
+                shards_probed=int(getattr(result, "shards_probed", 0)),
+                shards_pruned=int(getattr(result, "shards_pruned", 0)),
             )
             return result, stats
 

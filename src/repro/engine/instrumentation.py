@@ -31,6 +31,12 @@ class QueryStats:
             False when the engine had to materialize the mask.
         wall_time_s: wall-clock seconds spent inside the underlying
             ``search`` call, measured on the worker thread.
+        shards_probed: shards that executed a search for this query
+            (0 for unsharded searchers).
+        shards_pruned: shards the router proved empty and skipped
+            (0 for unsharded searchers).  For a sharded searcher
+            ``shards_probed + shards_pruned`` equals its shard count —
+            the accounting invariant the shard test suite pins.
     """
 
     query_index: int
@@ -39,6 +45,8 @@ class QueryStats:
     visited_nodes: int
     predicate_cache_hit: bool
     wall_time_s: float
+    shards_probed: int = 0
+    shards_pruned: int = 0
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

@@ -48,6 +48,8 @@ class SweepPoint:
     p50_latency_s: float = 0.0
     p95_latency_s: float = 0.0
     p99_latency_s: float = 0.0
+    mean_shards_probed: float = 0.0
+    mean_shards_pruned: float = 0.0
 
 
 @dataclasses.dataclass
@@ -62,14 +64,16 @@ class MethodSweep:
         ready for external plotting tools."""
         lines = [
             "method,effort,recall,qps,mean_distance_computations,"
-            "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s"
+            "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
+            "mean_shards_probed,mean_shards_pruned"
         ]
         for p in self.points:
             lines.append(
                 f"{self.method},{p.effort},{p.recall:.6f},{p.qps:.3f},"
                 f"{p.mean_distance_computations:.2f},{p.mean_latency_s:.6f},"
                 f"{p.p50_latency_s:.6f},{p.p95_latency_s:.6f},"
-                f"{p.p99_latency_s:.6f}"
+                f"{p.p99_latency_s:.6f},{p.mean_shards_probed:.2f},"
+                f"{p.mean_shards_pruned:.2f}"
             )
         return "\n".join(lines)
 
@@ -160,4 +164,10 @@ class SweepRunner:
             p50_latency_s=latency.p50,
             p95_latency_s=latency.p95,
             p99_latency_s=latency.p99,
+            mean_shards_probed=float(
+                np.mean([s.shards_probed for s in outcome.stats])
+            ),
+            mean_shards_pruned=float(
+                np.mean([s.shards_pruned for s in outcome.stats])
+            ),
         )

@@ -115,7 +115,18 @@ def _unpack_table(archive) -> AttributeTable:
 
 
 def save_index(index, path) -> None:
-    """Serialize an HNSW or ACORN index to ``path`` (.npz)."""
+    """Serialize an index to ``path``.
+
+    Single HNSW/ACORN indexes become one ``.npz`` archive; a
+    :class:`~repro.shard.sharded.ShardedAcornIndex` becomes a manifest
+    *directory* (see :mod:`repro.shard.persistence`).
+    """
+    from repro.shard.persistence import save_sharded
+    from repro.shard.sharded import ShardedAcornIndex
+
+    if isinstance(index, ShardedAcornIndex):
+        save_sharded(index, path)
+        return
     if not isinstance(index, (AcornIndex, HnswIndex)):
         raise TypeError(f"cannot serialize index of type {type(index).__name__}")
     payload: dict = {
@@ -169,7 +180,15 @@ def save_index(index, path) -> None:
 
 
 def load_index(path):
-    """Restore an index previously saved with :func:`save_index`."""
+    """Restore an index previously saved with :func:`save_index`.
+
+    A directory path (or one containing ``manifest.json``) restores a
+    sharded index via :func:`repro.shard.persistence.load_sharded`.
+    """
+    if Path(path).is_dir():
+        from repro.shard.persistence import load_sharded
+
+        return load_sharded(path)
     with np.load(Path(path), allow_pickle=True) as archive:
         version = int(archive["format_version"][0])
         if version != _FORMAT_VERSION:

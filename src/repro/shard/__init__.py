@@ -1,0 +1,73 @@
+"""Sharded ACORN: partitioned indexes with predicate-aware routing.
+
+The serving-scale layer above a single ACORN index: partition the base
+vectors and their :class:`~repro.attributes.table.AttributeTable` across
+N shards, build one frozen-CSR ACORN index per shard, and answer hybrid
+queries by scatter-gather with a streaming top-k merge.  A
+:class:`ShardRouter` consults per-shard attribute summaries (numeric
+min/max, exact small-domain value counts, keyword Bloom digests,
+equi-width histograms) to skip shards whose predicate mask is provably
+empty and to scale per-shard search effort by estimated local
+selectivity.  Pruning is *sound*: a shard is only skipped when no row in
+it can pass the predicate, so sharded results match the per-shard
+exhaustive union exactly.
+
+Quickstart::
+
+    from repro.shard import AttributeRangePartitioner, ShardedAcornIndex
+
+    sharded = ShardedAcornIndex.build(
+        vectors, table,
+        partitioner=AttributeRangePartitioner("year", n_shards=4),
+    )
+    result = sharded.search(query, Between("year", 2001, 2004), k=10)
+    result.shards_pruned, result.shards_probed   # routing visibility
+
+See ``docs/sharding.md`` for partitioner choice, routing rules, merge
+semantics, and the stats contract.
+"""
+
+from repro.shard.partition import (
+    AttributeRangePartitioner,
+    HashPartitioner,
+    Partitioner,
+    ShardAssignment,
+    partitioner_from_spec,
+    subset_table,
+)
+from repro.shard.persistence import ShardLoadError, load_sharded, save_sharded
+from repro.shard.router import ShardDecision, ShardPlan, ShardRouter
+from repro.shard.sharded import (
+    ShardedAcornIndex,
+    ShardedSearchResult,
+    merge_topk,
+)
+from repro.shard.summary import (
+    KeywordDigest,
+    KeywordSummary,
+    NumericSummary,
+    ShardSummary,
+    summarize_table,
+)
+
+__all__ = [
+    "AttributeRangePartitioner",
+    "HashPartitioner",
+    "KeywordDigest",
+    "KeywordSummary",
+    "NumericSummary",
+    "Partitioner",
+    "ShardAssignment",
+    "ShardDecision",
+    "ShardLoadError",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardSummary",
+    "ShardedAcornIndex",
+    "ShardedSearchResult",
+    "load_sharded",
+    "merge_topk",
+    "partitioner_from_spec",
+    "save_sharded",
+    "subset_table",
+]

@@ -1,0 +1,313 @@
+"""Predicate-aware shard routing: provable prunes + effort scaling.
+
+The router turns per-shard :class:`~repro.shard.summary.ShardSummary`
+digests into a :class:`ShardPlan` for one query predicate.  Decisions
+obey one hard invariant — **pruning is sound**: a shard is marked
+``pruned`` only when the summary *proves* that no row of the shard can
+pass the predicate (numeric range disjoint, exhaustive value counts
+missing every probe value, keyword digest miss, boolean combinations
+thereof).  Predicates the summaries cannot reason about (regexes, user
+subclasses) always probe.  Estimation errors therefore degrade only
+efficiency, never results — the same property the paper claims for its
+selectivity-based routing (§5.2).
+
+Beyond pruning, the plan scales each probed shard's ``ef_search`` by
+estimated local selectivity (opt-in): shards that plausibly hold few
+passing rows receive a smaller dynamic list, bounded below by
+``max(k, min_ef)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.predicates.base import Predicate, TruePredicate
+from repro.predicates.boolean import And, Not, Or
+from repro.predicates.compare import Between, Equals, OneOf
+from repro.predicates.contains import ContainsAll, ContainsAny
+from repro.shard.summary import ShardSummary
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardDecision:
+    """The router's verdict for one shard of one query.
+
+    Attributes:
+        shard_id: which shard this decision covers.
+        pruned: True when the shard is provably empty for the predicate
+            and will not be probed.
+        reason: human-readable justification (``"probe"`` when not
+            pruned; a proof sketch such as ``"range[year] disjoint"``
+            when pruned).
+        est_selectivity: estimated local selectivity in [0, 1].
+        ef_search: dynamic-list size to use when probing this shard.
+    """
+
+    shard_id: int
+    pruned: bool
+    reason: str
+    est_selectivity: float
+    ef_search: int
+
+
+@dataclasses.dataclass
+class ShardPlan:
+    """One query's routing decisions, one per shard.
+
+    The plan always covers every shard exactly once, so
+    ``n_pruned + n_probed == n_shards`` — the accounting invariant the
+    instrumentation (and its property test) leans on.
+    """
+
+    decisions: list[ShardDecision]
+
+    @property
+    def n_shards(self) -> int:
+        """Total shards covered by the plan."""
+        return len(self.decisions)
+
+    @property
+    def n_pruned(self) -> int:
+        """Shards the router proved empty."""
+        return sum(1 for d in self.decisions if d.pruned)
+
+    @property
+    def n_probed(self) -> int:
+        """Shards that will execute a search."""
+        return self.n_shards - self.n_pruned
+
+    @property
+    def probed(self) -> list[ShardDecision]:
+        """Decisions for the shards that will be searched, in shard order."""
+        return [d for d in self.decisions if not d.pruned]
+
+
+class ShardRouter:
+    """Plans scatter-gather execution from per-shard summaries.
+
+    Args:
+        summaries: one :class:`~repro.shard.summary.ShardSummary` per
+            shard, in shard order.
+        min_ef: lower bound for scaled per-shard ``ef_search`` (the
+            floor is ``max(k, min_ef)``; ignored unless scaling is on).
+    """
+
+    def __init__(self, summaries: list[ShardSummary], min_ef: int = 16) -> None:
+        self.summaries = list(summaries)
+        self.min_ef = int(min_ef)
+
+    # ------------------------------------------------------------------
+    # Proofs (sound by construction)
+    # ------------------------------------------------------------------
+
+    def _prove_empty(self, s: ShardSummary, p: Predicate) -> str | None:
+        """A reason string when no row of the shard can pass, else None."""
+        if s.n_rows == 0:
+            return "empty shard"
+        if isinstance(p, TruePredicate):
+            return None
+        if isinstance(p, Equals):
+            summary = s.numeric.get(p.column)
+            if summary is not None and isinstance(p.value, (int, float)):
+                value = float(p.value)
+                if value < summary.min or value > summary.max:
+                    return f"{p.column}={p.value!r} outside [min, max]"
+                if (summary.value_counts is not None
+                        and value not in summary.value_counts):
+                    return f"{p.column}={p.value!r} absent from value counts"
+            return None
+        if isinstance(p, OneOf):
+            if all(
+                self._prove_empty(s, Equals(p.column, v)) for v in p.values
+            ):
+                return f"{p.column} IN {p.values!r} all absent"
+            return None
+        if isinstance(p, Between):
+            summary = s.numeric.get(p.column)
+            if summary is None:
+                return None
+            low, high = float(p.low), float(p.high)
+            if high < summary.min or low > summary.max:
+                return f"range[{p.column}] disjoint from [min, max]"
+            if summary.value_counts is not None and not any(
+                low <= value <= high for value in summary.value_counts
+            ):
+                return f"range[{p.column}] misses every counted value"
+            return None
+        if isinstance(p, ContainsAny):
+            summary = s.keywords.get(p.column)
+            if summary is not None and not any(
+                summary.digest.might_contain(kw) for kw in p.keywords
+            ):
+                return f"no keyword of {p.keywords!r} in digest"
+            return None
+        if isinstance(p, ContainsAll):
+            summary = s.keywords.get(p.column)
+            if summary is not None:
+                for kw in p.keywords:
+                    if not summary.digest.might_contain(kw):
+                        return f"required keyword {kw!r} absent from digest"
+            return None
+        if isinstance(p, And):
+            for child in p.children:
+                reason = self._prove_empty(s, child)
+                if reason:
+                    return reason
+            return None
+        if isinstance(p, Or):
+            reasons = [self._prove_empty(s, child) for child in p.children]
+            if all(reasons):
+                return "; ".join(reasons)
+            return None
+        if isinstance(p, Not):
+            if self._prove_full(s, p.child):
+                return "negated predicate matches whole shard"
+            return None
+        return None  # unknown predicate shapes always probe
+
+    def _prove_full(self, s: ShardSummary, p: Predicate) -> bool:
+        """True when every row of the shard provably passes ``p``."""
+        if s.n_rows == 0:
+            return False
+        if isinstance(p, TruePredicate):
+            return True
+        if isinstance(p, Between):
+            summary = s.numeric.get(p.column)
+            return (
+                summary is not None
+                and float(p.low) <= summary.min
+                and summary.max <= float(p.high)
+            )
+        if isinstance(p, Equals):
+            summary = s.numeric.get(p.column)
+            return (
+                summary is not None
+                and isinstance(p.value, (int, float))
+                and summary.value_counts is not None
+                and summary.value_counts.get(float(p.value)) == s.n_rows
+            )
+        if isinstance(p, OneOf):
+            summary = s.numeric.get(p.column)
+            if summary is None or summary.value_counts is None:
+                return False
+            probe = {float(v) for v in p.values
+                     if isinstance(v, (int, float))}
+            covered = sum(
+                count for value, count in summary.value_counts.items()
+                if value in probe
+            )
+            return covered == s.n_rows
+        if isinstance(p, And):
+            return all(self._prove_full(s, child) for child in p.children)
+        if isinstance(p, Or):
+            return any(self._prove_full(s, child) for child in p.children)
+        if isinstance(p, Not):
+            return self._prove_empty(s, p.child) is not None
+        return False
+
+    # ------------------------------------------------------------------
+    # Estimation (advisory only)
+    # ------------------------------------------------------------------
+
+    def estimate(self, shard_id: int, p: Predicate) -> float:
+        """Estimated local selectivity of ``p`` on one shard, in [0, 1]."""
+        return self._estimate(self.summaries[shard_id], p)
+
+    def _estimate(self, s: ShardSummary, p: Predicate) -> float:
+        if s.n_rows == 0 or self._prove_empty(s, p):
+            return 0.0
+        if self._prove_full(s, p):
+            return 1.0
+        if isinstance(p, Equals):
+            summary = s.numeric.get(p.column)
+            if summary is not None and isinstance(p.value, (int, float)):
+                return summary.point_estimate(float(p.value))
+            return 1.0
+        if isinstance(p, OneOf):
+            return min(1.0, sum(
+                self._estimate(s, Equals(p.column, v)) for v in p.values
+            ))
+        if isinstance(p, Between):
+            summary = s.numeric.get(p.column)
+            if summary is not None:
+                return summary.mass_between(float(p.low), float(p.high))
+            return 1.0
+        if isinstance(p, ContainsAny):
+            summary = s.keywords.get(p.column)
+            if summary is None:
+                return 1.0
+            present = sum(
+                1 for kw in p.keywords if summary.digest.might_contain(kw)
+            )
+            return min(1.0, present * summary.mean_doc_frequency)
+        if isinstance(p, ContainsAll):
+            summary = s.keywords.get(p.column)
+            if summary is None:
+                return 1.0
+            return min(
+                (summary.mean_doc_frequency
+                 if summary.digest.might_contain(kw) else 0.0)
+                for kw in p.keywords
+            )
+        if isinstance(p, And):
+            est = 1.0
+            for child in p.children:
+                est *= self._estimate(s, child)
+            return est
+        if isinstance(p, Or):
+            return min(1.0, sum(self._estimate(s, c) for c in p.children))
+        if isinstance(p, Not):
+            return max(0.0, 1.0 - self._estimate(s, p.child))
+        return 1.0  # regexes and unknown shapes: assume everything passes
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        predicate: Predicate,
+        k: int,
+        ef_search: int,
+        scale_ef: bool = False,
+    ) -> ShardPlan:
+        """Route one predicate across all shards.
+
+        Args:
+            predicate: the (raw) query predicate.
+            k: neighbors requested — the absolute floor for scaled ef.
+            ef_search: the caller's dynamic-list size; per-shard values
+                never exceed it.
+            scale_ef: when True, probed shards get
+                ``ef · (local estimate / max estimate)`` bounded to
+                ``[max(k, min_ef), ef]``; when False every probed shard
+                uses ``ef_search`` unchanged (the exhaustive-equivalence
+                mode).
+        """
+        verdicts: list[tuple[str | None, float]] = []
+        for summary in self.summaries:
+            reason = self._prove_empty(summary, predicate)
+            est = 0.0 if reason else self._estimate(summary, predicate)
+            verdicts.append((reason, est))
+
+        max_est = max((est for reason, est in verdicts if reason is None),
+                      default=0.0)
+        floor = max(int(k), self.min_ef)
+        decisions = []
+        for shard_id, (reason, est) in enumerate(verdicts):
+            if reason is not None:
+                ef = 0
+            elif scale_ef and max_est > 0.0:
+                scaled = math.ceil(ef_search * est / max_est)
+                ef = max(min(int(ef_search), scaled), min(floor, int(ef_search)))
+            else:
+                ef = int(ef_search)
+            decisions.append(ShardDecision(
+                shard_id=shard_id,
+                pruned=reason is not None,
+                reason=reason if reason is not None else "probe",
+                est_selectivity=float(est),
+                ef_search=ef,
+            ))
+        return ShardPlan(decisions=decisions)

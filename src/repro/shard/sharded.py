@@ -1,0 +1,386 @@
+"""Sharded ACORN index: scatter-gather search with streaming top-k merge.
+
+:class:`ShardedAcornIndex` partitions the base vectors and their
+attribute table with a :class:`~repro.shard.partition.Partitioner`,
+builds one ACORN index per shard (any variant: ACORN-γ, ACORN-1, or the
+flat substrate), and answers hybrid queries shard-by-shard:
+
+1. the query predicate is compiled once against the *global* table;
+2. the :class:`~repro.shard.router.ShardRouter` prunes shards whose
+   predicate mask is provably empty (and may scale per-shard
+   ``ef_search`` by estimated local selectivity);
+3. each probed shard searches its local predicate subgraph over its
+   sliced mask;
+4. per-shard results — already sorted by distance — are merged with a
+   streaming k-way heap merge (:func:`merge_topk`) into the global
+   top-k, mapping shard-local ids back to global ids.
+
+Merge semantics: when every probed shard's search is exhaustive over
+its passing rows (per-shard ``ef_search ≥`` shard size), the merge
+yields exactly the global exact top-k — byte-identical to what the
+unsharded index returns in its own exhaustive regime, which is the
+contract the equivalence suite pins.  At lower effort each shard
+contributes its usual graph-search approximation and the merge is
+exact over whatever the shards returned.
+
+The class plugs straight into the PR-1 batch engine: it exposes
+``search``/``freeze``/``table``, returns
+:class:`ShardedSearchResult` records whose ``shards_probed`` /
+``shards_pruned`` counters flow into
+:class:`~repro.engine.instrumentation.QueryStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.attributes.table import AttributeTable
+from repro.core.acorn import AcornIndex, AcornOneIndex
+from repro.core.flat import FlatAcornIndex
+from repro.core.params import AcornParams
+from repro.engine.batching import BatchSearchMixin
+from repro.hnsw.hnsw import SearchResult
+from repro.predicates.base import CompiledPredicate, Predicate
+from repro.shard.partition import (
+    Partitioner,
+    ShardAssignment,
+    subset_table,
+)
+from repro.shard.router import ShardPlan, ShardRouter
+from repro.shard.summary import summarize_table
+from repro.vectors.distance import Metric
+
+
+@dataclasses.dataclass
+class ShardedSearchResult(SearchResult):
+    """A :class:`~repro.hnsw.hnsw.SearchResult` plus routing telemetry.
+
+    Attributes:
+        shards_probed: shards that executed a search for this query.
+        shards_pruned: shards the router proved empty and skipped.
+        per_shard: one dict per shard (plan order) with the decision
+            and, for probed shards, the local search's counters.
+    """
+
+    shards_probed: int = 0
+    shards_pruned: int = 0
+    per_shard: tuple = ()
+
+
+def merge_topk(
+    streams: Iterable[Iterable[tuple[float, int]]], k: int
+) -> list[tuple[float, int]]:
+    """Streaming k-way merge of per-shard ``(distance, id)`` streams.
+
+    Each stream must already be sorted ascending (per-shard searches
+    return sorted results); the merge walks all streams heap-wise and
+    stops after ``k`` emissions, so no concatenation of full result
+    lists is ever materialized.  Ties break on id, making the merged
+    order deterministic regardless of shard enumeration order.
+    """
+    return list(heapq.merge(*streams))[:k] if k > 0 else []
+
+
+def _default_build_shard(
+    variant: str,
+    params: AcornParams | None,
+    metric,
+    seed,
+    acorn1_m: int,
+    acorn1_ef_construction: int,
+) -> Callable[[np.ndarray, AttributeTable], AcornIndex]:
+    """The per-shard index factory for a named ACORN variant."""
+    if variant == "acorn":
+        return lambda vectors, table: AcornIndex.build(
+            vectors, table, params=params, metric=metric, seed=seed
+        )
+    if variant == "acorn1":
+        return lambda vectors, table: AcornOneIndex.build(
+            vectors, table, m=acorn1_m,
+            ef_construction=acorn1_ef_construction, metric=metric, seed=seed,
+        )
+    if variant == "flat":
+        return lambda vectors, table: FlatAcornIndex.build(
+            vectors, table, params=params, metric=metric, seed=seed
+        )
+    raise ValueError(
+        f"unknown variant {variant!r}; choose acorn, acorn1, or flat"
+    )
+
+
+class ShardedAcornIndex(BatchSearchMixin):
+    """N ACORN shards behind one predicate-aware scatter-gather front.
+
+    Build with :meth:`build`; the constructor wires together
+    already-built pieces (persistence uses it directly).
+
+    Args:
+        shards: one ACORN index per shard, aligned with ``assignment``.
+        assignment: the global ↔ (shard, local) id mapping.
+        partitioner: the policy that produced ``assignment`` (kept for
+            the persistence manifest).
+        table: the *global* attribute table; query predicates are
+            compiled against it exactly as on an unsharded index.
+        router: routing policy; defaults to a
+            :class:`~repro.shard.router.ShardRouter` over fresh
+            summaries of each shard's table.
+        scale_ef: when True the router scales per-shard ``ef_search``
+            by estimated local selectivity (efficiency mode); when
+            False every probed shard uses the caller's ``ef_search``
+            (the equivalence-preserving default).
+    """
+
+    def __init__(
+        self,
+        shards: list[AcornIndex],
+        assignment: ShardAssignment,
+        partitioner: Partitioner,
+        table: AttributeTable,
+        router: ShardRouter | None = None,
+        scale_ef: bool = False,
+    ) -> None:
+        if len(shards) != assignment.n_shards:
+            raise ValueError(
+                f"{len(shards)} shard indexes but assignment has "
+                f"{assignment.n_shards} shards"
+            )
+        for s, (shard, gids) in enumerate(zip(shards, assignment.global_ids)):
+            if len(shard) != gids.shape[0]:
+                raise ValueError(
+                    f"shard {s} holds {len(shard)} vectors but assignment "
+                    f"maps {gids.shape[0]} rows to it"
+                )
+        self.shards = shards
+        self.assignment = assignment
+        self.partitioner = partitioner
+        self.table = table
+        self.router = (
+            router if router is not None
+            else ShardRouter([summarize_table(s.table) for s in shards])
+        )
+        self.scale_ef = bool(scale_ef)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        table: AttributeTable,
+        partitioner: Partitioner,
+        params: AcornParams | None = None,
+        metric: "Metric | str" = Metric.L2,
+        seed: int | np.random.Generator | None = None,
+        variant: str = "acorn",
+        acorn1_m: int = 32,
+        acorn1_ef_construction: int = 40,
+        build_shard: Callable[[np.ndarray, AttributeTable], AcornIndex] | None = None,
+        scale_ef: bool = False,
+    ) -> "ShardedAcornIndex":
+        """Partition ``vectors``/``table`` and build one index per shard.
+
+        Args:
+            vectors: (n, dim) float32 base vectors, aligned with
+                ``table`` rows.
+            table: global attribute table (must match ``vectors``
+                exactly — sharding fixes the universe up front).
+            partitioner: row-placement policy.
+            params: ACORN-γ construction parameters (``acorn``/``flat``
+                variants).
+            metric: distance metric shared by all shards.
+            seed: level-assignment seed, reused per shard so a
+                single-shard build is graph-identical to the unsharded
+                reference.
+            variant: ``"acorn"`` (γ), ``"acorn1"``, or ``"flat"``.
+            acorn1_m / acorn1_ef_construction: ACORN-1 build knobs.
+            build_shard: optional ``(vectors, table) -> index`` factory
+                overriding ``variant`` entirely.
+            scale_ef: forwarded to the instance (see class docs).
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if len(table) != vectors.shape[0]:
+            raise ValueError(
+                f"table has {len(table)} rows but got {vectors.shape[0]} "
+                "vectors; sharding requires a fully-aligned table"
+            )
+        if build_shard is None:
+            build_shard = _default_build_shard(
+                variant, params, metric, seed, acorn1_m, acorn1_ef_construction
+            )
+        assignment = partitioner.partition(table)
+        shards = []
+        for gids in assignment.global_ids:
+            shard_table = subset_table(table, gids)
+            shards.append(build_shard(vectors[gids], shard_table))
+        return cls(
+            shards=shards, assignment=assignment, partitioner=partitioner,
+            table=table, scale_ef=scale_ef,
+        )
+
+    def __len__(self) -> int:
+        return self.assignment.n_rows
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self.assignment.n_shards
+
+    @property
+    def metric(self) -> Metric:
+        """The distance metric shared by every shard."""
+        return self.shards[0].metric
+
+    def freeze(self) -> None:
+        """Freeze every shard's adjacency snapshot (batch-engine hook)."""
+        for shard in self.shards:
+            if len(shard):
+                shard.freeze()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _compile(self, predicate: "Predicate | CompiledPredicate") -> CompiledPredicate:
+        if isinstance(predicate, CompiledPredicate):
+            if len(predicate) != len(self.table):
+                raise ValueError(
+                    f"compiled predicate covers {len(predicate)} entities, "
+                    f"table has {len(self.table)}"
+                )
+            return predicate
+        return predicate.compile(self.table)
+
+    def plan(
+        self, predicate: "Predicate | CompiledPredicate", k: int,
+        ef_search: int = 64,
+    ) -> ShardPlan:
+        """The routing plan one query would execute (EXPLAIN-style)."""
+        raw = (predicate.predicate
+               if isinstance(predicate, CompiledPredicate) else predicate)
+        return self.router.plan(raw, k=k, ef_search=ef_search,
+                                scale_ef=self.scale_ef)
+
+    def search(
+        self,
+        query: np.ndarray,
+        predicate: "Predicate | CompiledPredicate",
+        k: int,
+        ef_search: int = 64,
+    ) -> ShardedSearchResult:
+        """Scatter-gather hybrid search: global top-k passing entities.
+
+        The predicate compiles once against the global table; the plan
+        prunes provably-empty shards; each probed shard searches its
+        local subgraph over the sliced mask; sorted per-shard results
+        merge streamingly into the global top-k.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        compiled = self._compile(predicate)
+        plan = self.plan(compiled, k=k, ef_search=ef_search)
+
+        streams = []
+        total_comps = 0
+        total_hops = 0
+        total_visited = 0
+        per_shard = []
+        for decision in plan.decisions:
+            record = {
+                "shard": decision.shard_id,
+                "pruned": decision.pruned,
+                "reason": decision.reason,
+                "est_selectivity": decision.est_selectivity,
+                "ef_search": decision.ef_search,
+            }
+            if not decision.pruned:
+                gids = self.assignment.global_ids[decision.shard_id]
+                local_mask = compiled.mask[gids]
+                if local_mask.any():
+                    shard = self.shards[decision.shard_id]
+                    local = CompiledPredicate(compiled.predicate, local_mask)
+                    found = shard.search(
+                        query, local, k, ef_search=decision.ef_search
+                    )
+                    streams.append(zip(
+                        found.distances.tolist(),
+                        gids[found.ids].tolist(),
+                    ))
+                    total_comps += found.distance_computations
+                    total_hops += found.hops
+                    total_visited += found.visited_nodes
+                    record["distance_computations"] = int(
+                        found.distance_computations
+                    )
+                    record["hops"] = int(found.hops)
+                    record["returned"] = int(len(found))
+                else:
+                    # Probed per the plan, but the materialized local
+                    # mask is empty — nothing to search.
+                    record["distance_computations"] = 0
+                    record["hops"] = 0
+                    record["returned"] = 0
+            per_shard.append(record)
+
+        merged = merge_topk(streams, k)
+        return ShardedSearchResult(
+            ids=np.asarray([gid for _, gid in merged], dtype=np.intp),
+            distances=np.asarray([d for d, _ in merged], dtype=np.float32),
+            distance_computations=int(total_comps),
+            hops=int(total_hops),
+            visited_nodes=int(total_visited),
+            shards_probed=plan.n_probed,
+            shards_pruned=plan.n_pruned,
+            per_shard=tuple(per_shard),
+        )
+
+    # ``search_batch`` comes from BatchSearchMixin: batches run through
+    # repro.engine and the shard counters surface in QueryStats.
+
+    # ------------------------------------------------------------------
+    # Deletion (tombstones route to the owning shard)
+    # ------------------------------------------------------------------
+
+    def mark_deleted(self, global_id: int) -> None:
+        """Tombstone a global entity on its owning shard."""
+        shard, local = self.assignment.to_local(global_id)
+        self.shards[shard].mark_deleted(local)
+
+    def unmark_deleted(self, global_id: int) -> None:
+        """Remove a global entity's tombstone (no-op if absent)."""
+        shard, local = self.assignment.to_local(global_id)
+        self.shards[shard].unmark_deleted(local)
+
+    def is_deleted(self, global_id: int) -> bool:
+        """Whether a global entity is tombstoned."""
+        shard, local = self.assignment.to_local(global_id)
+        return self.shards[shard].is_deleted(local)
+
+    @property
+    def num_deleted(self) -> int:
+        """Tombstoned entities across all shards."""
+        return sum(shard.num_deleted for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Total vector + adjacency footprint across shards."""
+        return sum(shard.nbytes() for shard in self.shards)
+
+    def stats(self) -> dict:
+        """Operator-facing build summary: shard sizes and per-shard stats."""
+        return {
+            "n_shards": self.n_shards,
+            "num_vectors": len(self),
+            "num_deleted": self.num_deleted,
+            "partitioner": self.partitioner.spec(),
+            "shard_sizes": [len(shard) for shard in self.shards],
+            "shards": [shard.stats() for shard in self.shards],
+        }

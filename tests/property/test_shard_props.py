@@ -1,0 +1,129 @@
+"""Property-based tests: sharded search equals the single-index reference.
+
+For random data, predicates, k, and shard counts 1-8, the sharded
+index must return exactly the ids and distances of an unsharded index
+built from the same rows, and its routing must account for every shard
+(``shards_probed + shards_pruned == n_shards``).
+
+Runs in the exhaustive regime: ``ef_search = n`` with ``M * gamma >= n``
+so predicate subgraphs stay connected and graph search is exact over
+passing rows on both sides — making exact equality a theorem, not a
+statistical accident.  ``derandomize=True`` keeps example selection
+deterministic: the suite's verdict never depends on hypothesis' RNG.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes.table import AttributeTable
+from repro.core.acorn import AcornIndex
+from repro.core.params import AcornParams
+from repro.predicates import (
+    Between,
+    ContainsAny,
+    Equals,
+    Not,
+    TruePredicate,
+)
+from repro.shard import (
+    AttributeRangePartitioner,
+    HashPartitioner,
+    ShardedAcornIndex,
+)
+
+PARAMS = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=48)
+DIM = 8
+TOKENS = ["a", "b", "c", "d", "e"]
+
+
+def make_random_world(seed: int, n: int):
+    """Random vectors + a table with an int and a keywords column."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, DIM)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("v", rng.integers(0, 4, size=n))
+    table.add_keywords_column(
+        "kw",
+        [list(rng.choice(TOKENS, size=2, replace=False)) for _ in range(n)],
+    )
+    return vectors, table, rng
+
+
+predicate_specs = st.one_of(
+    st.just(("true",)),
+    st.integers(0, 3).map(lambda v: ("equals", v)),
+    st.tuples(st.integers(0, 3), st.integers(0, 3)).map(
+        lambda ab: ("between", min(ab), max(ab))
+    ),
+    st.lists(st.sampled_from(TOKENS), min_size=1, max_size=2,
+             unique=True).map(lambda kws: ("contains", tuple(kws))),
+    st.integers(0, 3).map(lambda v: ("not-equals", v)),
+)
+
+
+def build_predicate(spec):
+    """Materialize one drawn predicate spec."""
+    kind = spec[0]
+    if kind == "true":
+        return TruePredicate()
+    if kind == "equals":
+        return Equals("v", spec[1])
+    if kind == "between":
+        return Between("v", spec[1], spec[2])
+    if kind == "contains":
+        return ContainsAny("kw", spec[1])
+    return Not(Equals("v", spec[1]))
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(30, 60),
+    n_shards=st.integers(1, 8),
+    k=st.integers(1, 8),
+    use_range=st.booleans(),
+    spec=predicate_specs,
+)
+def test_sharded_equals_reference(seed, n, n_shards, k, use_range, spec):
+    vectors, table, _ = make_random_world(seed, n)
+    predicate = build_predicate(spec)
+    partitioner = (
+        AttributeRangePartitioner("v", n_shards=n_shards)
+        if use_range else HashPartitioner(n_shards, seed=seed)
+    )
+    reference = AcornIndex.build(vectors, table, params=PARAMS, seed=seed)
+    sharded = ShardedAcornIndex.build(
+        vectors, table, partitioner=partitioner, params=PARAMS, seed=seed
+    )
+    query = np.random.default_rng(seed + 1).standard_normal(
+        DIM
+    ).astype(np.float32)
+
+    expected = reference.search(query, predicate, k, ef_search=n)
+    got = sharded.search(query, predicate, k, ef_search=n)
+
+    assert got.shards_probed + got.shards_pruned == n_shards
+    assert np.array_equal(got.ids, expected.ids)
+    assert np.allclose(got.distances, expected.distances)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(20, 50),
+    n_shards=st.integers(1, 8),
+    spec=predicate_specs,
+)
+def test_plan_accounting_invariant(seed, n, n_shards, spec):
+    """Every plan covers each shard exactly once, probe xor prune."""
+    vectors, table, _ = make_random_world(seed, n)
+    sharded = ShardedAcornIndex.build(
+        vectors, table,
+        partitioner=AttributeRangePartitioner("v", n_shards=n_shards),
+        params=PARAMS, seed=seed,
+    )
+    plan = sharded.plan(build_predicate(spec), k=5, ef_search=32)
+    assert plan.n_shards == n_shards
+    assert plan.n_probed + plan.n_pruned == n_shards
+    assert sorted(d.shard_id for d in plan.decisions) == list(range(n_shards))

@@ -1,0 +1,38 @@
+"""Shared fixtures for the sharding test suite.
+
+One session-scoped world (clustered vectors + a table exercising every
+column kind) keeps the per-test build cost down; tests that need custom
+shapes build their own small worlds inline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+
+N_ROWS = 240
+DIM = 12
+
+
+def make_world(n=N_ROWS, dim=DIM, seed=42):
+    """Clustered vectors + a table with int/float/string/keyword columns."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, dim)).astype(np.float32)
+    assign = rng.integers(0, 6, size=n)
+    vectors = (centers[assign]
+               + 0.3 * rng.standard_normal((n, dim))).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("year", rng.integers(2000, 2020, size=n))
+    table.add_float_column("score", rng.uniform(0.0, 1.0, size=n))
+    table.add_string_column("cat", [f"c{i % 5}" for i in range(n)])
+    table.add_keywords_column(
+        "tags",
+        [["common"] + [f"t{i % 7}", f"u{i % 11}"] for i in range(n)],
+    )
+    return vectors, table
+
+
+@pytest.fixture(scope="session")
+def shard_world():
+    """The default (vectors, table) world shared across shard tests."""
+    return make_world()

@@ -1,0 +1,163 @@
+"""Unit tests for partitioners, assignments, and table subsetting."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable, ColumnKind
+from repro.shard.partition import (
+    AttributeRangePartitioner,
+    HashPartitioner,
+    ShardAssignment,
+    partitioner_from_spec,
+    subset_table,
+)
+
+from tests.shard.conftest import make_world
+
+
+class TestHashPartitioner:
+    def test_deterministic(self, shard_world):
+        _, table = shard_world
+        a = HashPartitioner(4, seed=7).assign(table)
+        b = HashPartitioner(4, seed=7).assign(table)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_placement(self, shard_world):
+        _, table = shard_world
+        a = HashPartitioner(4, seed=1).assign(table)
+        b = HashPartitioner(4, seed=2).assign(table)
+        assert not np.array_equal(a, b)
+
+    def test_single_shard_preserves_global_order(self, shard_world):
+        _, table = shard_world
+        assignment = HashPartitioner(1).partition(table)
+        assert np.array_equal(
+            assignment.global_ids[0], np.arange(len(table))
+        )
+
+    def test_roughly_balanced(self, shard_world):
+        _, table = shard_world
+        assignment = HashPartitioner(3, seed=0).partition(table)
+        sizes = [g.shape[0] for g in assignment.global_ids]
+        assert sum(sizes) == len(table)
+        assert min(sizes) > len(table) // 6
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="positive"):
+            HashPartitioner(0)
+
+
+class TestAttributeRangePartitioner:
+    def test_quantile_boundaries_frozen_after_first_use(self, shard_world):
+        _, table = shard_world
+        part = AttributeRangePartitioner("year", n_shards=3)
+        assert part.boundaries is None
+        first = part.assign(table)
+        frozen = list(part.boundaries)
+        assert np.array_equal(part.assign(table), first)
+        assert part.boundaries == frozen
+
+    def test_explicit_boundaries_respected(self, shard_world):
+        _, table = shard_world
+        part = AttributeRangePartitioner("year", boundaries=[2005, 2012])
+        assert part.n_shards == 3
+        shard_of = part.assign(table)
+        years = np.asarray(table.column("year"))
+        assert np.array_equal(shard_of == 0, years <= 2005)
+        assert np.array_equal(shard_of == 2, years > 2012)
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError, match="ascend"):
+            AttributeRangePartitioner("year", boundaries=[5, 2])
+
+    def test_rejects_inconsistent_shard_count(self):
+        with pytest.raises(ValueError, match="imply"):
+            AttributeRangePartitioner("year", n_shards=5, boundaries=[1.0])
+
+    def test_rejects_non_numeric_column(self, shard_world):
+        _, table = shard_world
+        part = AttributeRangePartitioner("cat", n_shards=2)
+        with pytest.raises(ValueError, match="int or float"):
+            part.assign(table)
+
+    def test_requires_shards_or_boundaries(self):
+        with pytest.raises(ValueError, match="n_shards or"):
+            AttributeRangePartitioner("year")
+
+
+class TestShardAssignment:
+    def test_local_global_roundtrip(self, shard_world):
+        _, table = shard_world
+        assignment = HashPartitioner(4, seed=3).partition(table)
+        for gid in range(len(table)):
+            shard, local = assignment.to_local(gid)
+            assert assignment.to_global(shard, local) == gid
+
+    def test_global_ids_ascend_per_shard(self, shard_world):
+        _, table = shard_world
+        assignment = HashPartitioner(5, seed=9).partition(table)
+        for gids in assignment.global_ids:
+            assert np.array_equal(gids, np.sort(gids))
+
+    def test_out_of_range_global_id(self, shard_world):
+        _, table = shard_world
+        assignment = HashPartitioner(2).partition(table)
+        with pytest.raises(IndexError):
+            assignment.to_local(len(table))
+
+    def test_from_shard_of_rejects_bad_ids(self):
+        with pytest.raises(ValueError, match="shard ids"):
+            ShardAssignment.from_shard_of(np.asarray([0, 3]), n_shards=2)
+
+
+class TestSpecRoundtrip:
+    def test_hash_spec(self):
+        part = HashPartitioner(6, seed=11)
+        clone = partitioner_from_spec(part.spec())
+        assert isinstance(clone, HashPartitioner)
+        assert (clone.n_shards, clone.seed) == (6, 11)
+
+    def test_range_spec_preserves_realized_boundaries(self, shard_world):
+        _, table = shard_world
+        part = AttributeRangePartitioner("score", n_shards=4)
+        before = part.assign(table)
+        clone = partitioner_from_spec(part.spec())
+        assert np.array_equal(clone.assign(table), before)
+
+    def test_unknown_spec_type(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            partitioner_from_spec({"type": "consistent-hash"})
+
+
+class TestSubsetTable:
+    def test_preserves_all_column_kinds_and_values(self):
+        _, table = make_world(n=40, seed=5)
+        rows = np.asarray([3, 7, 8, 21, 39])
+        sub = subset_table(table, rows)
+        assert len(sub) == 5
+        for name in table.column_names:
+            assert sub.column_kind(name) == table.column_kind(name)
+        assert np.array_equal(
+            np.asarray(sub.column("year")),
+            np.asarray(table.column("year"))[rows],
+        )
+        full_tags = table.column("tags")
+        sub_tags = sub.column("tags")
+        for j, i in enumerate(rows.tolist()):
+            assert set(sub_tags.rows_containing("common")) == set(range(5))
+            expected = sorted(
+                kw for kw in full_tags.vocab
+                if i in full_tags.rows_containing(kw)
+            )
+            got = sorted(
+                kw for kw in sub_tags.vocab
+                if j in sub_tags.rows_containing(kw)
+            )
+            assert got == expected
+
+    def test_empty_subset(self):
+        table = AttributeTable(3)
+        table.add_int_column("x", [1, 2, 3])
+        sub = subset_table(table, np.asarray([], dtype=np.int64))
+        assert len(sub) == 0
+        assert sub.column_kind("x") is ColumnKind.INT

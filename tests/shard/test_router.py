@@ -1,0 +1,196 @@
+"""Router and summary tests: pruning soundness and plan accounting."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.predicates import (
+    And,
+    Between,
+    ContainsAll,
+    ContainsAny,
+    Equals,
+    Not,
+    OneOf,
+    Or,
+    RegexMatch,
+    TruePredicate,
+)
+from repro.shard.partition import AttributeRangePartitioner, subset_table
+from repro.shard.router import ShardRouter
+from repro.shard.summary import (
+    KeywordDigest,
+    ShardSummary,
+    summarize_table,
+)
+
+from tests.shard.conftest import make_world
+
+
+def make_shard_summaries(table, partitioner):
+    """Partition ``table`` and summarize each shard, returning both."""
+    assignment = partitioner.partition(table)
+    tables = [subset_table(table, gids) for gids in assignment.global_ids]
+    return assignment, tables, [summarize_table(t) for t in tables]
+
+
+class TestKeywordDigest:
+    def test_no_false_negatives(self):
+        words = [f"word{i}" for i in range(300)]
+        digest = KeywordDigest.build(words)
+        assert all(digest.might_contain(w) for w in words)
+
+    def test_misses_prune(self):
+        digest = KeywordDigest.build(["alpha", "beta"])
+        # With 2048 bits and 2 words, an arbitrary probe word is
+        # overwhelmingly likely to miss; assert a known miss exists.
+        assert not all(
+            digest.might_contain(f"probe{i}") for i in range(50)
+        )
+
+    def test_hex_roundtrip(self):
+        digest = KeywordDigest.build(["x", "y", "z"])
+        clone = KeywordDigest.from_hex(digest.to_hex(), digest.bits.size)
+        assert np.array_equal(clone.bits, digest.bits)
+
+
+class TestSummaryRoundtrip:
+    def test_to_from_dict(self, shard_world):
+        _, table = shard_world
+        summary = summarize_table(table)
+        clone = ShardSummary.from_dict(summary.to_dict())
+        assert clone.n_rows == summary.n_rows
+        for name, numeric in summary.numeric.items():
+            other = clone.numeric[name]
+            assert other.min == numeric.min
+            assert other.max == numeric.max
+            assert other.value_counts == numeric.value_counts
+            assert np.array_equal(other.hist_counts, numeric.hist_counts)
+        for name, kw in summary.keywords.items():
+            other = clone.keywords[name]
+            assert np.array_equal(other.digest.bits, kw.digest.bits)
+            assert other.n_distinct == kw.n_distinct
+
+
+class TestPruningSoundness:
+    """Every pruned shard must have a provably-empty local mask."""
+
+    PREDICATES = [
+        TruePredicate(),
+        Equals("year", 2003),
+        Equals("year", 1950),
+        Equals("cat", "c2"),
+        OneOf("year", (2001, 2002)),
+        OneOf("year", (1800, 1801)),
+        Between("year", 2000, 2004),
+        Between("year", 1900, 1901),
+        Between("score", 0.0, 0.2),
+        ContainsAny("tags", ("t3", "zzz-missing")),
+        ContainsAny("tags", ("zzz-missing",)),
+        ContainsAll("tags", ("common", "t1")),
+        ContainsAll("tags", ("common", "zzz-missing")),
+        RegexMatch("cat", r"c[12]"),
+        And(Between("year", 2000, 2005), ContainsAny("tags", ("t1",))),
+        Or(Between("year", 1900, 1901), Equals("year", 1800)),
+        Not(TruePredicate()),
+        Not(Between("year", 1000, 3000)),
+    ]
+
+    @pytest.mark.parametrize(
+        "predicate", PREDICATES, ids=[repr(p)[:50] for p in PREDICATES]
+    )
+    def test_pruned_shards_are_truly_empty(self, predicate):
+        _, table = make_world(n=200, seed=9)
+        assignment, tables, summaries = make_shard_summaries(
+            table, AttributeRangePartitioner("year", n_shards=4)
+        )
+        router = ShardRouter(summaries)
+        plan = router.plan(predicate, k=5, ef_search=32)
+        assert plan.n_pruned + plan.n_probed == plan.n_shards == 4
+        for decision in plan.decisions:
+            if decision.pruned:
+                local_mask = predicate.compile(
+                    tables[decision.shard_id]
+                ).mask
+                assert not local_mask.any(), (
+                    f"router pruned shard {decision.shard_id} "
+                    f"({decision.reason!r}) but {int(local_mask.sum())} "
+                    "rows pass"
+                )
+
+    def test_disjoint_range_prunes(self):
+        _, table = make_world(n=200, seed=9)
+        _, _, summaries = make_shard_summaries(
+            table, AttributeRangePartitioner("year", n_shards=4)
+        )
+        router = ShardRouter(summaries)
+        plan = router.plan(Between("year", 2000, 2002), k=5, ef_search=32)
+        assert plan.n_pruned >= 1
+
+    def test_empty_shard_always_pruned(self):
+        empty = summarize_table(AttributeTable(0))
+        router = ShardRouter([empty])
+        plan = router.plan(TruePredicate(), k=5, ef_search=32)
+        assert plan.decisions[0].pruned
+        assert plan.decisions[0].reason == "empty shard"
+
+    def test_regex_never_pruned(self):
+        _, table = make_world(n=100, seed=2)
+        _, _, summaries = make_shard_summaries(
+            table, AttributeRangePartitioner("year", n_shards=3)
+        )
+        plan = ShardRouter(summaries).plan(
+            RegexMatch("cat", r"nothing-matches"), k=5, ef_search=32
+        )
+        assert plan.n_pruned == 0
+
+
+class TestEstimates:
+    def test_estimates_in_unit_interval(self):
+        _, table = make_world(n=150, seed=4)
+        _, _, summaries = make_shard_summaries(
+            table, AttributeRangePartitioner("year", n_shards=3)
+        )
+        router = ShardRouter(summaries)
+        predicates = TestPruningSoundness.PREDICATES
+        for predicate in predicates:
+            for shard_id in range(3):
+                est = router.estimate(shard_id, predicate)
+                assert 0.0 <= est <= 1.0, (predicate, est)
+
+    def test_true_predicate_estimates_full(self):
+        _, table = make_world(n=60, seed=4)
+        summary = summarize_table(table)
+        router = ShardRouter([summary])
+        assert router.estimate(0, TruePredicate()) == 1.0
+
+
+class TestEfScaling:
+    def _router(self):
+        _, table = make_world(n=200, seed=9)
+        _, _, summaries = make_shard_summaries(
+            table, AttributeRangePartitioner("year", n_shards=4)
+        )
+        return ShardRouter(summaries, min_ef=8)
+
+    def test_scaling_off_keeps_caller_ef(self):
+        plan = self._router().plan(
+            Between("year", 2000, 2010), k=5, ef_search=64, scale_ef=False
+        )
+        assert all(d.ef_search == 64 for d in plan.probed)
+
+    def test_scaling_bounded(self):
+        plan = self._router().plan(
+            Between("year", 2000, 2004), k=5, ef_search=64, scale_ef=True
+        )
+        for decision in plan.probed:
+            assert 8 <= decision.ef_search <= 64
+        # the most selective probed shard drives the scale: at least
+        # one shard runs at the caller's full effort
+        assert any(d.ef_search == 64 for d in plan.probed)
+
+    def test_floor_respects_k(self):
+        plan = self._router().plan(
+            Between("year", 2000, 2004), k=40, ef_search=64, scale_ef=True
+        )
+        assert all(d.ef_search >= 40 for d in plan.probed)

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, validate_shard_entry
 
 
 class TestParser:
@@ -19,6 +19,13 @@ class TestParser:
         assert args.queries == 256
         assert args.workers == 4
         assert args.out == "BENCH_engine.json"
+
+    def test_bench_shard_defaults(self):
+        args = build_parser().parse_args(["bench-shard"])
+        assert args.n == 10000
+        assert args.shards == 4
+        assert args.out == "BENCH_shard.json"
+        assert args.smoke is False
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -72,3 +79,54 @@ class TestCommands:
                 "sweep", "--dataset", "sift", "--n", "300", "--queries", "5",
                 "--methods", "magic",
             ])
+
+    def test_bench_shard_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_shard.json"
+        main([
+            "bench-shard", "--n", "400", "--queries", "12", "--dim", "12",
+            "--m", "8", "--gamma", "6", "--workers", "2", "--shards", "3",
+            "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "sharded engine" in out
+        assert "results identical: True" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_shard_entry(entries[0])
+        assert entries[0]["n_shards"] == 3
+        assert entries[0]["shards_pruned"] >= 1
+        assert entries[0]["results_identical"] is True
+
+
+class TestValidateShardEntry:
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "shard-scatter-gather",
+            "timestamp": "2026-01-01T00:00:00",
+            "n": 400, "dim": 12, "queries": 10, "k": 10, "ef_search": 400,
+            "m": 8, "gamma": 6, "n_shards": 4, "workers": 2, "smoke": True,
+            "partitioner": {"type": "attribute-range"},
+            "unsharded_qps": 100.0, "sharded_qps": 120.0, "qps_ratio": 1.2,
+            "shards_probed": 15, "shards_pruned": 25,
+            "prune_fraction": 0.625, "results_identical": True,
+            "latency_s": {"p50": 0.001},
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_shard_entry(self._entry())
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["n_shards"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_shard_entry(entry)
+
+    def test_mistyped_count_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            validate_shard_entry(self._entry(shards_probed="15"))
+
+    def test_unbalanced_accounting_rejected(self):
+        with pytest.raises(ValueError, match="does not balance"):
+            validate_shard_entry(self._entry(shards_pruned=99))
