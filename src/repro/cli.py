@@ -8,6 +8,7 @@ dataset surrogates without touching pytest::
     python -m repro bench-batch --n 10000 --queries 256 --workers 4
     python -m repro bench-traversal --n 10000 --queries 128
     python -m repro bench-shard --n 10000 --shards 4
+    python -m repro bench-chaos --shards 8 --failure-rate 0.2
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
@@ -15,8 +16,11 @@ Every command prints the same text tables the benchmark harness emits;
 ``BENCH_engine.json``, ``bench-traversal`` to ``BENCH_traversal.json``
 (CSR kernel vs the legacy dict kernel) and ``bench-shard`` to
 ``BENCH_shard.json`` (scatter-gather over a sharded index vs the single
-monolithic index, with router-pruning accounting; ``--smoke`` turns
-either into a CI regression gate).
+monolithic index, with router-pruning accounting) and ``bench-chaos``
+to ``BENCH_chaos.json`` (resilient scatter-gather under a seeded fault
+plan on a deterministic injected clock — degradation accounting,
+survivors-only ground-truth agreement, and per-query clock budgets;
+``--smoke`` turns any of them into a CI regression gate).
 """
 
 from __future__ import annotations
@@ -557,6 +561,252 @@ def _cmd_bench_shard(args: argparse.Namespace) -> None:
             )
 
 
+CHAOS_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "n_shards", "workers", "smoke", "failure_rate",
+    "faulty_shards", "shard_deadline_s", "max_retries",
+    "degraded_queries", "shards_failed", "shards_timed_out",
+    "min_recall_ceiling", "mean_recall_ceiling",
+    "ground_truth_matches", "within_deadline", "max_query_clock_s",
+    "query_budget_s", "breaker_states",
+}
+
+
+def validate_chaos_entry(entry: dict) -> None:
+    """Check one BENCH_chaos.json record against the schema.
+
+    Beyond key presence and types, enforces the failure-accounting
+    invariants: failed + timed-out shard visits cannot exceed total
+    probe opportunities (``queries * n_shards``), degraded queries
+    cannot exceed the query count, and recall ceilings live in [0, 1].
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            accounting invariants are violated.  Used by the CI chaos
+            job and ``tests/test_cli.py``.
+    """
+    missing = CHAOS_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-chaos entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "n_shards", "workers", "max_retries", "degraded_queries",
+                "shards_failed", "shards_timed_out"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("failure_rate", "shard_deadline_s", "min_recall_ceiling",
+                "mean_recall_ceiling", "max_query_clock_s",
+                "query_budget_s"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("ground_truth_matches", "within_deadline", "smoke"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    if not isinstance(entry["faulty_shards"], list):
+        raise ValueError("faulty_shards must be a list")
+    if not isinstance(entry["breaker_states"], list):
+        raise ValueError("breaker_states must be a list")
+    budget = entry["queries"] * entry["n_shards"]
+    dropped = entry["shards_failed"] + entry["shards_timed_out"]
+    if dropped > budget:
+        raise ValueError(
+            f"failure accounting exceeds probe opportunities: "
+            f"{dropped} > queries * n_shards = {budget}"
+        )
+    if entry["degraded_queries"] > entry["queries"]:
+        raise ValueError("degraded_queries exceeds query count")
+    for key in ("min_recall_ceiling", "mean_recall_ceiling"):
+        if not 0.0 <= entry[key] <= 1.0:
+            raise ValueError(f"{key} must be in [0, 1]")
+
+
+def _cmd_bench_chaos(args: argparse.Namespace) -> None:
+    from repro.shard import (
+        FaultInjector,
+        FaultPlan,
+        HashPartitioner,
+        ResiliencePolicy,
+        ShardedAcornIndex,
+    )
+    from repro.utils.clock import FakeClock
+    from repro.vectors.distance import pairwise_distances
+
+    if args.smoke:
+        args.n = min(args.n, 1200)
+        args.queries = min(args.queries, 24)
+    print(f"generating chaos workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries}, shards={args.shards}, "
+          f"failure rate={args.failure_rate:.0%})...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    clock = FakeClock()
+    policy = ResiliencePolicy(
+        shard_deadline_s=args.deadline,
+        max_retries=args.retries,
+        backoff_base_s=args.deadline / 10.0,
+        breaker_threshold=3,
+        breaker_reset_s=100.0 * args.deadline,
+        clock=clock,
+    )
+    with Timer() as t:
+        base = ShardedAcornIndex.build(
+            vectors, table,
+            partitioner=HashPartitioner(args.shards),
+            params=params, seed=args.seed, resilience=policy,
+        )
+    print(f"built {args.shards}-shard ACORN-gamma in {t.elapsed:.1f}s")
+
+    # Seeded permanent-failure plan: half errors, half latency spikes
+    # that overshoot the per-shard deadline (charged to the fake
+    # clock, so the bench never really sleeps).
+    plan = FaultPlan.seeded(
+        args.shards, args.failure_rate, seed=args.seed,
+        kinds=("error", "latency"), latency_s=4.0 * args.deadline,
+    )
+    doomed = set(plan.permanently_failing_shards())
+    print(f"fault plan: shards {sorted(doomed)} fail permanently "
+          f"({[plan.faults[s][0].kind for s in sorted(doomed)]})")
+
+    injector = FaultInjector(plan, clock=clock, seed=args.seed)
+    chaos = base.with_faults(injector)
+
+    # Exhaustive per-shard effort in smoke mode makes the survivors-only
+    # ground truth exact (each surviving shard returns its true local
+    # top-k, so the merge is the survivors' global top-k).
+    ef = args.n if args.smoke else args.ef
+    # Sequential scatter + one retry per doomed shard bounds each
+    # query's clock budget; the gate below asserts it holds.
+    per_shard_worst = (
+        (args.retries + 1) * 4.0 * args.deadline
+        + sum(policy.backoff_s(i) for i in range(args.retries))
+    )
+    query_budget = args.shards * per_shard_worst + args.deadline
+
+    compiled = [p.compile(table) for p in predicates]
+    max_query_clock = 0.0
+    gt_matches = True
+    accounting_exact = True
+    k_when_covered = True
+    for query, predicate in zip(queries, compiled):
+        before = clock.monotonic()
+        result = chaos.search(query, predicate, args.k, ef_search=ef)
+        elapsed = clock.monotonic() - before
+        max_query_clock = max(max_query_clock, elapsed)
+
+        probed_doomed = sum(
+            1 for rec in result.per_shard
+            if not rec["pruned"] and rec["shard"] in doomed
+        )
+        if result.shards_failed + result.shards_timed_out != probed_doomed:
+            accounting_exact = False
+        survivors = [s for s in range(args.shards) if s not in doomed]
+        gids = np.concatenate(
+            [base.assignment.global_ids[s] for s in survivors]
+        )
+        passing = gids[predicate.mask[gids]]
+        if passing.shape[0] >= args.k and len(result) < args.k:
+            k_when_covered = False
+        if args.smoke and passing.shape[0] > 0:
+            dists = pairwise_distances(vectors[passing], query,
+                                       metric=base.metric)[0]
+            order = np.lexsort((passing, dists))[:args.k]
+            if not np.array_equal(result.ids, passing[order]):
+                gt_matches = False
+
+    within_deadline = max_query_clock <= query_budget
+
+    # Batch-engine pass on a fresh chaos view (fresh breakers and call
+    # counters) so the summary aggregates are independent of the
+    # per-query loop above.
+    chaos_batch = base.with_faults(
+        FaultInjector(plan, clock=clock, seed=args.seed)
+    )
+    batch = QueryBatch.build(queries, compiled, k=args.k, ef_search=ef)
+    with SearchEngine(chaos_batch, num_workers=args.workers) as engine:
+        outcome = engine.search_batch(batch)
+    summary = outcome.summary()
+
+    print(f"\ndegraded queries   : {summary['degraded_queries']} "
+          f"/ {len(queries)}")
+    print(f"shard failures     : {summary['shards_failed']} failed, "
+          f"{summary['shards_timed_out']} timed out")
+    print(f"recall ceiling     : min {summary['min_recall_ceiling']:.3f}")
+    print(f"query clock budget : max {max_query_clock:.3f}s of "
+          f"{query_budget:.3f}s allowed")
+    print(f"accounting exact   : {accounting_exact}")
+    print(f"survivors-only gt  : "
+          f"{gt_matches if args.smoke else 'not checked (use --smoke)'}")
+    print(f"breakers           : {chaos_batch.breaker_states()}")
+
+    ceilings = [s.recall_ceiling for s in outcome.stats]
+    entry = {
+        "bench": "shard-chaos",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "n_shards": args.shards,
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "failure_rate": args.failure_rate,
+        "faulty_shards": sorted(int(s) for s in doomed),
+        "shard_deadline_s": args.deadline,
+        "max_retries": args.retries,
+        "degraded_queries": int(summary["degraded_queries"]),
+        "shards_failed": int(summary["shards_failed"]),
+        "shards_timed_out": int(summary["shards_timed_out"]),
+        "min_recall_ceiling": round(float(min(ceilings, default=1.0)), 4),
+        "mean_recall_ceiling": round(float(np.mean(ceilings)), 4)
+        if ceilings else 1.0,
+        "ground_truth_matches": bool(gt_matches),
+        "within_deadline": bool(within_deadline),
+        "max_query_clock_s": round(max_query_clock, 4),
+        "query_budget_s": round(query_budget, 4),
+        "breaker_states": chaos_batch.breaker_states(),
+    }
+    validate_chaos_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+    if args.smoke:
+        if not accounting_exact:
+            raise SystemExit(
+                "smoke check failed: shards_failed + shards_timed_out "
+                "did not equal the probed faulty-shard count on every query"
+            )
+        if not gt_matches:
+            raise SystemExit(
+                "smoke check failed: degraded top-k diverged from the "
+                "survivors-only ground truth"
+            )
+        if not within_deadline:
+            raise SystemExit(
+                f"smoke check failed: a query consumed "
+                f"{max_query_clock:.3f}s of injected clock, budget "
+                f"{query_budget:.3f}s"
+            )
+        if not k_when_covered:
+            raise SystemExit(
+                "smoke check failed: a degraded query returned fewer "
+                "than k results although survivors held >= k passing rows"
+            )
+        if summary["degraded_queries"] == 0:
+            raise SystemExit(
+                "smoke check failed: fault plan injected no degradation "
+                "(nothing was exercised)"
+            )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -652,6 +902,35 @@ def build_parser() -> argparse.ArgumentParser:
              "router pruned shards and results match the monolithic index",
     )
     shard.set_defaults(func=_cmd_bench_shard)
+
+    chaos = sub.add_parser(
+        "bench-chaos",
+        help="resilient scatter-gather under a seeded fault plan",
+    )
+    chaos.add_argument("--n", type=int, default=10000)
+    chaos.add_argument("--queries", type=int, default=64)
+    chaos.add_argument("--dim", type=int, default=32)
+    chaos.add_argument("--k", type=int, default=10)
+    chaos.add_argument("--m", type=int, default=12)
+    chaos.add_argument("--gamma", type=int, default=12)
+    chaos.add_argument("--ef", type=int, default=32)
+    chaos.add_argument("--workers", type=int, default=1)
+    chaos.add_argument("--shards", type=int, default=8)
+    chaos.add_argument("--failure-rate", type=float, default=0.2)
+    chaos.add_argument("--deadline", type=float, default=0.5,
+                       help="per-shard deadline in injected-clock seconds")
+    chaos.add_argument("--retries", type=int, default=1)
+    chaos.add_argument("--distinct-predicates", type=int, default=8)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--out", default="BENCH_chaos.json")
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="small workload at saturating ef; exit nonzero unless "
+             "failure accounting is exact, degraded results match the "
+             "survivors-only ground truth, and every query stays within "
+             "its injected-clock budget",
+    )
+    chaos.set_defaults(func=_cmd_bench_chaos)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -152,6 +152,27 @@ class BatchResult:
         return sum(s.shards_pruned for s in self.stats)
 
     @property
+    def total_shards_failed(self) -> int:
+        """Sum of per-query failed-shard counts (0 without resilience)."""
+        return sum(s.shards_failed for s in self.stats)
+
+    @property
+    def total_shards_timed_out(self) -> int:
+        """Sum of per-query timed-out-shard counts (0 without resilience)."""
+        return sum(s.shards_timed_out for s in self.stats)
+
+    @property
+    def degraded_queries(self) -> int:
+        """Queries that returned a partial (survivors-only) top-k."""
+        return sum(1 for s in self.stats if s.degraded)
+
+    @property
+    def min_recall_ceiling(self) -> float:
+        """Worst per-query estimated recall ceiling in the batch (1.0
+        for an empty or undegraded batch)."""
+        return min((s.recall_ceiling for s in self.stats), default=1.0)
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -189,6 +210,10 @@ class BatchResult:
             "cache_misses": self.cache_misses,
             "shards_probed": self.total_shards_probed,
             "shards_pruned": self.total_shards_pruned,
+            "shards_failed": self.total_shards_failed,
+            "shards_timed_out": self.total_shards_timed_out,
+            "degraded_queries": self.degraded_queries,
+            "min_recall_ceiling": self.min_recall_ceiling,
         }
 
 
@@ -318,6 +343,10 @@ class SearchEngine:
                 wall_time_s=elapsed,
                 shards_probed=int(getattr(result, "shards_probed", 0)),
                 shards_pruned=int(getattr(result, "shards_pruned", 0)),
+                shards_failed=int(getattr(result, "shards_failed", 0)),
+                shards_timed_out=int(getattr(result, "shards_timed_out", 0)),
+                degraded=bool(getattr(result, "degraded", False)),
+                recall_ceiling=float(getattr(result, "recall_ceiling", 1.0)),
             )
             return result, stats
 

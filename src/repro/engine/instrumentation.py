@@ -37,6 +37,17 @@ class QueryStats:
             (0 for unsharded searchers).  For a sharded searcher
             ``shards_probed + shards_pruned`` equals its shard count —
             the accounting invariant the shard test suite pins.
+        shards_failed: probed shards that exhausted their resilience
+            retry budget on exceptions, invalid payloads, or open
+            circuit breakers (0 without a resilience policy).
+        shards_timed_out: probed shards dropped for exceeding their
+            per-shard deadline; disjoint from ``shards_failed``, and
+            ``shards_failed + shards_timed_out <= shards_probed``.
+        degraded: True when this query returned a partial top-k over
+            surviving shards rather than the full scatter-gather.
+        recall_ceiling: estimated upper bound on this query's recall
+            given shard failures (1.0 when not degraded), from the
+            router's per-shard selectivity estimates.
     """
 
     query_index: int
@@ -47,6 +58,10 @@ class QueryStats:
     wall_time_s: float
     shards_probed: int = 0
     shards_pruned: int = 0
+    shards_failed: int = 0
+    shards_timed_out: int = 0
+    degraded: bool = False
+    recall_ceiling: float = 1.0
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

@@ -50,6 +50,10 @@ class SweepPoint:
     p99_latency_s: float = 0.0
     mean_shards_probed: float = 0.0
     mean_shards_pruned: float = 0.0
+    mean_shards_failed: float = 0.0
+    mean_shards_timed_out: float = 0.0
+    degraded_fraction: float = 0.0
+    mean_recall_ceiling: float = 1.0
 
 
 @dataclasses.dataclass
@@ -65,7 +69,8 @@ class MethodSweep:
         lines = [
             "method,effort,recall,qps,mean_distance_computations,"
             "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
-            "mean_shards_probed,mean_shards_pruned"
+            "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
+            "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling"
         ]
         for p in self.points:
             lines.append(
@@ -73,7 +78,9 @@ class MethodSweep:
                 f"{p.mean_distance_computations:.2f},{p.mean_latency_s:.6f},"
                 f"{p.p50_latency_s:.6f},{p.p95_latency_s:.6f},"
                 f"{p.p99_latency_s:.6f},{p.mean_shards_probed:.2f},"
-                f"{p.mean_shards_pruned:.2f}"
+                f"{p.mean_shards_pruned:.2f},{p.mean_shards_failed:.2f},"
+                f"{p.mean_shards_timed_out:.2f},{p.degraded_fraction:.4f},"
+                f"{p.mean_recall_ceiling:.4f}"
             )
         return "\n".join(lines)
 
@@ -169,5 +176,17 @@ class SweepRunner:
             ),
             mean_shards_pruned=float(
                 np.mean([s.shards_pruned for s in outcome.stats])
+            ),
+            mean_shards_failed=float(
+                np.mean([s.shards_failed for s in outcome.stats])
+            ),
+            mean_shards_timed_out=float(
+                np.mean([s.shards_timed_out for s in outcome.stats])
+            ),
+            degraded_fraction=float(
+                np.mean([1.0 if s.degraded else 0.0 for s in outcome.stats])
+            ),
+            mean_recall_ceiling=float(
+                np.mean([s.recall_ceiling for s in outcome.stats])
             ),
         )

@@ -1,0 +1,266 @@
+"""Deterministic fault injection for chaos-testing the sharded index.
+
+The substrate the resilience layer is verified against: a
+:class:`FaultInjector` wraps each shard of a
+:class:`~repro.shard.sharded.ShardedAcornIndex` in a
+:class:`FaultyShard` decorator that perturbs ``search`` calls according
+to a :class:`FaultPlan` — latency spikes (charged to the injector's
+:class:`~repro.utils.clock.Clock`, so a
+:class:`~repro.utils.clock.FakeClock` makes them wall-clock free),
+raised exceptions, corrupt or truncated result payloads, and
+flaky-then-recover schedules (any fault kind bounded to a call-index
+window).  Everything is seeded: a plan plus a seed fully determines
+which call of which shard misbehaves and how, regardless of thread
+interleaving (per-shard call counters are lock-protected).
+
+Faults raise :class:`ShardFault` (an ``Exception``); the injector never
+raises ``BaseException`` subclasses on its own — ``KeyboardInterrupt``
+and friends must keep propagating through the scatter-gather layer
+untouched (see ``tests/shard/test_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.utils.clock import Clock, SystemClock
+
+FAULT_KINDS = ("latency", "error", "corrupt", "truncate")
+
+
+class ShardFault(RuntimeError):
+    """The exception an ``error`` fault raises inside a shard search."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One fault rule: what goes wrong on which calls of one shard.
+
+    Attributes:
+        kind: ``"latency"`` (sleep ``latency_s`` on the injector clock
+            before searching), ``"error"`` (raise :class:`ShardFault`),
+            ``"corrupt"`` (return a structurally invalid payload:
+            out-of-range ids and a NaN distance), or ``"truncate"``
+            (chop the distances array so ids/distances lengths
+            disagree).
+        latency_s: injected delay for ``"latency"`` faults.
+        first_call: first per-shard call index (0-based) the rule
+            applies to.
+        last_call: last call index it applies to, inclusive; ``None``
+            means forever.  A finite window models flaky-then-recover
+            shards.
+    """
+
+    kind: str
+    latency_s: float = 0.0
+    first_call: int = 0
+    last_call: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.kind == "latency" and self.latency_s <= 0:
+            raise ValueError("latency faults need latency_s > 0")
+
+    def active(self, call_index: int) -> bool:
+        """Whether this rule fires on the given per-shard call index."""
+        if call_index < self.first_call:
+            return False
+        return self.last_call is None or call_index <= self.last_call
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for bench records and manifests)."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A full chaos schedule: fault rules keyed by shard id.
+
+    Attributes:
+        faults: mapping of shard id to the tuple of rules applied (in
+            order) to that shard's calls.  Shards absent from the
+            mapping behave normally.
+    """
+
+    faults: dict[int, tuple[Fault, ...]]
+
+    @property
+    def faulty_shards(self) -> tuple[int, ...]:
+        """Shard ids with at least one rule, ascending."""
+        return tuple(sorted(s for s, rules in self.faults.items() if rules))
+
+    def permanently_failing_shards(self) -> tuple[int, ...]:
+        """Shards with an unbounded error/corrupt/truncate/latency rule.
+
+        These are the shards a resilient gather can never extract a
+        valid result from (assuming latency rules exceed the deadline),
+        i.e. the complement of the *survivor* set the chaos suite
+        computes ground truth over.
+        """
+        doomed = []
+        for shard_id, rules in self.faults.items():
+            if any(r.last_call is None for r in rules):
+                doomed.append(shard_id)
+        return tuple(sorted(doomed))
+
+    def rules_for(self, shard_id: int, call_index: int) -> tuple[Fault, ...]:
+        """The rules active for one call of one shard, in plan order."""
+        return tuple(
+            rule for rule in self.faults.get(shard_id, ())
+            if rule.active(call_index)
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        n_shards: int,
+        failure_rate: float,
+        seed: int = 0,
+        kinds: tuple[str, ...] = ("error", "latency"),
+        latency_s: float = 10.0,
+        recover_after: int | None = None,
+    ) -> "FaultPlan":
+        """A random-but-reproducible plan failing a fixed shard subset.
+
+        Args:
+            n_shards: total shards in the target index.
+            failure_rate: fraction of shards to fail; the plan fails
+                exactly ``round(rate * n_shards)`` shards (at least one
+                when the rate is positive), chosen by the seeded RNG.
+            seed: RNG seed — same seed, same plan.
+            kinds: fault kinds to cycle through across faulty shards.
+            latency_s: delay assigned to ``"latency"`` rules (pick it
+                above the resilient policy's deadline to force
+                timeouts).
+            recover_after: when given, every rule ends after this many
+                calls (flaky-then-recover); ``None`` means permanent.
+        """
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        n_faulty = int(round(failure_rate * n_shards))
+        if failure_rate > 0.0:
+            n_faulty = max(n_faulty, 1)
+        rng = np.random.default_rng(seed)
+        chosen = sorted(rng.choice(n_shards, size=n_faulty, replace=False))
+        faults: dict[int, tuple[Fault, ...]] = {}
+        for rank, shard_id in enumerate(chosen):
+            kind = kinds[rank % len(kinds)]
+            faults[int(shard_id)] = (Fault(
+                kind=kind,
+                latency_s=latency_s if kind == "latency" else 0.0,
+                last_call=None if recover_after is None else recover_after - 1,
+            ),)
+        return cls(faults=faults)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to shard searches, deterministically.
+
+    One injector instance owns the per-shard call counters and the
+    seeded RNG stream used to fabricate corrupt payloads, so wrapping a
+    shard set twice with the same plan/seed reproduces the exact same
+    chaos.
+
+    Args:
+        plan: the fault schedule.
+        clock: time source charged for latency faults; defaults to the
+            real :class:`~repro.utils.clock.SystemClock` (tests pass a
+            :class:`~repro.utils.clock.FakeClock` to stay wall-clock
+            free).
+        seed: seed for corrupt-payload fabrication.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, clock: Clock | None = None, seed: int = 0
+    ) -> None:
+        self.plan = plan
+        self.clock = clock if clock is not None else SystemClock()
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._calls: dict[int, int] = {}
+
+    def wrap(self, shards: list) -> list:
+        """Decorate a shard list; shard ids follow list positions."""
+        return [FaultyShard(shard, self, shard_id)
+                for shard_id, shard in enumerate(shards)]
+
+    def calls_to(self, shard_id: int) -> int:
+        """How many search calls shard ``shard_id`` has received."""
+        with self._lock:
+            return self._calls.get(shard_id, 0)
+
+    def _next_call(self, shard_id: int) -> int:
+        with self._lock:
+            index = self._calls.get(shard_id, 0)
+            self._calls[shard_id] = index + 1
+            return index
+
+    def perform(self, shard_id: int, inner, query, predicate, k, ef_search):
+        """Run one shard search with this call's active faults applied."""
+        call_index = self._next_call(shard_id)
+        rules = self.plan.rules_for(shard_id, call_index)
+        for rule in rules:
+            if rule.kind == "latency":
+                self.clock.sleep(rule.latency_s)
+            elif rule.kind == "error":
+                raise ShardFault(
+                    f"injected error (shard {shard_id}, call {call_index})"
+                )
+        result = inner.search(query, predicate, k, ef_search=ef_search)
+        for rule in rules:
+            if rule.kind == "corrupt":
+                result = self._corrupt(result, shard_id, call_index, len(inner))
+            elif rule.kind == "truncate":
+                result = self._truncate(result)
+        return result
+
+    def _corrupt(self, result, shard_id: int, call_index: int, shard_len: int):
+        """An out-of-range-id, NaN-distance mutation of ``result``."""
+        rng = np.random.default_rng((self.seed, shard_id, call_index))
+        n = max(len(result), 1)
+        bad = dataclasses.replace(
+            result,
+            ids=shard_len + rng.integers(0, 1000, size=n).astype(np.intp),
+            distances=np.full(n, np.nan, dtype=np.float32),
+        )
+        return bad
+
+    def _truncate(self, result):
+        """Chop distances so the payload's array lengths disagree."""
+        return dataclasses.replace(
+            result, distances=result.distances[: max(len(result) - 1, 0)]
+        )
+
+
+class FaultyShard:
+    """Decorator around one shard index that routes searches through a
+    :class:`FaultInjector`.
+
+    Everything except ``search`` delegates to the wrapped shard, so a
+    faulty shard drops into :class:`~repro.shard.sharded.ShardedAcornIndex`
+    (constructor validation, router summaries, freezing, tombstones)
+    unchanged.
+    """
+
+    def __init__(self, inner, injector: FaultInjector, shard_id: int) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.shard_id = int(shard_id)
+
+    def search(self, query, predicate, k, ef_search: int = 64):
+        """The wrapped search, perturbed per the injector's plan."""
+        return self.injector.perform(
+            self.shard_id, self.inner, query, predicate, k, ef_search
+        )
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

@@ -1,0 +1,337 @@
+"""Fault-tolerant scatter-gather: deadlines, retries, circuit breakers.
+
+A :class:`ResiliencePolicy` attached to a
+:class:`~repro.shard.sharded.ShardedAcornIndex` changes the failure
+semantics of its scatter-gather from *any shard error kills the query*
+to *graceful degradation with exact accounting*:
+
+- every shard probe runs under a per-attempt **deadline** measured on a
+  pluggable :class:`~repro.utils.clock.Clock` (the chaos suite injects
+  a :class:`~repro.utils.clock.FakeClock`, so no test ever really
+  sleeps);
+- failed attempts (exception, deadline violation, or a structurally
+  invalid payload per :func:`validate_shard_result`) **retry** with
+  exponential backoff up to a bounded budget;
+- consecutive failures trip a per-shard **circuit breaker**
+  (closed → open → half-open): an open breaker rejects probes outright
+  until its reset window elapses, then a half-open breaker admits one
+  trial probe whose outcome re-closes or re-opens it;
+- shards that exhaust their budget are dropped from the merge and the
+  query returns the **partial top-k over surviving shards**, with
+  ``shards_failed`` / ``shards_timed_out`` / ``degraded`` and an
+  estimated ``recall_ceiling`` (survivor share of the router's
+  estimated passing rows) threaded through
+  :class:`~repro.engine.instrumentation.QueryStats`.
+
+Only ``Exception`` subclasses are ever folded into this accounting:
+``KeyboardInterrupt`` / ``SystemExit`` and other ``BaseException``s
+always propagate out of the gather (pinned by the chaos suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+
+import numpy as np
+
+from repro.utils.clock import Clock, SystemClock
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states, classic three-state machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-shard failure latch with a clock-driven reset window.
+
+    Closed: probes flow; each failure increments a consecutive-failure
+    count and reaching ``failure_threshold`` opens the breaker.  Open:
+    :meth:`allow` rejects until ``reset_timeout_s`` has elapsed on the
+    clock, then the breaker goes half-open.  Half-open: exactly one
+    trial probe is admitted; success closes the breaker, failure
+    re-opens it (restarting the window).
+
+    Thread-safe; all transitions happen under one lock.
+
+    Args:
+        failure_threshold: consecutive failures that open the breaker.
+        reset_timeout_s: clock seconds an open breaker waits before
+            admitting a half-open trial.
+        clock: time source for the reset window.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, after applying any due open→half-open lapse."""
+        with self._lock:
+            self._lapse_locked()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (resets on success)."""
+        with self._lock:
+            return self._failures
+
+    def _lapse_locked(self) -> None:
+        if (self._state is BreakerState.OPEN
+                and self.clock.monotonic() - self._opened_at
+                >= self.reset_timeout_s):
+            self._state = BreakerState.HALF_OPEN
+            self._trial_in_flight = False
+
+    def allow(self) -> bool:
+        """Whether a probe may proceed right now.
+
+        Half-open admits exactly one in-flight trial; concurrent
+        callers beyond the trial are rejected until it resolves.
+        """
+        with self._lock:
+            self._lapse_locked()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._trial_in_flight:
+                    return False
+                self._trial_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Note a successful probe: closes the breaker, clears failures."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._failures = 0
+            self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        """Note a failed probe; may open (or re-open) the breaker."""
+        with self._lock:
+            self._failures += 1
+            if (self._state is BreakerState.HALF_OPEN
+                    or self._failures >= self.failure_threshold):
+                self._state = BreakerState.OPEN
+                self._opened_at = self.clock.monotonic()
+                self._trial_in_flight = False
+
+
+@dataclasses.dataclass
+class ResiliencePolicy:
+    """Knobs governing fault-tolerant scatter-gather.
+
+    Attributes:
+        shard_deadline_s: per-attempt deadline in clock seconds; an
+            attempt whose elapsed clock time exceeds it counts as timed
+            out and its result is discarded.  ``None`` disables
+            deadline accounting.
+        max_retries: extra attempts after the first (0 = fail fast).
+        backoff_base_s: clock sleep before the first retry.
+        backoff_multiplier: factor applied to the backoff per retry.
+        breaker_threshold: consecutive failures opening a shard's
+            circuit breaker.
+        breaker_reset_s: clock seconds an open breaker waits before
+            half-opening.
+        validate_results: reject structurally invalid shard payloads
+            (out-of-range ids, NaN/unsorted distances, mismatched array
+            lengths) as failures instead of merging garbage.
+        clock: the time source for deadlines, backoff, and breakers.
+    """
+
+    shard_deadline_s: float | None = None
+    max_retries: int = 1
+    backoff_base_s: float = 0.01
+    backoff_multiplier: float = 2.0
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    validate_results: bool = True
+    clock: Clock = dataclasses.field(default_factory=SystemClock)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive or None")
+
+    def make_breakers(self, n_shards: int) -> list[CircuitBreaker]:
+        """Fresh per-shard breakers sharing this policy's clock."""
+        return [
+            CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_timeout_s=self.breaker_reset_s,
+                clock=self.clock,
+            )
+            for _ in range(n_shards)
+        ]
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based)."""
+        return self.backoff_base_s * self.backoff_multiplier ** retry_index
+
+
+def validate_shard_result(result, shard_len: int) -> str | None:
+    """A reason string when a shard payload is structurally invalid.
+
+    Checks the invariants every honest shard search satisfies: ids and
+    distances the same length, ids within ``[0, shard_len)``, distances
+    finite and non-decreasing.  Returns ``None`` for valid payloads.
+    """
+    ids = np.asarray(result.ids)
+    distances = np.asarray(result.distances)
+    if ids.shape[0] != distances.shape[0]:
+        return (f"ids/distances length mismatch "
+                f"({ids.shape[0]} vs {distances.shape[0]})")
+    if ids.shape[0] == 0:
+        return None
+    if ids.min() < 0 or ids.max() >= shard_len:
+        return f"ids outside [0, {shard_len})"
+    if not np.all(np.isfinite(distances)):
+        return "non-finite distances"
+    if np.any(np.diff(distances) < 0):
+        return "distances not sorted ascending"
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeOutcome:
+    """What one shard probe produced under the resilience policy.
+
+    Attributes:
+        shard_id: the probed shard.
+        status: ``"ok"``, ``"failed"`` (exception / invalid payload /
+            breaker rejection), or ``"timed_out"`` (final attempt blew
+            the deadline).
+        result: the shard's :class:`~repro.hnsw.hnsw.SearchResult` when
+            ``status == "ok"``, else ``None``.
+        attempts: search attempts actually executed (0 when the
+            breaker rejected the probe outright).
+        failure: short human-readable reason for non-ok outcomes.
+        elapsed_s: clock seconds consumed by the final attempt.
+    """
+
+    shard_id: int
+    status: str
+    result: object | None
+    attempts: int
+    failure: str | None
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the probe yielded a mergeable result."""
+        return self.status == "ok"
+
+
+def resilient_probe(
+    shard_id: int,
+    search,
+    shard_len: int,
+    policy: ResiliencePolicy,
+    breaker: CircuitBreaker,
+) -> ProbeOutcome:
+    """Run one shard search under deadline/retry/breaker discipline.
+
+    Args:
+        shard_id: which shard (for accounting only).
+        search: zero-argument callable executing the local search.
+        shard_len: shard size, for payload validation.
+        policy: the governing :class:`ResiliencePolicy`.
+        breaker: the shard's :class:`CircuitBreaker`.
+
+    Only ``Exception`` is caught; ``BaseException`` subclasses
+    (``KeyboardInterrupt``, ``SystemExit``) propagate to the caller —
+    folding them into failure accounting would swallow interrupts.
+    """
+    clock = policy.clock
+    attempts = 0
+    last_status = "failed"
+    last_failure: str | None = None
+    elapsed = 0.0
+    while attempts <= policy.max_retries:
+        if not breaker.allow():
+            if attempts == 0:
+                return ProbeOutcome(
+                    shard_id=shard_id, status="failed", result=None,
+                    attempts=0, failure="circuit breaker open",
+                    elapsed_s=0.0,
+                )
+            # Breaker opened mid-retry: stop burning the budget.
+            break
+        start = clock.monotonic()
+        try:
+            found = search()
+        except Exception as exc:  # noqa: BLE001 — BaseException must escape
+            elapsed = clock.monotonic() - start
+            breaker.record_failure()
+            last_status, last_failure = "failed", f"{type(exc).__name__}: {exc}"
+        else:
+            elapsed = clock.monotonic() - start
+            deadline = policy.shard_deadline_s
+            invalid = (validate_shard_result(found, shard_len)
+                       if policy.validate_results else None)
+            if deadline is not None and elapsed > deadline:
+                breaker.record_failure()
+                last_status = "timed_out"
+                last_failure = (f"deadline exceeded "
+                                f"({elapsed:.3f}s > {deadline:.3f}s)")
+            elif invalid is not None:
+                breaker.record_failure()
+                last_status, last_failure = "failed", f"invalid payload: {invalid}"
+            else:
+                breaker.record_success()
+                return ProbeOutcome(
+                    shard_id=shard_id, status="ok", result=found,
+                    attempts=attempts + 1, failure=None, elapsed_s=elapsed,
+                )
+        attempts += 1
+        if attempts <= policy.max_retries:
+            clock.sleep(policy.backoff_s(attempts - 1))
+    return ProbeOutcome(
+        shard_id=shard_id, status=last_status, result=None,
+        attempts=attempts, failure=last_failure, elapsed_s=elapsed,
+    )
+
+
+def recall_ceiling(
+    est_rows: list[float], ok_flags: list[bool]
+) -> float:
+    """Estimated upper bound on recall after shard failures.
+
+    Args:
+        est_rows: per probed shard, the router's estimate of passing
+            rows there (``est_selectivity * n_rows``).
+        ok_flags: per probed shard, whether its probe succeeded.
+
+    Returns the surviving share of estimated passing rows, in [0, 1];
+    1.0 when nothing was expected anywhere (the failure then provably
+    cost nothing) or when every probe succeeded.
+    """
+    total = sum(est_rows)
+    if total <= 0.0:
+        return 1.0
+    surviving = sum(e for e, ok in zip(est_rows, ok_flags) if ok)
+    return max(0.0, min(1.0, surviving / total))

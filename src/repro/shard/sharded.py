@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -50,7 +51,12 @@ from repro.shard.partition import (
     ShardAssignment,
     subset_table,
 )
-from repro.shard.router import ShardPlan, ShardRouter
+from repro.shard.resilience import (
+    ResiliencePolicy,
+    recall_ceiling,
+    resilient_probe,
+)
+from repro.shard.router import ShardDecision, ShardPlan, ShardRouter
 from repro.shard.summary import summarize_table
 from repro.vectors.distance import Metric
 
@@ -62,12 +68,27 @@ class ShardedSearchResult(SearchResult):
     Attributes:
         shards_probed: shards that executed a search for this query.
         shards_pruned: shards the router proved empty and skipped.
+        shards_failed: probed shards that exhausted their retry budget
+            on exceptions / invalid payloads / open circuit breakers
+            (0 without a resilience policy — failures then propagate).
+        shards_timed_out: probed shards whose final attempt exceeded
+            the per-shard deadline; disjoint from ``shards_failed``.
+        degraded: True when any probed shard failed or timed out, i.e.
+            the result is a partial top-k over surviving shards.
+        recall_ceiling: estimated upper bound on recall given the
+            failures — the surviving share of the router's estimated
+            passing rows across probed shards (1.0 when not degraded).
         per_shard: one dict per shard (plan order) with the decision
-            and, for probed shards, the local search's counters.
+            and, for probed shards, the local search's counters plus
+            resilience accounting (``status``/``attempts``/``failure``).
     """
 
     shards_probed: int = 0
     shards_pruned: int = 0
+    shards_failed: int = 0
+    shards_timed_out: int = 0
+    degraded: bool = False
+    recall_ceiling: float = 1.0
     per_shard: tuple = ()
 
 
@@ -132,6 +153,19 @@ class ShardedAcornIndex(BatchSearchMixin):
             by estimated local selectivity (efficiency mode); when
             False every probed shard uses the caller's ``ef_search``
             (the equivalence-preserving default).
+        resilience: optional
+            :class:`~repro.shard.resilience.ResiliencePolicy`.  Without
+            one (the default), shard failures propagate and no
+            deadline/retry/breaker machinery runs — the historical
+            fail-fast semantics.  With one, probes run under per-shard
+            deadlines with retry-and-backoff and per-shard circuit
+            breakers, and queries degrade gracefully to a partial
+            top-k over surviving shards with exact failure accounting.
+        shard_workers: fan shard probes of a single query across this
+            many threads (``None``/1 probes sequentially on the calling
+            thread — the deterministic default the chaos suite relies
+            on).  ``BaseException`` raised inside a probe always
+            propagates, never folds into failure accounting.
     """
 
     def __init__(
@@ -142,6 +176,8 @@ class ShardedAcornIndex(BatchSearchMixin):
         table: AttributeTable,
         router: ShardRouter | None = None,
         scale_ef: bool = False,
+        resilience: ResiliencePolicy | None = None,
+        shard_workers: int | None = None,
     ) -> None:
         if len(shards) != assignment.n_shards:
             raise ValueError(
@@ -163,6 +199,15 @@ class ShardedAcornIndex(BatchSearchMixin):
             else ShardRouter([summarize_table(s.table) for s in shards])
         )
         self.scale_ef = bool(scale_ef)
+        self.resilience = resilience
+        self.breakers = (
+            resilience.make_breakers(len(shards))
+            if resilience is not None else None
+        )
+        self.shard_workers = (
+            1 if shard_workers is None else max(int(shard_workers), 1)
+        )
+        self._scatter_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -182,6 +227,8 @@ class ShardedAcornIndex(BatchSearchMixin):
         acorn1_ef_construction: int = 40,
         build_shard: Callable[[np.ndarray, AttributeTable], AcornIndex] | None = None,
         scale_ef: bool = False,
+        resilience: ResiliencePolicy | None = None,
+        shard_workers: int | None = None,
     ) -> "ShardedAcornIndex":
         """Partition ``vectors``/``table`` and build one index per shard.
 
@@ -202,6 +249,8 @@ class ShardedAcornIndex(BatchSearchMixin):
             build_shard: optional ``(vectors, table) -> index`` factory
                 overriding ``variant`` entirely.
             scale_ef: forwarded to the instance (see class docs).
+            resilience: forwarded to the instance (see class docs).
+            shard_workers: forwarded to the instance (see class docs).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) != vectors.shape[0]:
@@ -220,7 +269,27 @@ class ShardedAcornIndex(BatchSearchMixin):
             shards.append(build_shard(vectors[gids], shard_table))
         return cls(
             shards=shards, assignment=assignment, partitioner=partitioner,
-            table=table, scale_ef=scale_ef,
+            table=table, scale_ef=scale_ef, resilience=resilience,
+            shard_workers=shard_workers,
+        )
+
+    def with_faults(self, injector) -> "ShardedAcornIndex":
+        """A chaos view of this index: same shards, decorated by
+        ``injector`` (see :class:`~repro.shard.faults.FaultInjector`).
+
+        The view shares the assignment, table, router, and policy
+        configuration but gets fresh circuit breakers, so injected
+        failures never poison the undecorated index's state.
+        """
+        return type(self)(
+            shards=injector.wrap(self.shards),
+            assignment=self.assignment,
+            partitioner=self.partitioner,
+            table=self.table,
+            router=self.router,
+            scale_ef=self.scale_ef,
+            resilience=self.resilience,
+            shard_workers=self.shard_workers,
         )
 
     def __len__(self) -> int:
@@ -241,6 +310,37 @@ class ShardedAcornIndex(BatchSearchMixin):
         for shard in self.shards:
             if len(shard):
                 shard.freeze()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (only needed when shard_workers > 1)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the scatter worker pool down (idempotent, teardown safe)."""
+        pool = getattr(self, "_scatter_pool", None)
+        if pool is not None:
+            self._scatter_pool = None
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedAcornIndex":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _scatter_executor(self) -> ThreadPoolExecutor:
+        if self._scatter_pool is None:
+            self._scatter_pool = ThreadPoolExecutor(
+                max_workers=self.shard_workers,
+                thread_name_prefix="repro-scatter",
+            )
+        return self._scatter_pool
 
     # ------------------------------------------------------------------
     # Search
@@ -266,6 +366,73 @@ class ShardedAcornIndex(BatchSearchMixin):
         return self.router.plan(raw, k=k, ef_search=ef_search,
                                 scale_ef=self.scale_ef)
 
+    def _probe_shard(
+        self,
+        decision: ShardDecision,
+        compiled: CompiledPredicate,
+        query: np.ndarray,
+        k: int,
+    ) -> tuple[dict, object | None, np.ndarray]:
+        """Execute one probed shard's local search.
+
+        Returns ``(record, found, gids)`` where ``record`` is the
+        per-shard telemetry dict, ``found`` is the local
+        :class:`~repro.hnsw.hnsw.SearchResult` (``None`` when the shard
+        had nothing to search or its probe failed under the resilience
+        policy), and ``gids`` maps local ids back to global ids.
+
+        Exceptions from the shard propagate when no resilience policy
+        is attached (fail-fast).  With a policy, ``Exception``s are
+        absorbed into the record's ``status``/``failure`` accounting;
+        ``BaseException`` (``KeyboardInterrupt``/``SystemExit``) always
+        propagates regardless of policy.
+        """
+        record = {
+            "shard": decision.shard_id,
+            "pruned": decision.pruned,
+            "reason": decision.reason,
+            "est_selectivity": decision.est_selectivity,
+            "ef_search": decision.ef_search,
+            "distance_computations": 0,
+            "hops": 0,
+            "returned": 0,
+            "status": "ok",
+            "attempts": 0,
+            "failure": None,
+        }
+        gids = self.assignment.global_ids[decision.shard_id]
+        local_mask = compiled.mask[gids]
+        if not local_mask.any():
+            # Probed per the plan, but the materialized local mask is
+            # empty — nothing to search, trivially successful.
+            return record, None, gids
+        shard = self.shards[decision.shard_id]
+        local = CompiledPredicate(compiled.predicate, local_mask)
+
+        def run_search():
+            """One attempt of the local search (resilience closure)."""
+            return shard.search(query, local, k,
+                                ef_search=decision.ef_search)
+
+        if self.resilience is None:
+            found = run_search()
+            record["attempts"] = 1
+        else:
+            outcome = resilient_probe(
+                decision.shard_id, run_search, len(shard),
+                self.resilience, self.breakers[decision.shard_id],
+            )
+            record["status"] = outcome.status
+            record["attempts"] = outcome.attempts
+            record["failure"] = outcome.failure
+            if not outcome.ok:
+                return record, None, gids
+            found = outcome.result
+        record["distance_computations"] = int(found.distance_computations)
+        record["hops"] = int(found.hops)
+        record["returned"] = int(len(found))
+        return record, found, gids
+
     def search(
         self,
         query: np.ndarray,
@@ -277,56 +444,72 @@ class ShardedAcornIndex(BatchSearchMixin):
 
         The predicate compiles once against the global table; the plan
         prunes provably-empty shards; each probed shard searches its
-        local subgraph over the sliced mask; sorted per-shard results
-        merge streamingly into the global top-k.
+        local subgraph over the sliced mask (sequentially, or across
+        ``shard_workers`` threads); sorted per-shard results merge
+        streamingly into the global top-k.  Under a resilience policy,
+        shards that fail past their retry budget are dropped and the
+        result degrades to the survivors' partial top-k with exact
+        ``shards_failed``/``shards_timed_out`` accounting.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         compiled = self._compile(predicate)
         plan = self.plan(compiled, k=k, ef_search=ef_search)
 
+        probed = [d for d in plan.decisions if not d.pruned]
+        if self.shard_workers > 1 and len(probed) > 1:
+            # Futures fan-out: executor.map re-raises anything a probe
+            # raised — including BaseException, which must never be
+            # folded into failure accounting.
+            probe_outcomes = list(self._scatter_executor().map(
+                lambda d: self._probe_shard(d, compiled, query, k), probed
+            ))
+        else:
+            probe_outcomes = [
+                self._probe_shard(d, compiled, query, k) for d in probed
+            ]
+
+        outcomes = {rec["shard"]: (rec, found, gids)
+                    for rec, found, gids in probe_outcomes}
         streams = []
         total_comps = 0
         total_hops = 0
         total_visited = 0
+        failed = 0
+        timed_out = 0
+        est_rows: list[float] = []
+        ok_flags: list[bool] = []
         per_shard = []
         for decision in plan.decisions:
-            record = {
-                "shard": decision.shard_id,
-                "pruned": decision.pruned,
-                "reason": decision.reason,
-                "est_selectivity": decision.est_selectivity,
-                "ef_search": decision.ef_search,
-            }
-            if not decision.pruned:
-                gids = self.assignment.global_ids[decision.shard_id]
-                local_mask = compiled.mask[gids]
-                if local_mask.any():
-                    shard = self.shards[decision.shard_id]
-                    local = CompiledPredicate(compiled.predicate, local_mask)
-                    found = shard.search(
-                        query, local, k, ef_search=decision.ef_search
-                    )
-                    streams.append(zip(
-                        found.distances.tolist(),
-                        gids[found.ids].tolist(),
-                    ))
-                    total_comps += found.distance_computations
-                    total_hops += found.hops
-                    total_visited += found.visited_nodes
-                    record["distance_computations"] = int(
-                        found.distance_computations
-                    )
-                    record["hops"] = int(found.hops)
-                    record["returned"] = int(len(found))
-                else:
-                    # Probed per the plan, but the materialized local
-                    # mask is empty — nothing to search.
-                    record["distance_computations"] = 0
-                    record["hops"] = 0
-                    record["returned"] = 0
+            if decision.pruned:
+                per_shard.append({
+                    "shard": decision.shard_id,
+                    "pruned": True,
+                    "reason": decision.reason,
+                    "est_selectivity": decision.est_selectivity,
+                    "ef_search": decision.ef_search,
+                })
+                continue
+            record, found, gids = outcomes[decision.shard_id]
             per_shard.append(record)
+            est_rows.append(
+                decision.est_selectivity * len(self.shards[decision.shard_id])
+            )
+            ok_flags.append(record["status"] == "ok")
+            if record["status"] == "failed":
+                failed += 1
+            elif record["status"] == "timed_out":
+                timed_out += 1
+            if found is not None:
+                streams.append(zip(
+                    found.distances.tolist(),
+                    gids[found.ids].tolist(),
+                ))
+                total_comps += found.distance_computations
+                total_hops += found.hops
+                total_visited += found.visited_nodes
 
+        degraded = (failed + timed_out) > 0
         merged = merge_topk(streams, k)
         return ShardedSearchResult(
             ids=np.asarray([gid for _, gid in merged], dtype=np.intp),
@@ -336,6 +519,12 @@ class ShardedAcornIndex(BatchSearchMixin):
             visited_nodes=int(total_visited),
             shards_probed=plan.n_probed,
             shards_pruned=plan.n_pruned,
+            shards_failed=int(failed),
+            shards_timed_out=int(timed_out),
+            degraded=degraded,
+            recall_ceiling=(
+                recall_ceiling(est_rows, ok_flags) if degraded else 1.0
+            ),
             per_shard=tuple(per_shard),
         )
 
@@ -374,6 +563,13 @@ class ShardedAcornIndex(BatchSearchMixin):
         """Total vector + adjacency footprint across shards."""
         return sum(shard.nbytes() for shard in self.shards)
 
+    def breaker_states(self) -> list[str] | None:
+        """Per-shard circuit-breaker state names (``None`` without a
+        resilience policy)."""
+        if self.breakers is None:
+            return None
+        return [breaker.state.value for breaker in self.breakers]
+
     def stats(self) -> dict:
         """Operator-facing build summary: shard sizes and per-shard stats."""
         return {
@@ -382,5 +578,6 @@ class ShardedAcornIndex(BatchSearchMixin):
             "num_deleted": self.num_deleted,
             "partitioner": self.partitioner.spec(),
             "shard_sizes": [len(shard) for shard in self.shards],
+            "breakers": self.breaker_states(),
             "shards": [shard.stats() for shard in self.shards],
         }

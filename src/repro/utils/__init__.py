@@ -1,6 +1,14 @@
-"""Shared utilities: seeded RNG helpers and timers."""
+"""Shared utilities: seeded RNG helpers, timers, and pluggable clocks."""
 
+from repro.utils.clock import Clock, FakeClock, SystemClock
 from repro.utils.rng import default_rng, spawn_rngs
 from repro.utils.timer import Timer
 
-__all__ = ["default_rng", "spawn_rngs", "Timer"]
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "SystemClock",
+    "Timer",
+    "default_rng",
+    "spawn_rngs",
+]

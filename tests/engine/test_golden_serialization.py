@@ -1,0 +1,172 @@
+"""Golden regression: pinned serialization of the instrumentation.
+
+``QueryStats.to_dict()``, ``BatchResult.summary()``, and the sweep CSV
+header feed downstream dashboards and the ``BENCH_*.json`` schemas, so
+their shape must not drift silently.  These goldens pin field names,
+ordering, and exact values (the inputs are hand-crafted, so every
+number below is arithmetically forced).  If a deliberate schema change
+moves them, update the goldens here *and* the corresponding
+``validate_*_entry`` checks in ``repro.cli`` in the same commit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.engine import BatchResult
+from repro.engine.instrumentation import QueryStats
+from repro.eval.runner import MethodSweep, SweepPoint
+
+QUERY_STATS_FIELDS = (
+    "query_index",
+    "distance_computations",
+    "hops",
+    "visited_nodes",
+    "predicate_cache_hit",
+    "wall_time_s",
+    "shards_probed",
+    "shards_pruned",
+    "shards_failed",
+    "shards_timed_out",
+    "degraded",
+    "recall_ceiling",
+)
+
+SUMMARY_KEYS = (
+    "queries",
+    "num_workers",
+    "wall_time_s",
+    "qps",
+    "latency_s",
+    "distance_computations",
+    "total_distance_computations",
+    "cache_hits",
+    "cache_misses",
+    "shards_probed",
+    "shards_pruned",
+    "shards_failed",
+    "shards_timed_out",
+    "degraded_queries",
+    "min_recall_ceiling",
+)
+
+CSV_HEADER = (
+    "method,effort,recall,qps,mean_distance_computations,"
+    "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
+    "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
+    "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling"
+)
+
+
+def _stats_pair():
+    healthy = QueryStats(
+        query_index=0, distance_computations=120, hops=40,
+        visited_nodes=55, predicate_cache_hit=False, wall_time_s=0.002,
+        shards_probed=3, shards_pruned=1,
+    )
+    degraded = QueryStats(
+        query_index=1, distance_computations=80, hops=25,
+        visited_nodes=30, predicate_cache_hit=True, wall_time_s=0.004,
+        shards_probed=2, shards_pruned=2, shards_failed=1,
+        shards_timed_out=1, degraded=True, recall_ceiling=0.625,
+    )
+    return healthy, degraded
+
+
+class TestQueryStatsGolden:
+    def test_field_names_and_order_pinned(self):
+        assert tuple(
+            f.name for f in dataclasses.fields(QueryStats)
+        ) == QUERY_STATS_FIELDS
+
+    def test_to_dict_golden(self):
+        healthy, _ = _stats_pair()
+        assert healthy.to_dict() == {
+            "query_index": 0,
+            "distance_computations": 120,
+            "hops": 40,
+            "visited_nodes": 55,
+            "predicate_cache_hit": False,
+            "wall_time_s": 0.002,
+            "shards_probed": 3,
+            "shards_pruned": 1,
+            "shards_failed": 0,
+            "shards_timed_out": 0,
+            "degraded": False,
+            "recall_ceiling": 1.0,
+        }
+
+    def test_failure_fields_default_to_healthy(self):
+        healthy, _ = _stats_pair()
+        assert healthy.shards_failed == 0
+        assert healthy.shards_timed_out == 0
+        assert healthy.degraded is False
+        assert healthy.recall_ceiling == 1.0
+
+
+class TestBatchSummaryGolden:
+    def _summary(self):
+        healthy, degraded = _stats_pair()
+        batch = BatchResult(
+            results=[None, None], stats=[healthy, degraded],
+            wall_time_s=0.01, num_workers=2,
+        )
+        return batch.summary()
+
+    def test_key_set_and_order_pinned(self):
+        assert tuple(self._summary().keys()) == SUMMARY_KEYS
+
+    def test_summary_values_golden(self):
+        summary = self._summary()
+        assert summary["queries"] == 2
+        assert summary["num_workers"] == 2
+        assert summary["qps"] == pytest.approx(200.0)
+        assert summary["total_distance_computations"] == 200
+        assert summary["cache_hits"] == 1
+        assert summary["cache_misses"] == 1
+        assert summary["shards_probed"] == 5
+        assert summary["shards_pruned"] == 3
+        assert summary["shards_failed"] == 1
+        assert summary["shards_timed_out"] == 1
+        assert summary["degraded_queries"] == 1
+        assert summary["min_recall_ceiling"] == pytest.approx(0.625)
+        assert summary["latency_s"] == pytest.approx({
+            "count": 2, "mean": 0.003, "p50": 0.003, "p95": 0.0039,
+            "p99": 0.00398, "min": 0.002, "max": 0.004,
+        })
+        assert summary["distance_computations"] == pytest.approx({
+            "count": 2, "mean": 100.0, "p50": 100.0, "p95": 118.0,
+            "p99": 119.6, "min": 80.0, "max": 120.0,
+        })
+
+
+class TestSweepCsvGolden:
+    def test_header_pinned(self):
+        sweep = MethodSweep(method="m", points=[])
+        assert sweep.to_csv() == CSV_HEADER
+
+    def test_row_golden(self):
+        point = SweepPoint(
+            effort=40, recall=0.95, qps=1234.5,
+            mean_distance_computations=321.0, mean_latency_s=0.0008,
+            p50_latency_s=0.0007, p95_latency_s=0.0011,
+            p99_latency_s=0.0013, mean_shards_probed=3.5,
+            mean_shards_pruned=0.5, mean_shards_failed=0.25,
+            mean_shards_timed_out=0.75, degraded_fraction=0.5,
+            mean_recall_ceiling=0.9375,
+        )
+        sweep = MethodSweep(method="acorn", points=[point])
+        assert sweep.to_csv().splitlines()[1] == (
+            "acorn,40,0.950000,1234.500,321.00,0.000800,0.000700,"
+            "0.001100,0.001300,3.50,0.50,0.25,0.75,0.5000,0.9375"
+        )
+
+    def test_failure_columns_default_to_healthy(self):
+        point = SweepPoint(
+            effort=10, recall=0.5, qps=1.0,
+            mean_distance_computations=1.0, mean_latency_s=0.1,
+        )
+        assert point.mean_shards_failed == 0.0
+        assert point.mean_shards_timed_out == 0.0
+        assert point.degraded_fraction == 0.0
+        assert point.mean_recall_ceiling == 1.0

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main, validate_shard_entry
+from repro.cli import (
+    build_parser,
+    main,
+    validate_chaos_entry,
+    validate_shard_entry,
+)
 
 
 class TestParser:
@@ -25,6 +30,15 @@ class TestParser:
         assert args.n == 10000
         assert args.shards == 4
         assert args.out == "BENCH_shard.json"
+        assert args.smoke is False
+
+    def test_bench_chaos_defaults(self):
+        args = build_parser().parse_args(["bench-chaos"])
+        assert args.shards == 8
+        assert args.failure_rate == 0.2
+        assert args.deadline == 0.5
+        assert args.retries == 1
+        assert args.out == "BENCH_chaos.json"
         assert args.smoke is False
 
     def test_requires_command(self):
@@ -97,6 +111,40 @@ class TestCommands:
         assert entries[0]["shards_pruned"] >= 1
         assert entries[0]["results_identical"] is True
 
+    def test_bench_chaos_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_chaos.json"
+        main([
+            "bench-chaos", "--n", "400", "--queries", "8", "--dim", "12",
+            "--m", "8", "--gamma", "6", "--shards", "5",
+            "--failure-rate", "0.2", "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "accounting exact   : True" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_chaos_entry(entries[0])
+        assert entries[0]["ground_truth_matches"] is True
+        assert entries[0]["within_deadline"] is True
+        assert entries[0]["degraded_queries"] >= 1
+        assert len(entries[0]["faulty_shards"]) == 1
+
+    def test_bench_chaos_deterministic_across_runs(self, tmp_path):
+        """Same seed, same plan, same accounting — byte-for-byte except
+        the timestamp."""
+        records = []
+        for run in range(2):
+            out_path = tmp_path / f"chaos_{run}.json"
+            main([
+                "bench-chaos", "--n", "300", "--queries", "6", "--dim",
+                "10", "--m", "8", "--gamma", "6", "--shards", "4",
+                "--smoke", "--out", str(out_path),
+            ])
+            entry = json.loads(out_path.read_text())[0]
+            entry.pop("timestamp")
+            records.append(entry)
+        assert records[0] == records[1]
+
 
 class TestValidateShardEntry:
     def _entry(self, **overrides):
@@ -130,3 +178,52 @@ class TestValidateShardEntry:
     def test_unbalanced_accounting_rejected(self):
         with pytest.raises(ValueError, match="does not balance"):
             validate_shard_entry(self._entry(shards_pruned=99))
+
+
+class TestValidateChaosEntry:
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "shard-chaos",
+            "timestamp": "2026-01-01T00:00:00",
+            "n": 400, "dim": 12, "queries": 8, "k": 10, "ef_search": 400,
+            "m": 8, "gamma": 6, "n_shards": 8, "workers": 1, "smoke": True,
+            "failure_rate": 0.2, "faulty_shards": [2, 5],
+            "shard_deadline_s": 0.5, "max_retries": 1,
+            "degraded_queries": 8, "shards_failed": 8,
+            "shards_timed_out": 8, "min_recall_ceiling": 0.7,
+            "mean_recall_ceiling": 0.75, "ground_truth_matches": True,
+            "within_deadline": True, "max_query_clock_s": 4.1,
+            "query_budget_s": 32.9,
+            "breaker_states": ["closed"] * 6 + ["open"] * 2,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_chaos_entry(self._entry())
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["shards_timed_out"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_chaos_entry(entry)
+
+    def test_mistyped_count_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            validate_chaos_entry(self._entry(shards_failed="8"))
+
+    def test_mistyped_flag_rejected(self):
+        with pytest.raises(ValueError, match="must be a bool"):
+            validate_chaos_entry(self._entry(ground_truth_matches=1))
+
+    def test_overflowing_accounting_rejected(self):
+        with pytest.raises(ValueError, match="exceeds probe"):
+            validate_chaos_entry(self._entry(shards_failed=100))
+
+    def test_out_of_range_ceiling_rejected(self):
+        with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+            validate_chaos_entry(self._entry(min_recall_ceiling=1.5))
+
+    def test_excess_degraded_queries_rejected(self):
+        with pytest.raises(ValueError, match="degraded_queries"):
+            validate_chaos_entry(self._entry(degraded_queries=99))
