@@ -243,42 +243,19 @@ def _cmd_bench_batch(args: argparse.Namespace) -> None:
           f"(speedup vs sequential: {speedup:.2f}x)")
 
 
-TRAVERSAL_SCHEMA_KEYS = {
-    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
-    "gamma", "workers", "smoke", "dict_kernel", "csr_kernel",
-    "hops_per_s_speedup", "single_query_speedup", "batch_qps_speedup",
-}
-
-_TRAVERSAL_KERNEL_KEYS = {
-    "p50_ms", "p99_ms", "batch_qps", "hops_per_s", "total_hops",
-    "total_seconds",
-}
-
-
-def validate_traversal_entry(entry: dict) -> None:
-    """Check one BENCH_traversal.json record against the schema.
-
-    Raises:
-        ValueError: if required keys are missing or mis-typed.  Used by
-            the CI smoke job and ``tests/test_cli.py``.
-    """
-    missing = TRAVERSAL_SCHEMA_KEYS - entry.keys()
-    if missing:
-        raise ValueError(f"bench-traversal entry missing keys: {sorted(missing)}")
-    for kernel in ("dict_kernel", "csr_kernel"):
-        sub = entry[kernel]
-        if not isinstance(sub, dict):
-            raise ValueError(f"{kernel} must be an object, got {type(sub)}")
-        sub_missing = _TRAVERSAL_KERNEL_KEYS - sub.keys()
-        if sub_missing:
-            raise ValueError(f"{kernel} missing keys: {sorted(sub_missing)}")
-        for key in _TRAVERSAL_KERNEL_KEYS:
-            if not isinstance(sub[key], (int, float)):
-                raise ValueError(f"{kernel}.{key} must be numeric")
-    for key in ("hops_per_s_speedup", "single_query_speedup",
-                "batch_qps_speedup"):
-        if not isinstance(entry[key], (int, float)):
-            raise ValueError(f"{key} must be numeric")
+# Benchmark-record schemas and validators live in
+# repro.eval.benchschema; re-exported here because the CI jobs and
+# older tests import them from repro.cli.
+from repro.eval.benchschema import (  # noqa: E402  (re-export)
+    BUILD_SCHEMA_KEYS,
+    CHAOS_SCHEMA_KEYS,
+    SHARD_SCHEMA_KEYS,
+    TRAVERSAL_SCHEMA_KEYS,
+    validate_build_entry,
+    validate_chaos_entry,
+    validate_shard_entry,
+    validate_traversal_entry,
+)
 
 
 def _time_single_queries(search_one, queries, predicates):
@@ -402,51 +379,6 @@ def _cmd_bench_traversal(args: argparse.Namespace) -> None:
         )
 
 
-SHARD_SCHEMA_KEYS = {
-    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
-    "gamma", "n_shards", "workers", "smoke", "partitioner",
-    "unsharded_qps", "sharded_qps", "qps_ratio", "shards_probed",
-    "shards_pruned", "prune_fraction", "results_identical",
-    "latency_s",
-}
-
-
-def validate_shard_entry(entry: dict) -> None:
-    """Check one BENCH_shard.json record against the schema.
-
-    Beyond key presence and types, enforces the router's accounting
-    invariant: every query either probes or prunes each shard, so
-    ``shards_probed + shards_pruned == queries * n_shards``.
-
-    Raises:
-        ValueError: if required keys are missing, mis-typed, or the
-            shard accounting does not balance.  Used by the CI smoke
-            job and ``tests/test_cli.py``.
-    """
-    missing = SHARD_SCHEMA_KEYS - entry.keys()
-    if missing:
-        raise ValueError(f"bench-shard entry missing keys: {sorted(missing)}")
-    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
-                "n_shards", "workers", "shards_probed", "shards_pruned"):
-        if not isinstance(entry[key], int):
-            raise ValueError(f"{key} must be an int")
-    for key in ("unsharded_qps", "sharded_qps", "qps_ratio",
-                "prune_fraction"):
-        if not isinstance(entry[key], (int, float)):
-            raise ValueError(f"{key} must be numeric")
-    if not isinstance(entry["results_identical"], bool):
-        raise ValueError("results_identical must be a bool")
-    if not isinstance(entry["latency_s"], dict):
-        raise ValueError("latency_s must be an object")
-    expected = entry["queries"] * entry["n_shards"]
-    actual = entry["shards_probed"] + entry["shards_pruned"]
-    if actual != expected:
-        raise ValueError(
-            f"shard accounting does not balance: probed + pruned = "
-            f"{actual}, expected queries * n_shards = {expected}"
-        )
-
-
 def _cmd_bench_shard(args: argparse.Namespace) -> None:
     from repro.predicates import Between
     from repro.shard import AttributeRangePartitioner, ShardedAcornIndex
@@ -559,64 +491,6 @@ def _cmd_bench_shard(args: argparse.Namespace) -> None:
                 "smoke check failed: sharded results diverged from the "
                 "monolithic index in the exhaustive regime"
             )
-
-
-CHAOS_SCHEMA_KEYS = {
-    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
-    "gamma", "n_shards", "workers", "smoke", "failure_rate",
-    "faulty_shards", "shard_deadline_s", "max_retries",
-    "degraded_queries", "shards_failed", "shards_timed_out",
-    "min_recall_ceiling", "mean_recall_ceiling",
-    "ground_truth_matches", "within_deadline", "max_query_clock_s",
-    "query_budget_s", "breaker_states",
-}
-
-
-def validate_chaos_entry(entry: dict) -> None:
-    """Check one BENCH_chaos.json record against the schema.
-
-    Beyond key presence and types, enforces the failure-accounting
-    invariants: failed + timed-out shard visits cannot exceed total
-    probe opportunities (``queries * n_shards``), degraded queries
-    cannot exceed the query count, and recall ceilings live in [0, 1].
-
-    Raises:
-        ValueError: if required keys are missing, mis-typed, or the
-            accounting invariants are violated.  Used by the CI chaos
-            job and ``tests/test_cli.py``.
-    """
-    missing = CHAOS_SCHEMA_KEYS - entry.keys()
-    if missing:
-        raise ValueError(f"bench-chaos entry missing keys: {sorted(missing)}")
-    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
-                "n_shards", "workers", "max_retries", "degraded_queries",
-                "shards_failed", "shards_timed_out"):
-        if not isinstance(entry[key], int):
-            raise ValueError(f"{key} must be an int")
-    for key in ("failure_rate", "shard_deadline_s", "min_recall_ceiling",
-                "mean_recall_ceiling", "max_query_clock_s",
-                "query_budget_s"):
-        if not isinstance(entry[key], (int, float)):
-            raise ValueError(f"{key} must be numeric")
-    for key in ("ground_truth_matches", "within_deadline", "smoke"):
-        if not isinstance(entry[key], bool):
-            raise ValueError(f"{key} must be a bool")
-    if not isinstance(entry["faulty_shards"], list):
-        raise ValueError("faulty_shards must be a list")
-    if not isinstance(entry["breaker_states"], list):
-        raise ValueError("breaker_states must be a list")
-    budget = entry["queries"] * entry["n_shards"]
-    dropped = entry["shards_failed"] + entry["shards_timed_out"]
-    if dropped > budget:
-        raise ValueError(
-            f"failure accounting exceeds probe opportunities: "
-            f"{dropped} > queries * n_shards = {budget}"
-        )
-    if entry["degraded_queries"] > entry["queries"]:
-        raise ValueError("degraded_queries exceeds query count")
-    for key in ("min_recall_ceiling", "mean_recall_ceiling"):
-        if not 0.0 <= entry[key] <= 1.0:
-            raise ValueError(f"{key} must be in [0, 1]")
 
 
 def _cmd_bench_chaos(args: argparse.Namespace) -> None:
@@ -807,6 +681,143 @@ def _cmd_bench_chaos(args: argparse.Namespace) -> None:
             )
 
 
+def _cmd_bench_build(args: argparse.Namespace) -> None:
+    from repro.core.bulkbuild import graph_checksum
+    from repro.vectors.distance import GLOBAL_TALLY
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.queries = min(args.queries, 24)
+    print(f"generating build workload (n={args.n}, dim={args.dim}, "
+          f"m={args.m}, gamma={args.gamma}, efc={args.ef_construction})...")
+    # Table 4 (TTI) measures raw construction cost, so the workload is
+    # deliberately structureless: uniform Gaussian vectors with a
+    # uniform label column.  Clustered serving worlds make the
+    # sequential baseline converge early and would understate (and
+    # noise up) the batching gain being measured.
+    from repro.predicates import Equals
+
+    gen = np.random.default_rng(args.seed)
+    vectors = gen.standard_normal((args.n, args.dim)).astype(np.float32)
+    labels = gen.integers(0, args.distinct_predicates, size=args.n)
+    table = AttributeTable(args.n)
+    table.add_int_column("label", labels)
+    queries = gen.standard_normal((args.queries, args.dim)).astype(np.float32)
+    predicates = [
+        Equals("label", i % args.distinct_predicates)
+        for i in range(args.queries)
+    ]
+    params = AcornParams(m=args.m, gamma=args.gamma,
+                         ef_construction=args.ef_construction)
+
+    tally0 = GLOBAL_TALLY.total
+    with Timer() as t_seq:
+        sequential = AcornIndex.build(vectors, table, params=params,
+                                      seed=args.seed)
+    seq_comps = GLOBAL_TALLY.total - tally0
+    print(f"sequential build : {t_seq.elapsed:8.2f}s "
+          f"({seq_comps} distance comps)")
+
+    tally0 = GLOBAL_TALLY.total
+    with Timer() as t_par:
+        parallel = AcornIndex.build(vectors, table, params=params,
+                                    seed=args.seed, n_workers=args.workers,
+                                    wave_cap=args.wave_cap)
+    par_comps = GLOBAL_TALLY.total - tally0
+    speedup = t_seq.elapsed / t_par.elapsed
+    print(f"parallel build   : {t_par.elapsed:8.2f}s at {args.workers} "
+          f"workers ({par_comps} distance comps, {speedup:.2f}x)")
+
+    seq_checksum = graph_checksum(sequential.graph)
+    par_checksum = graph_checksum(parallel.graph)
+    rebuild = AcornIndex.build(vectors, table, params=params,
+                               seed=args.seed, n_workers=args.workers,
+                               wave_cap=args.wave_cap)
+    rebuild_match = graph_checksum(rebuild.graph) == par_checksum
+    print(f"parallel rebuild : checksum match = {rebuild_match}")
+
+    try:
+        sequential.graph.validate()
+        parallel.graph.validate()
+        graphs_valid = True
+    except ValueError as exc:
+        print(f"graph validation failed: {exc}")
+        graphs_valid = False
+
+    # Recall@10 of both graphs against the brute-force hybrid ground
+    # truth (distance ranking restricted to each predicate's rows).
+    k = args.k
+    hits = {"seq": 0, "par": 0}
+    total = 0
+    for query, predicate in zip(queries, predicates):
+        passing = predicate.compile(table).passing_ids
+        if passing.size < k:
+            continue
+        dists = np.linalg.norm(
+            vectors[passing].astype(np.float64) - query.astype(np.float64),
+            axis=1,
+        )
+        truth = set(passing[np.argsort(dists, kind="stable")[:k]].tolist())
+        total += k
+        for key, index in (("seq", sequential), ("par", parallel)):
+            found = index.search(query, predicate, k=k,
+                                 ef_search=args.ef).ids
+            hits[key] += len(truth & set(found.tolist()))
+    recall_seq = hits["seq"] / total if total else 1.0
+    recall_par = hits["par"] / total if total else 1.0
+    recall_gap = abs(recall_seq - recall_par)
+    print(f"recall@{k}        : sequential {recall_seq:.4f}, "
+          f"parallel {recall_par:.4f} (gap {recall_gap:.4f})")
+
+    entry = {
+        "bench": "build-tti",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "m": args.m,
+        "gamma": args.gamma,
+        "ef_construction": args.ef_construction,
+        "n_workers": args.workers,
+        "wave_cap": args.wave_cap,
+        "smoke": bool(args.smoke),
+        "sequential_s": round(t_seq.elapsed, 3),
+        "parallel_s": round(t_par.elapsed, 3),
+        "speedup": round(speedup, 3),
+        "sequential_distance_comps": int(seq_comps),
+        "parallel_distance_comps": int(par_comps),
+        "sequential_checksum": seq_checksum,
+        "parallel_checksum": par_checksum,
+        "parallel_rebuild_checksum_match": bool(rebuild_match),
+        "recall_at_10_sequential": round(recall_seq, 4),
+        "recall_at_10_parallel": round(recall_par, 4),
+        "recall_gap": round(abs(round(recall_seq, 4) - round(recall_par, 4)),
+                            4),
+        "graphs_valid": graphs_valid,
+    }
+    validate_build_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+    if args.smoke:
+        if not graphs_valid:
+            raise SystemExit(
+                "smoke check failed: a built graph failed validation"
+            )
+        if not rebuild_match:
+            raise SystemExit(
+                "smoke check failed: two parallel builds with the same "
+                "seed produced different graphs (determinism broken)"
+            )
+        if recall_gap > 0.01:
+            raise SystemExit(
+                f"smoke check failed: parallel-build recall diverged from "
+                f"sequential by {recall_gap:.4f} (> 0.01)"
+            )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -931,6 +942,33 @@ def build_parser() -> argparse.ArgumentParser:
              "its injected-clock budget",
     )
     chaos.set_defaults(func=_cmd_bench_chaos)
+
+    build = sub.add_parser(
+        "bench-build",
+        help="sequential vs wave-parallel index construction (Table 4 TTI)",
+    )
+    build.add_argument("--n", type=int, default=10000)
+    build.add_argument("--queries", type=int, default=32)
+    build.add_argument("--dim", type=int, default=32)
+    build.add_argument("--k", type=int, default=10)
+    build.add_argument("--m", type=int, default=12)
+    build.add_argument("--gamma", type=int, default=12)
+    build.add_argument("--ef-construction", type=int, default=144)
+    build.add_argument("--ef", type=int, default=80,
+                       help="ef_search for the recall-parity probe")
+    build.add_argument("--workers", type=int, default=4)
+    build.add_argument("--wave-cap", type=int, default=None,
+                       help="max wave size (default scales with n)")
+    build.add_argument("--distinct-predicates", type=int, default=8)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", default="BENCH_build.json")
+    build.add_argument(
+        "--smoke", action="store_true",
+        help="small workload; exit nonzero unless both graphs validate, "
+             "same-seed parallel builds are identical, and parallel-build "
+             "recall matches sequential within 0.01",
+    )
+    build.set_defaults(func=_cmd_bench_build)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -121,8 +121,22 @@ class AcornIndex(BatchSearchMixin):
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
         labels: np.ndarray | None = None,
+        n_workers: int = 1,
+        wave_cap: int | None = None,
     ) -> "AcornIndex":
-        """Construct an index over ``vectors`` aligned with ``table`` rows."""
+        """Construct an index over ``vectors`` aligned with ``table`` rows.
+
+        Args:
+            n_workers: build parallelism.  1 (default) keeps the
+                sequential insert loop, the byte-identical reference.
+                Greater values use the wave-parallel GEMM-batched
+                pipeline (:mod:`repro.core.bulkbuild`): run-to-run
+                deterministic for a fixed seed, recall-equivalent but
+                not edge-identical to the sequential graph.
+            wave_cap: maximum wave size for the parallel pipeline
+                (default scales with ``n``); ignored when
+                ``n_workers == 1``.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) < vectors.shape[0]:
             # A larger table is allowed: extra rows serve later inserts.
@@ -131,8 +145,16 @@ class AcornIndex(BatchSearchMixin):
             )
         index = cls(vectors.shape[1], table, params=params, metric=metric,
                     seed=seed, labels=labels)
-        for vector in vectors:
-            index.add(vector)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if n_workers > 1:
+            from repro.core.bulkbuild import bulk_insert_acorn
+
+            bulk_insert_acorn(index, vectors, n_workers=n_workers,
+                              wave_cap=wave_cap)
+        else:
+            for vector in vectors:
+                index.add(vector)
         return index
 
     def add(self, vector: np.ndarray) -> int:
@@ -238,29 +260,57 @@ class AcornIndex(BatchSearchMixin):
         node: int,
         candidates: list[tuple[float, int]],
         level: int,
+        graph=None,
+        vectorized: bool = False,
     ) -> list[tuple[float, int]]:
         """Choose the final edge list from the M·γ nearest candidates.
 
         Uncompressed levels keep every candidate (the expanded lists are
         the whole point); compressed levels — the bottom ``nc`` levels,
         per §6.1's generalization — apply the configured pruning rule.
+
+        Args:
+            graph: adjacency the ACORN rule reads its 2-hop sets from;
+                defaults to the live graph.  The bulk builder passes an
+                immutable pre-wave snapshot view so concurrent wave
+                workers never observe each other's in-flight edits.
+            vectorized: dispatch to the candidate-matrix /
+                membership-buffer pruning variants (same kept edges,
+                one batched evaluation instead of per-pair kernel
+                calls); the sequential insert path keeps the scalar
+                reference rules.
         """
         if not self._is_compressed(level):
             return candidates
         pruning = self.params.pruning
+        if graph is None:
+            graph = self.graph
         if pruning is PruningStrategy.ACORN:
+            if vectorized:
+                return cons.prune_predicate_agnostic_arrays(
+                    candidates,
+                    lambda c, lev=level: graph.neighbors(c, lev),
+                    num_ids=len(self.store),
+                    m_beta=self.params.m_beta,
+                    max_degree=self.params.max_degree,
+                    stats=self.pruning_stats,
+                )
             return cons.prune_predicate_agnostic(
-                candidates, self.graph, level=level,
+                candidates, graph, level=level,
                 m_beta=self.params.m_beta,
                 max_degree=self.params.max_degree,
                 stats=self.pruning_stats,
             )
         if pruning is PruningStrategy.RNG_BLIND:
-            return cons.prune_rng_blind(
+            blind = (cons.prune_rng_blind_matrix if vectorized
+                     else cons.prune_rng_blind)
+            return blind(
                 candidates, computer.base, self.params.max_degree,
                 metric=self.metric, stats=self.pruning_stats,
             )
-        return cons.prune_rng_metadata(
+        metadata = (cons.prune_rng_metadata_matrix if vectorized
+                    else cons.prune_rng_metadata)
+        return metadata(
             candidates, computer.base, self._labels, node,
             self.params.max_degree, metric=self.metric,
             stats=self.pruning_stats,
@@ -273,8 +323,15 @@ class AcornIndex(BatchSearchMixin):
         new_neighbor: int,
         dist: float,
         level: int,
+        graph_view=None,
+        vectorized: bool = False,
     ) -> None:
-        """Insert ``owner -> new_neighbor`` in distance order; shrink on overflow."""
+        """Insert ``owner -> new_neighbor`` in distance order; shrink on overflow.
+
+        ``graph_view``/``vectorized`` are forwarded to the re-pruning
+        dispatch (see :meth:`_select_edges`); the sequential path leaves
+        them at their defaults.
+        """
         neighbor_ids = self.graph.neighbors(owner, level)
         dists = self._edge_dists[level][owner]
         if new_neighbor in neighbor_ids:
@@ -292,7 +349,8 @@ class AcornIndex(BatchSearchMixin):
         if len(neighbor_ids) <= self._cap0:
             return
         candidates = list(zip(dists, neighbor_ids))
-        selected = self._select_edges(computer, owner, candidates, level=level)
+        selected = self._select_edges(computer, owner, candidates, level=level,
+                                      graph=graph_view, vectorized=vectorized)
         # The pruning rule's |H|+kept budget does not bind while the
         # two-hop sets are still small (early construction), so enforce
         # the cap explicitly — minus an M-wide low-watermark so a full
@@ -600,8 +658,15 @@ class AcornOneIndex(AcornIndex):
         ef_construction: int = 40,
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
+        n_workers: int = 1,
+        wave_cap: int | None = None,
     ) -> "AcornOneIndex":
-        """Construct an ACORN-1 index over ``vectors``."""
+        """Construct an ACORN-1 index over ``vectors``.
+
+        ``n_workers``/``wave_cap`` follow :meth:`AcornIndex.build`:
+        1 keeps the sequential reference loop, more routes through the
+        wave-parallel pipeline.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) < vectors.shape[0]:
             # A larger table is allowed: extra rows serve later inserts.
@@ -610,8 +675,16 @@ class AcornOneIndex(AcornIndex):
             )
         index = cls(vectors.shape[1], table, m=m,
                     ef_construction=ef_construction, metric=metric, seed=seed)
-        for vector in vectors:
-            index.add(vector)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if n_workers > 1:
+            from repro.core.bulkbuild import bulk_insert_acorn
+
+            bulk_insert_acorn(index, vectors, n_workers=n_workers,
+                              wave_cap=wave_cap)
+        else:
+            for vector in vectors:
+                index.add(vector)
         return index
 
     def _attach_expansions(self, frozen: list[FrozenLevel]) -> None:

@@ -62,8 +62,18 @@ class FlatAcornIndex(AcornIndex):
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
         labels: np.ndarray | None = None,
+        n_workers: int = 1,
+        wave_cap: int | None = None,
     ) -> "FlatAcornIndex":
-        """Construct a flat index and anchor its entry at the medoid."""
+        """Construct a flat index and anchor its entry at the medoid.
+
+        ``n_workers``/``wave_cap`` are accepted for signature parity
+        with the layered variants but ignored: the flat substrate's
+        :meth:`_bottom_seeds` draws pseudo-random extra seeds from the
+        *live* graph size at every insert, which the wave pipeline's
+        frozen snapshots cannot replay, so construction stays
+        sequential.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) < vectors.shape[0]:
             # A larger table is allowed: extra rows serve later inserts.

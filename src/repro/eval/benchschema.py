@@ -1,0 +1,214 @@
+"""Schemas and validators for the repo's BENCH_*.json result files.
+
+Every benchmark CLI (``bench``, ``bench-traversal``, ``bench-shard``,
+``bench-chaos``, ``bench-build``) appends one JSON object per run to its
+result file; CI smoke jobs and ``tests/test_cli.py`` re-validate those
+records with the functions here.  Each validator checks key presence,
+basic types, and the benchmark's accounting invariants — the properties
+a regression in the writer would silently break.
+
+Validators used to live inside :mod:`repro.cli`; they are re-exported
+from there for backward compatibility, but new call sites should import
+from this module (which pulls in none of the CLI's dependencies).
+"""
+
+from __future__ import annotations
+
+TRAVERSAL_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "workers", "smoke", "dict_kernel", "csr_kernel",
+    "hops_per_s_speedup", "single_query_speedup", "batch_qps_speedup",
+}
+
+_TRAVERSAL_KERNEL_KEYS = {
+    "p50_ms", "p99_ms", "batch_qps", "hops_per_s", "total_hops",
+    "total_seconds",
+}
+
+
+def validate_traversal_entry(entry: dict) -> None:
+    """Check one BENCH_traversal.json record against the schema.
+
+    Raises:
+        ValueError: if required keys are missing or mis-typed.  Used by
+            the CI smoke job and ``tests/test_cli.py``.
+    """
+    missing = TRAVERSAL_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-traversal entry missing keys: {sorted(missing)}")
+    for kernel in ("dict_kernel", "csr_kernel"):
+        sub = entry[kernel]
+        if not isinstance(sub, dict):
+            raise ValueError(f"{kernel} must be an object, got {type(sub)}")
+        sub_missing = _TRAVERSAL_KERNEL_KEYS - sub.keys()
+        if sub_missing:
+            raise ValueError(f"{kernel} missing keys: {sorted(sub_missing)}")
+        for key in _TRAVERSAL_KERNEL_KEYS:
+            if not isinstance(sub[key], (int, float)):
+                raise ValueError(f"{kernel}.{key} must be numeric")
+    for key in ("hops_per_s_speedup", "single_query_speedup",
+                "batch_qps_speedup"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+
+
+SHARD_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "n_shards", "workers", "smoke", "partitioner",
+    "unsharded_qps", "sharded_qps", "qps_ratio", "shards_probed",
+    "shards_pruned", "prune_fraction", "results_identical",
+    "latency_s",
+}
+
+
+def validate_shard_entry(entry: dict) -> None:
+    """Check one BENCH_shard.json record against the schema.
+
+    Beyond key presence and types, enforces the router's accounting
+    invariant: every query either probes or prunes each shard, so
+    ``shards_probed + shards_pruned == queries * n_shards``.
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            shard accounting does not balance.  Used by the CI smoke
+            job and ``tests/test_cli.py``.
+    """
+    missing = SHARD_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-shard entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "n_shards", "workers", "shards_probed", "shards_pruned"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("unsharded_qps", "sharded_qps", "qps_ratio",
+                "prune_fraction"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    if not isinstance(entry["results_identical"], bool):
+        raise ValueError("results_identical must be a bool")
+    if not isinstance(entry["latency_s"], dict):
+        raise ValueError("latency_s must be an object")
+    expected = entry["queries"] * entry["n_shards"]
+    actual = entry["shards_probed"] + entry["shards_pruned"]
+    if actual != expected:
+        raise ValueError(
+            f"shard accounting does not balance: probed + pruned = "
+            f"{actual}, expected queries * n_shards = {expected}"
+        )
+
+
+CHAOS_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "n_shards", "workers", "smoke", "failure_rate",
+    "faulty_shards", "shard_deadline_s", "max_retries",
+    "degraded_queries", "shards_failed", "shards_timed_out",
+    "min_recall_ceiling", "mean_recall_ceiling",
+    "ground_truth_matches", "within_deadline", "max_query_clock_s",
+    "query_budget_s", "breaker_states",
+}
+
+
+def validate_chaos_entry(entry: dict) -> None:
+    """Check one BENCH_chaos.json record against the schema.
+
+    Beyond key presence and types, enforces the failure-accounting
+    invariants: failed + timed-out shard visits cannot exceed total
+    probe opportunities (``queries * n_shards``), degraded queries
+    cannot exceed the query count, and recall ceilings live in [0, 1].
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            accounting invariants are violated.  Used by the CI chaos
+            job and ``tests/test_cli.py``.
+    """
+    missing = CHAOS_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-chaos entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "n_shards", "workers", "max_retries", "degraded_queries",
+                "shards_failed", "shards_timed_out"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("failure_rate", "shard_deadline_s", "min_recall_ceiling",
+                "mean_recall_ceiling", "max_query_clock_s",
+                "query_budget_s"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("ground_truth_matches", "within_deadline", "smoke"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    if not isinstance(entry["faulty_shards"], list):
+        raise ValueError("faulty_shards must be a list")
+    if not isinstance(entry["breaker_states"], list):
+        raise ValueError("breaker_states must be a list")
+    budget = entry["queries"] * entry["n_shards"]
+    dropped = entry["shards_failed"] + entry["shards_timed_out"]
+    if dropped > budget:
+        raise ValueError(
+            f"failure accounting exceeds probe opportunities: "
+            f"{dropped} > queries * n_shards = {budget}"
+        )
+    if entry["degraded_queries"] > entry["queries"]:
+        raise ValueError("degraded_queries exceeds query count")
+    for key in ("min_recall_ceiling", "mean_recall_ceiling"):
+        if not 0.0 <= entry[key] <= 1.0:
+            raise ValueError(f"{key} must be in [0, 1]")
+
+
+BUILD_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "m", "gamma", "ef_construction",
+    "n_workers", "wave_cap", "smoke", "sequential_s", "parallel_s",
+    "speedup", "sequential_distance_comps", "parallel_distance_comps",
+    "sequential_checksum", "parallel_checksum",
+    "parallel_rebuild_checksum_match", "recall_at_10_sequential",
+    "recall_at_10_parallel", "recall_gap", "graphs_valid",
+}
+
+
+def validate_build_entry(entry: dict) -> None:
+    """Check one BENCH_build.json record against the schema.
+
+    Beyond key presence and types, enforces the build benchmark's
+    invariants: timings are positive, the speedup equals their ratio
+    (within rounding), recalls live in [0, 1], and the recall gap is
+    the absolute difference of the two recalls.
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI build job and
+            ``tests/test_cli.py``.
+    """
+    missing = BUILD_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-build entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "m", "gamma", "ef_construction", "n_workers",
+                "sequential_distance_comps", "parallel_distance_comps"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    if entry["wave_cap"] is not None and not isinstance(entry["wave_cap"], int):
+        raise ValueError("wave_cap must be an int or null")
+    for key in ("sequential_s", "parallel_s", "speedup",
+                "recall_at_10_sequential", "recall_at_10_parallel",
+                "recall_gap"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("smoke", "parallel_rebuild_checksum_match", "graphs_valid"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    for key in ("sequential_checksum", "parallel_checksum"):
+        if not isinstance(entry[key], str):
+            raise ValueError(f"{key} must be a string")
+    if entry["sequential_s"] <= 0 or entry["parallel_s"] <= 0:
+        raise ValueError("timings must be positive")
+    ratio = entry["sequential_s"] / entry["parallel_s"]
+    if abs(entry["speedup"] - ratio) > 0.02 * max(ratio, 1.0):
+        raise ValueError(
+            f"speedup {entry['speedup']} does not match "
+            f"sequential_s / parallel_s = {ratio:.3f}"
+        )
+    for key in ("recall_at_10_sequential", "recall_at_10_parallel"):
+        if not 0.0 <= entry[key] <= 1.0:
+            raise ValueError(f"{key} must be in [0, 1]")
+    gap = abs(entry["recall_at_10_sequential"] - entry["recall_at_10_parallel"])
+    if abs(entry["recall_gap"] - gap) > 1e-6:
+        raise ValueError("recall_gap must equal |recall_seq - recall_par|")

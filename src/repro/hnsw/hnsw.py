@@ -146,8 +146,17 @@ class HnswIndex:
         return node
 
     def add_batch(self, vectors: np.ndarray) -> np.ndarray:
-        """Insert many vectors; returns their node ids."""
-        return np.asarray([self.add(v) for v in np.atleast_2d(vectors)])
+        """Insert many vectors; returns their node ids as an intp array.
+
+        Accepts an ``(n, d)`` matrix, a single 1-D vector (ids of shape
+        ``(1,)``), or empty input (empty intp array — not the float
+        array a bare ``np.asarray([])`` round-trip would produce).
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.size == 0:
+            return np.empty(0, dtype=np.intp)
+        vectors = np.atleast_2d(vectors)
+        return np.asarray([self.add(v) for v in vectors], dtype=np.intp)
 
     @classmethod
     def build(
@@ -157,12 +166,34 @@ class HnswIndex:
         ef_construction: int = 40,
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
+        n_workers: int = 1,
+        wave_cap: int | None = None,
     ) -> "HnswIndex":
-        """Construct an index over ``vectors`` (n, d) in insertion order."""
+        """Construct an index over ``vectors`` (n, d) in insertion order.
+
+        Args:
+            n_workers: parallelism of the build.  1 (default) keeps the
+                sequential insert loop — the byte-identical reference
+                path.  Greater values route through the wave-parallel,
+                GEMM-batched pipeline of :mod:`repro.core.bulkbuild`,
+                which is run-to-run deterministic for a fixed seed but
+                builds a slightly different (recall-equivalent) graph.
+            wave_cap: maximum wave size for the parallel pipeline
+                (default: scaled from ``n``); ignored when
+                ``n_workers == 1``.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         index = cls(vectors.shape[1], m=m, ef_construction=ef_construction,
                     metric=metric, seed=seed)
-        index.add_batch(vectors)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if n_workers > 1:
+            from repro.core.bulkbuild import bulk_insert_hnsw
+
+            bulk_insert_hnsw(index, vectors, n_workers=n_workers,
+                             wave_cap=wave_cap)
+        else:
+            index.add_batch(vectors)
         return index
 
     def _greedy_step(

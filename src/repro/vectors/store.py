@@ -66,6 +66,35 @@ class VectorStore:
         self._size += 1
         return self._size - 1
 
+    def add_many(self, vectors: np.ndarray) -> np.ndarray:
+        """Append a block of vectors; returns their ids, shape ``(n,)``.
+
+        One grow-to-fit reallocation and one block copy instead of n
+        :meth:`add` calls — the bulk-construction pipeline registers a
+        whole dataset through this before its first wave.  Accepts a
+        single 1-D vector (one id) and empty input (empty intp array).
+        """
+        arr = np.asarray(vectors, dtype=np.float32)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.intp)
+        arr = np.atleast_2d(arr)
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise ValueError(
+                f"vectors have shape {arr.shape}, store has dim {self.dim}"
+            )
+        needed = self._size + arr.shape[0]
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.dim), dtype=np.float32)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = arr
+        ids = np.arange(self._size, needed, dtype=np.intp)
+        self._size = needed
+        return ids
+
     def base_norms(self) -> np.ndarray | None:
         """Cached L2 norms of the stored rows (cosine metric only).
 

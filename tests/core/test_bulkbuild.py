@@ -1,0 +1,226 @@
+"""Tests for the wave-parallel, GEMM-batched bulk construction pipeline.
+
+The determinism contract under test (Table 4 TTI reproduction):
+
+- ``n_workers=1`` dispatches to the legacy sequential insert loop, so
+  the graph is byte-identical to a pre-pipeline build.
+- ``wave_cap=1`` forces solo waves, where the pipeline replays the
+  sequential traversal and reverse-edge order exactly — the graph must
+  be *edge-identical* to the sequential build for every index family.
+- ``n_workers>1`` with a fixed seed is run-to-run deterministic (same
+  graph checksum every build), structurally valid, and recall-
+  equivalent to the sequential graph even though not edge-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.core.acorn import AcornIndex, AcornOneIndex, AcornParams
+from repro.core.bulkbuild import graph_checksum, wave_schedule
+from repro.hnsw.hnsw import HnswIndex
+from repro.predicates import Equals
+from repro.shard import HashPartitioner, ShardedAcornIndex
+
+
+def _world(n=300, dim=12, seed=5, n_labels=4):
+    gen = np.random.default_rng(seed)
+    vectors = gen.standard_normal((n, dim)).astype(np.float32)
+    labels = gen.integers(0, n_labels, size=n)
+    table = AttributeTable(n)
+    table.add_int_column("label", labels)
+    return vectors, table, labels
+
+
+PARAMS = AcornParams(m=6, gamma=4, ef_construction=24)
+
+
+class TestWaveSchedule:
+    def test_covers_every_insert_exactly_once(self):
+        for n in (0, 1, 2, 7, 63, 500):
+            assert sum(wave_schedule(n, cap=64)) == n
+
+    def test_ramp_doubles_up_to_cap(self):
+        waves = wave_schedule(500, cap=64)
+        ramp = waves[: waves.index(64) + 1]
+        assert ramp == [1, 2, 4, 8, 16, 32, 64]
+        assert all(w == 64 for w in waves[len(ramp):-1])
+
+    def test_cap_respected(self):
+        assert max(wave_schedule(1000, cap=16)) == 16
+        assert wave_schedule(5, cap=1) == [1] * 5
+
+
+class TestGraphChecksum:
+    def test_identical_builds_share_checksum(self):
+        vectors, table, _ = _world()
+        a = AcornIndex.build(vectors, table, params=PARAMS, seed=1)
+        b = AcornIndex.build(vectors, table, params=PARAMS, seed=1)
+        assert graph_checksum(a.graph) == graph_checksum(b.graph)
+
+    def test_checksum_sees_single_edge_change(self):
+        vectors, table, _ = _world()
+        index = AcornIndex.build(vectors, table, params=PARAMS, seed=1)
+        before = graph_checksum(index.graph)
+        node = index.graph.entry_point
+        neighbors = list(index.graph.neighbors(node, 0))
+        index.graph.set_neighbors(node, 0, neighbors[:-1])
+        assert graph_checksum(index.graph) != before
+
+
+class TestSequentialEquivalence:
+    """wave_cap=1 (solo waves) must replay the sequential build exactly."""
+
+    def test_acorn_gamma_edge_identical(self):
+        vectors, table, _ = _world()
+        legacy = AcornIndex.build(vectors, table, params=PARAMS, seed=2)
+        solo = AcornIndex.build(vectors, table, params=PARAMS, seed=2,
+                                n_workers=2, wave_cap=1)
+        assert graph_checksum(legacy.graph) == graph_checksum(solo.graph)
+
+    def test_acorn_one_edge_identical(self):
+        vectors, table, _ = _world()
+        legacy = AcornOneIndex.build(vectors, table, m=6,
+                                     ef_construction=24, seed=2)
+        solo = AcornOneIndex.build(vectors, table, m=6, ef_construction=24,
+                                   seed=2, n_workers=2, wave_cap=1)
+        assert graph_checksum(legacy.graph) == graph_checksum(solo.graph)
+
+    def test_hnsw_edge_identical(self):
+        vectors, _, _ = _world()
+        legacy = HnswIndex.build(vectors, m=6, ef_construction=24, seed=2)
+        solo = HnswIndex.build(vectors, m=6, ef_construction=24, seed=2,
+                               n_workers=2, wave_cap=1)
+        assert graph_checksum(legacy.graph) == graph_checksum(solo.graph)
+
+    def test_compressed_level_config_edge_identical(self):
+        # The reverse-edge order regression config: compressed levels
+        # re-prune against other owners' live lists, so application
+        # order is observable.  m_beta < m*gamma keeps compression on.
+        gen = np.random.default_rng(3)
+        vectors = gen.standard_normal((600, 16)).astype(np.float32)
+        table = AttributeTable(600)
+        table.add_int_column("label", gen.integers(0, 4, size=600))
+        params = AcornParams(m=8, gamma=6, ef_construction=48)
+        legacy = AcornIndex.build(vectors, table, params=params, seed=3)
+        solo = AcornIndex.build(vectors, table, params=params, seed=3,
+                                n_workers=2, wave_cap=1)
+        assert graph_checksum(legacy.graph) == graph_checksum(solo.graph)
+
+
+class TestParallelDeterminism:
+    def test_run_to_run_deterministic(self):
+        vectors, table, _ = _world()
+        first = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                                 n_workers=4)
+        second = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                                  n_workers=4)
+        assert graph_checksum(first.graph) == graph_checksum(second.graph)
+
+    def test_worker_count_does_not_change_graph(self):
+        # Wave composition is fixed by (n, wave_cap); workers only split
+        # the deterministic work, so 2 and 4 workers agree.
+        vectors, table, _ = _world()
+        two = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                               n_workers=2)
+        four = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                                n_workers=4)
+        assert graph_checksum(two.graph) == graph_checksum(four.graph)
+
+    def test_parallel_graph_validates(self):
+        vectors, table, _ = _world()
+        index = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                                 n_workers=4)
+        index.graph.validate()
+
+    def test_levels_match_sequential(self):
+        # Pre-drawn levels consume the same RNG stream as the
+        # sequential loop, so every node keeps its level assignment.
+        vectors, table, _ = _world()
+        legacy = AcornIndex.build(vectors, table, params=PARAMS, seed=4)
+        parallel = AcornIndex.build(vectors, table, params=PARAMS, seed=4,
+                                    n_workers=4)
+        for node in range(len(vectors)):
+            assert (legacy.graph.node_level(node)
+                    == parallel.graph.node_level(node))
+
+
+class TestRecallParity:
+    def test_parallel_recall_matches_sequential(self):
+        vectors, table, labels = _world(n=500, dim=16, seed=6)
+        legacy = AcornIndex.build(vectors, table, params=PARAMS, seed=6)
+        parallel = AcornIndex.build(vectors, table, params=PARAMS, seed=6,
+                                    n_workers=4)
+        gen = np.random.default_rng(7)
+        queries = gen.standard_normal((20, 16)).astype(np.float32)
+        k = 10
+        hits = {"seq": 0, "par": 0}
+        total = 0
+        for qi, query in enumerate(queries):
+            predicate = Equals("label", int(labels[qi % 4]))
+            passing = predicate.compile(table).passing_ids
+            dists = np.linalg.norm(
+                vectors[passing].astype(np.float64) - query.astype(np.float64),
+                axis=1,
+            )
+            truth = set(passing[np.argsort(dists, kind="stable")[:k]].tolist())
+            total += k
+            for key, index in (("seq", legacy), ("par", parallel)):
+                found = index.search(query, predicate, k=k, ef_search=80).ids
+                hits[key] += len(truth & set(found.tolist()))
+        recall_seq = hits["seq"] / total
+        recall_par = hits["par"] / total
+        assert abs(recall_seq - recall_par) <= 0.01
+
+
+class TestShardedParallelBuild:
+    def test_build_workers_shard_identical(self):
+        vectors, table, _ = _world(n=240)
+        sequential = ShardedAcornIndex.build(
+            vectors, table, partitioner=HashPartitioner(n_shards=3),
+            params=PARAMS, seed=8,
+        )
+        threaded = ShardedAcornIndex.build(
+            vectors, table, partitioner=HashPartitioner(n_shards=3),
+            params=PARAMS, seed=8, build_workers=3,
+        )
+        for a, b in zip(sequential.shards, threaded.shards):
+            assert graph_checksum(a.graph) == graph_checksum(b.graph)
+
+    def test_shard_builds_can_use_wave_pipeline(self):
+        vectors, table, _ = _world(n=240)
+        index = ShardedAcornIndex.build(
+            vectors, table, partitioner=HashPartitioner(n_shards=3),
+            params=PARAMS, seed=8, build_workers=3, n_workers=2,
+        )
+        for shard in index.shards:
+            shard.graph.validate()
+
+
+class TestDispatch:
+    def test_one_worker_is_the_legacy_path(self):
+        # n_workers=1 must dispatch to the sequential insert loop:
+        # graphs byte-identical to a build that never names the knob.
+        vectors, table, _ = _world(n=200)
+        for build_legacy, build_one in (
+            (lambda: AcornIndex.build(vectors, table, params=PARAMS, seed=9),
+             lambda: AcornIndex.build(vectors, table, params=PARAMS, seed=9,
+                                      n_workers=1)),
+            (lambda: AcornOneIndex.build(vectors, table, m=6,
+                                         ef_construction=24, seed=9),
+             lambda: AcornOneIndex.build(vectors, table, m=6,
+                                         ef_construction=24, seed=9,
+                                         n_workers=1)),
+            (lambda: HnswIndex.build(vectors, m=6, ef_construction=24,
+                                     seed=9),
+             lambda: HnswIndex.build(vectors, m=6, ef_construction=24,
+                                     seed=9, n_workers=1)),
+        ):
+            assert (graph_checksum(build_legacy().graph)
+                    == graph_checksum(build_one().graph))
+
+    def test_invalid_worker_count_rejected(self):
+        vectors, table, _ = _world(n=40)
+        with pytest.raises((ValueError, TypeError)):
+            AcornIndex.build(vectors, table, params=PARAMS, seed=0,
+                             n_workers=0)

@@ -134,3 +134,45 @@ class TestRngMetadataPruning:
             candidates, vectors, labels, owner=0, max_keep=10
         )
         assert [nid for _, nid in kept] == [1]
+
+
+class TestPruningStatsThreadSafety:
+    def test_concurrent_record_loses_no_counts(self):
+        import threading
+
+        stats = PruningStats()
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                stats.record(seen=5, kept=2)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        calls = n_threads * per_thread
+        assert stats.nodes_pruned == calls
+        assert stats.candidates_seen == 5 * calls
+        assert stats.candidates_dropped == 3 * calls
+
+    def test_concurrent_merge_loses_no_counts(self):
+        import threading
+
+        total = PruningStats()
+
+        def worker():
+            local = PruningStats()
+            for _ in range(2000):
+                local.record(seen=4, kept=1)
+            total.merge(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert total.nodes_pruned == 16000
+        assert total.candidates_seen == 64000
+        assert total.candidates_dropped == 48000

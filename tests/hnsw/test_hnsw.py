@@ -149,3 +149,24 @@ class TestAddBatch:
         index = HnswIndex(4, m=4, seed=0)
         ids = index.add_batch(np.zeros(4))
         assert ids.tolist() == [0]
+
+    def test_empty_batch_returns_empty_intp(self):
+        index = HnswIndex(4, m=4, seed=0)
+        ids = index.add_batch(np.empty((0, 4)))
+        assert ids.shape == (0,)
+        assert ids.dtype == np.intp
+        assert len(index) == 0
+
+    def test_empty_batch_leaves_rng_untouched(self):
+        # An empty batch must not draw levels: a subsequent build is
+        # byte-identical to one that never saw the empty call.
+        gen = np.random.default_rng(0)
+        vectors = gen.standard_normal((30, 4))
+        plain = HnswIndex(4, m=4, seed=0)
+        plain.add_batch(vectors)
+        interrupted = HnswIndex(4, m=4, seed=0)
+        interrupted.add_batch(np.empty((0, 4)))
+        interrupted.add_batch(vectors)
+        for node in range(30):
+            assert (plain.graph.neighbors(node, 0)
+                    == interrupted.graph.neighbors(node, 0))

@@ -1,0 +1,182 @@
+"""Property tests: vectorized pruning rules equal their scalar references.
+
+The bulk-construction pipeline replaces the per-pair kernel calls of
+the scalar pruning rules with candidate-distance-matrix variants
+(``repro.core.construction``'s ``*_matrix`` / ``*_arrays`` functions
+and ``select_neighbors_heuristic_matrix``).  Construction determinism
+rests on those variants keeping *exactly* the scalar edge set, so this
+suite pins edge-set equality — and equality of the recorded
+``PruningStats`` — across every :class:`PruningStrategy`'s rule pair.
+
+Integer-valued vectors make every kernel exact, so equality holds for
+all three metrics; a separate case pins the L2 kernel on continuous
+floats (bitwise-identical per-row einsum reductions).
+``derandomize=True`` keeps example selection deterministic: the
+suite's verdict never depends on hypothesis' RNG.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import (
+    PruningStats,
+    candidate_distance_matrix,
+    prune_predicate_agnostic,
+    prune_predicate_agnostic_arrays,
+    prune_rng_blind,
+    prune_rng_blind_matrix,
+    prune_rng_metadata,
+    prune_rng_metadata_matrix,
+)
+from repro.hnsw.heuristics import (
+    select_neighbors_heuristic,
+    select_neighbors_heuristic_matrix,
+)
+from repro.vectors.distance import _KERNELS, Metric
+
+SETTINGS = settings(max_examples=120, deadline=None, derandomize=True)
+
+METRICS = [Metric.L2, Metric.INNER_PRODUCT, Metric.COSINE]
+
+
+@st.composite
+def pruning_worlds(draw, integer_vectors: bool = True):
+    """A candidate list plus the world it was drawn from.
+
+    Returns ``(vectors, candidates, labels, adjacency)`` where
+    ``candidates`` is an ascending (distance, id) list over distinct
+    ids, ``labels`` is a low-cardinality label row per vector, and
+    ``adjacency`` maps each id to a duplicate-free neighbor list (the
+    stored-list invariant ``LayeredGraph.validate`` enforces).
+    """
+    n = draw(st.integers(min_value=1, max_value=16))
+    dim = draw(st.integers(min_value=1, max_value=6))
+    metric = draw(st.sampled_from(METRICS if integer_vectors else [Metric.L2]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    gen = np.random.default_rng(seed)
+    if integer_vectors:
+        vectors = gen.integers(-3, 4, size=(n, dim)).astype(np.float32)
+    else:
+        vectors = gen.standard_normal((n, dim)).astype(np.float32)
+    labels = gen.integers(0, 3, size=n)
+    n_cand = draw(st.integers(min_value=0, max_value=n))
+    ids = gen.choice(n, size=n_cand, replace=False)
+    query = vectors[gen.integers(0, n)]
+    kernel = _KERNELS[metric]
+    dists = kernel(vectors[ids], query) if n_cand else np.zeros(0)
+    candidates = sorted(
+        (float(d), int(i)) for d, i in zip(dists, ids)
+    )
+    adjacency = {
+        int(i): gen.choice(n, size=gen.integers(0, min(n, 5)),
+                           replace=False).tolist()
+        for i in range(n)
+    }
+    return vectors, candidates, labels, adjacency, metric
+
+
+class _StubGraph:
+    """Duck-typed stand-in for LayeredGraph's ``neighbors`` read."""
+
+    def __init__(self, adjacency):
+        self._adjacency = adjacency
+
+    def neighbors(self, node, level):
+        assert level == 0
+        return self._adjacency[node]
+
+
+@given(world=pruning_worlds(), m_beta=st.integers(0, 6),
+       budget=st.integers(0, 24))
+@SETTINGS
+def test_predicate_agnostic_arrays_equals_scalar(world, m_beta, budget):
+    vectors, candidates, _, adjacency, _ = world
+    stats_a = PruningStats()
+    stats_b = PruningStats()
+    scalar = prune_predicate_agnostic(
+        candidates, _StubGraph(adjacency), level=0, m_beta=m_beta,
+        max_degree=budget, stats=stats_a,
+    )
+    arrays = prune_predicate_agnostic_arrays(
+        candidates, lambda node: adjacency[node], num_ids=len(vectors),
+        m_beta=m_beta, max_degree=budget, stats=stats_b,
+    )
+    assert scalar == arrays
+    assert (stats_a.nodes_pruned, stats_a.candidates_seen,
+            stats_a.candidates_dropped) == (
+        stats_b.nodes_pruned, stats_b.candidates_seen,
+        stats_b.candidates_dropped)
+
+
+@given(world=pruning_worlds(), max_keep=st.integers(0, 12))
+@SETTINGS
+def test_rng_blind_matrix_equals_scalar(world, max_keep):
+    vectors, candidates, _, _, metric = world
+    stats_a = PruningStats()
+    stats_b = PruningStats()
+    scalar = prune_rng_blind(candidates, vectors, max_keep, metric,
+                             stats=stats_a)
+    matrix = prune_rng_blind_matrix(candidates, vectors, max_keep, metric,
+                                    stats=stats_b)
+    assert scalar == matrix
+    assert stats_a.candidates_dropped == stats_b.candidates_dropped
+
+
+@given(world=pruning_worlds(), max_keep=st.integers(0, 12))
+@SETTINGS
+def test_rng_metadata_matrix_equals_scalar(world, max_keep):
+    vectors, candidates, labels, _, metric = world
+    owner = 0
+    stats_a = PruningStats()
+    stats_b = PruningStats()
+    scalar = prune_rng_metadata(candidates, vectors, labels, owner,
+                                max_keep, metric, stats=stats_a)
+    matrix = prune_rng_metadata_matrix(candidates, vectors, labels, owner,
+                                       max_keep, metric, stats=stats_b)
+    assert scalar == matrix
+    assert stats_a.candidates_dropped == stats_b.candidates_dropped
+
+
+@given(world=pruning_worlds(), m=st.integers(1, 8))
+@SETTINGS
+def test_heuristic_matrix_equals_scalar(world, m):
+    vectors, candidates, _, _, metric = world
+    scalar = select_neighbors_heuristic(vectors, candidates, m, metric)
+    matrix = select_neighbors_heuristic_matrix(vectors, candidates, m, metric)
+    assert scalar == matrix
+
+
+@given(world=pruning_worlds(integer_vectors=False),
+       max_keep=st.integers(0, 12), m=st.integers(1, 8))
+@SETTINGS
+def test_l2_float_vectors_bitwise_equal(world, max_keep, m):
+    """On continuous floats the L2 kernel is a per-row einsum either
+    way, so the matrix variants stay bitwise-equal to the scalars."""
+    vectors, candidates, labels, _, metric = world
+    assert metric is Metric.L2
+    assert prune_rng_blind(candidates, vectors, max_keep, metric) == \
+        prune_rng_blind_matrix(candidates, vectors, max_keep, metric)
+    assert prune_rng_metadata(candidates, vectors, labels, 0, max_keep,
+                              metric) == \
+        prune_rng_metadata_matrix(candidates, vectors, labels, 0, max_keep,
+                                  metric)
+    assert select_neighbors_heuristic(vectors, candidates, m, metric) == \
+        select_neighbors_heuristic_matrix(vectors, candidates, m, metric)
+
+
+@given(world=pruning_worlds(), max_keep=st.integers(0, 12))
+@SETTINGS
+def test_shared_dmatrix_equals_private(world, max_keep):
+    """Passing a precomputed candidate matrix must not change the edge
+    set — the bulk pipeline shares one matrix across rule calls."""
+    vectors, candidates, labels, _, metric = world
+    ids = np.asarray([cand for _, cand in candidates], dtype=np.intp)
+    dmatrix = candidate_distance_matrix(vectors, ids, metric)
+    assert prune_rng_blind_matrix(candidates, vectors, max_keep, metric) == \
+        prune_rng_blind_matrix(candidates, vectors, max_keep, metric,
+                               dmatrix=dmatrix)
+    assert prune_rng_metadata_matrix(candidates, vectors, labels, 0,
+                                     max_keep, metric) == \
+        prune_rng_metadata_matrix(candidates, vectors, labels, 0, max_keep,
+                                  metric, dmatrix=dmatrix)

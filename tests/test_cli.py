@@ -7,6 +7,7 @@ import pytest
 from repro.cli import (
     build_parser,
     main,
+    validate_build_entry,
     validate_chaos_entry,
     validate_shard_entry,
 )
@@ -39,6 +40,15 @@ class TestParser:
         assert args.deadline == 0.5
         assert args.retries == 1
         assert args.out == "BENCH_chaos.json"
+        assert args.smoke is False
+
+    def test_bench_build_defaults(self):
+        args = build_parser().parse_args(["bench-build"])
+        assert args.n == 10000
+        assert args.workers == 4
+        assert args.wave_cap is None
+        assert args.ef_construction == 144
+        assert args.out == "BENCH_build.json"
         assert args.smoke is False
 
     def test_requires_command(self):
@@ -128,6 +138,25 @@ class TestCommands:
         assert entries[0]["within_deadline"] is True
         assert entries[0]["degraded_queries"] >= 1
         assert len(entries[0]["faulty_shards"]) == 1
+
+    def test_bench_build_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_build.json"
+        main([
+            "bench-build", "--n", "400", "--queries", "8", "--dim", "12",
+            "--m", "8", "--gamma", "6", "--ef-construction", "48",
+            "--workers", "2", "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "parallel build" in out
+        assert "checksum match = True" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_build_entry(entries[0])
+        assert entries[0]["n"] == 400
+        assert entries[0]["parallel_rebuild_checksum_match"] is True
+        assert entries[0]["graphs_valid"] is True
+        assert entries[0]["recall_gap"] <= 0.01
 
     def test_bench_chaos_deterministic_across_runs(self, tmp_path):
         """Same seed, same plan, same accounting — byte-for-byte except
@@ -227,3 +256,66 @@ class TestValidateChaosEntry:
     def test_excess_degraded_queries_rejected(self):
         with pytest.raises(ValueError, match="degraded_queries"):
             validate_chaos_entry(self._entry(degraded_queries=99))
+
+
+class TestValidateBuildEntry:
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "build-tti",
+            "timestamp": "2026-01-01T00:00:00",
+            "n": 1500, "dim": 32, "m": 12, "gamma": 12,
+            "ef_construction": 144, "n_workers": 4, "wave_cap": None,
+            "smoke": True,
+            "sequential_s": 2.0, "parallel_s": 0.8, "speedup": 2.5,
+            "sequential_distance_comps": 500000,
+            "parallel_distance_comps": 550000,
+            "sequential_checksum": "ab" * 16,
+            "parallel_checksum": "cd" * 16,
+            "parallel_rebuild_checksum_match": True,
+            "recall_at_10_sequential": 1.0,
+            "recall_at_10_parallel": 0.995,
+            "recall_gap": 0.005,
+            "graphs_valid": True,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_build_entry(self._entry())
+
+    def test_integer_wave_cap_passes(self):
+        validate_build_entry(self._entry(wave_cap=64))
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["speedup"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_build_entry(entry)
+
+    def test_mistyped_count_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            validate_build_entry(self._entry(n_workers="4"))
+
+    def test_mistyped_wave_cap_rejected(self):
+        with pytest.raises(ValueError, match="wave_cap"):
+            validate_build_entry(self._entry(wave_cap=2.5))
+
+    def test_mistyped_flag_rejected(self):
+        with pytest.raises(ValueError, match="must be a bool"):
+            validate_build_entry(self._entry(graphs_valid=1))
+
+    def test_nonpositive_timing_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_build_entry(self._entry(parallel_s=0.0))
+
+    def test_inconsistent_speedup_rejected(self):
+        with pytest.raises(ValueError, match="speedup"):
+            validate_build_entry(self._entry(speedup=9.9))
+
+    def test_out_of_range_recall_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            validate_build_entry(self._entry(recall_at_10_parallel=1.2))
+
+    def test_inconsistent_recall_gap_rejected(self):
+        with pytest.raises(ValueError, match="recall_gap"):
+            validate_build_entry(self._entry(recall_gap=0.5))

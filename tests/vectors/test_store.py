@@ -99,3 +99,51 @@ class TestNormCache:
         # The earlier computer still sees exactly one row and one norm.
         assert len(computer) == 1
         assert computer._base_norms.shape[0] == 1
+
+
+class TestAddMany:
+    def test_block_append_matches_scalar_adds(self):
+        gen = np.random.default_rng(21)
+        vectors = gen.standard_normal((17, 4)).astype(np.float32)
+        block = VectorStore(4)
+        ids = block.add_many(vectors)
+        scalar = VectorStore(4)
+        for vector in vectors:
+            scalar.add(vector)
+        assert ids.tolist() == list(range(17))
+        np.testing.assert_array_equal(block.vectors, scalar.vectors)
+
+    def test_empty_input(self):
+        store = VectorStore(4)
+        ids = store.add_many(np.empty((0, 4)))
+        assert ids.shape == (0,)
+        assert ids.dtype == np.intp
+        assert len(store) == 0
+
+    def test_single_1d_vector(self):
+        store = VectorStore(3)
+        ids = store.add_many(np.array([1.0, 2.0, 3.0]))
+        assert ids.tolist() == [0]
+        np.testing.assert_array_equal(store.get(0), [1.0, 2.0, 3.0])
+
+    def test_growth_beyond_capacity(self):
+        gen = np.random.default_rng(22)
+        store = VectorStore(2)
+        store.add(np.zeros(2, dtype=np.float32))
+        ids = store.add_many(gen.standard_normal((100, 2)).astype(np.float32))
+        assert ids.tolist() == list(range(1, 101))
+        assert len(store) == 101
+
+    def test_rejects_wrong_dim(self):
+        store = VectorStore(4)
+        with pytest.raises(ValueError):
+            store.add_many(np.zeros((3, 5), dtype=np.float32))
+
+    def test_cosine_norms_cover_block(self):
+        gen = np.random.default_rng(23)
+        store = VectorStore(4, metric="cosine")
+        vectors = gen.standard_normal((9, 4)).astype(np.float32)
+        store.add_many(vectors)
+        np.testing.assert_array_equal(
+            store.base_norms(), np.linalg.norm(vectors, axis=1)
+        )
