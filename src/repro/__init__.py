@@ -67,6 +67,14 @@ from repro.predicates import (
     RegexMatch,
     TruePredicate,
 )
+from repro.routing import (
+    CostModel,
+    RoutePlanner,
+    RoutedSearchResult,
+    RoutingFeedback,
+    WalkBudget,
+    WalkMonitor,
+)
 from repro.shard import (
     AttributeRangePartitioner,
     HashPartitioner,
@@ -89,6 +97,7 @@ __all__ = [
     "Between",
     "Bitset",
     "ContainsAll",
+    "CostModel",
     "ContainsAny",
     "Equals",
     "FlatAcornIndex",
@@ -108,6 +117,9 @@ __all__ = [
     "QueryBatch",
     "QueryStats",
     "RegexMatch",
+    "RoutePlanner",
+    "RoutedSearchResult",
+    "RoutingFeedback",
     "SearchEngine",
     "SearchResult",
     "ShardLoadError",
@@ -115,6 +127,8 @@ __all__ = [
     "ShardedAcornIndex",
     "TruePredicate",
     "VectorStore",
+    "WalkBudget",
+    "WalkMonitor",
     "__version__",
     "load_index",
     "make_laion_like",

@@ -9,6 +9,7 @@ dataset surrogates without touching pytest::
     python -m repro bench-traversal --n 10000 --queries 128
     python -m repro bench-shard --n 10000 --shards 4
     python -m repro bench-chaos --shards 8 --failure-rate 0.2
+    python -m repro bench-route --n 10000 --queries 240
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
@@ -19,8 +20,11 @@ Every command prints the same text tables the benchmark harness emits;
 monolithic index, with router-pruning accounting) and ``bench-chaos``
 to ``BENCH_chaos.json`` (resilient scatter-gather under a seeded fault
 plan on a deterministic injected clock — degradation accounting,
-survivors-only ground-truth agreement, and per-query clock budgets;
-``--smoke`` turns any of them into a CI regression gate).
+survivors-only ground-truth agreement, and per-query clock budgets)
+and ``bench-route`` to ``BENCH_route.json`` (static s_min threshold
+routing vs the adaptive cost-based planner on a correlated /
+anti-correlated workload, with per-route accounting and estimator
+error; ``--smoke`` turns any of them into a CI regression gate).
 """
 
 from __future__ import annotations
@@ -249,10 +253,12 @@ def _cmd_bench_batch(args: argparse.Namespace) -> None:
 from repro.eval.benchschema import (  # noqa: E402  (re-export)
     BUILD_SCHEMA_KEYS,
     CHAOS_SCHEMA_KEYS,
+    ROUTE_SCHEMA_KEYS,
     SHARD_SCHEMA_KEYS,
     TRAVERSAL_SCHEMA_KEYS,
     validate_build_entry,
     validate_chaos_entry,
+    validate_route_entry,
     validate_shard_entry,
     validate_traversal_entry,
 )
@@ -818,6 +824,193 @@ def _cmd_bench_build(args: argparse.Namespace) -> None:
             )
 
 
+def _make_route_world(n: int, dim: int, n_queries: int, seed: int):
+    """Correlated / anti-correlated routing workload.
+
+    Clustered vectors carry an int ``label`` column equal to their
+    cluster, and the query stream cycles four classes:
+
+    0. correlated ``Equals`` — query near cluster c, predicate
+       ``label == c`` (selective, s ≈ 1/16 < 1/γ);
+    1. anti-correlated ``Equals`` — query near c, predicate matches the
+       opposite cluster;
+    2. correlated broad ``OneOf`` over 8 labels including c
+       (s ≈ 0.5 ≥ 1/γ — the graph's home turf);
+    3. anti-correlated ``OneOf`` over 3 labels far from c
+       (s ≈ 0.19 ≥ 1/γ, so the static rule walks the graph into the
+       wrong clusters — the class adaptive routing should rescue).
+    """
+    from repro.predicates import Equals, OneOf
+
+    n_clusters = 16
+    gen = np.random.default_rng(seed)
+    centers = gen.standard_normal((n_clusters, dim)).astype(np.float32)
+    assign = gen.integers(0, n_clusters, size=n)
+    vectors = (centers[assign]
+               + 0.35 * gen.standard_normal((n, dim))).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("label", assign)
+    queries = np.empty((n_queries, dim), dtype=np.float32)
+    predicates = []
+    for i in range(n_queries):
+        c = int(gen.integers(0, n_clusters))
+        queries[i] = centers[c] + 0.35 * gen.standard_normal(dim)
+        cls = i % 4
+        if cls == 0:
+            predicates.append(Equals("label", c))
+        elif cls == 1:
+            predicates.append(
+                Equals("label", (c + n_clusters // 2) % n_clusters)
+            )
+        elif cls == 2:
+            predicates.append(OneOf(
+                "label",
+                tuple(sorted((c + j) % n_clusters for j in range(8))),
+            ))
+        else:
+            predicates.append(OneOf(
+                "label",
+                tuple(sorted((c + j) % n_clusters for j in (5, 9, 13))),
+            ))
+    return vectors, table, queries, predicates
+
+
+def _cmd_bench_route(args: argparse.Namespace) -> None:
+    from repro.eval.metrics import recall_at_k
+    from repro.predicates.selectivity import SamplingSelectivityEstimator
+    from repro.routing import RoutePlanner
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.queries = min(args.queries, 32)
+    print(f"generating routing workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries}, correlated/anti-correlated classes)...")
+    vectors, table, queries, predicates = _make_route_world(
+        args.n, args.dim, args.queries, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params,
+                                 seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}, "
+          f"s_min={index.params.s_min:.4f}) in {t.elapsed:.1f}s")
+    index.freeze()
+
+    # Exact ground truth: brute force over each predicate's passing set
+    # (what the pre-filter baseline computes by construction).
+    pre = PreFilterSearcher(vectors, table)
+    ground_truth = [
+        pre.search(q, p.compile(table), args.k).ids
+        for q, p in zip(queries, predicates)
+    ]
+
+    def make_estimator():
+        if args.estimator == "sampling":
+            return SamplingSelectivityEstimator(
+                table, sample_size=args.sample_size, seed=args.seed
+            )
+        return None  # planner default: exact
+
+    def run_policy(policy: str):
+        planner = RoutePlanner(index, estimator=make_estimator(),
+                               policy=policy)
+        batch = QueryBatch.build(queries, predicates, k=args.k,
+                                 ef_search=args.ef)
+        with SearchEngine(planner, num_workers=args.workers) as engine:
+            with Timer() as t:
+                outcome = engine.search_batch(batch)
+        recall = float(np.mean([
+            recall_at_k(res.ids, gt, args.k)
+            for res, gt in zip(outcome.results, ground_truth)
+        ]))
+        return planner, outcome, len(queries) / t.elapsed, recall
+
+    results = {}
+    adaptive_decisions = None
+    for policy in ("static", "adaptive"):
+        _planner, outcome, qps, recall = run_policy(policy)
+        if policy == "adaptive":
+            adaptive_decisions = [s.route_chosen for s in outcome.stats]
+        latency = percentile_summary(s.wall_time_s for s in outcome.stats)
+        results[policy] = {
+            "qps": round(qps, 2),
+            "recall_at_k": round(recall, 6),
+            "mean_distance_computations": round(float(np.mean(
+                [s.distance_computations for s in outcome.stats]
+            )), 2),
+            "route_counts": outcome.route_counts,
+            "fallbacks_triggered": int(outcome.fallbacks_triggered),
+            "mean_abs_estimator_error": round(
+                outcome.mean_abs_estimator_error, 6
+            ),
+            "latency_s": dataclasses.asdict(latency),
+        }
+        routes = ", ".join(f"{r}={c}"
+                           for r, c in outcome.route_counts.items())
+        print(f"{policy:8s}: {qps:8.1f} qps  recall@{args.k} {recall:.4f}  "
+              f"dc/query {results[policy]['mean_distance_computations']:.0f}"
+              f"  [{routes}]  fallbacks={outcome.fallbacks_triggered}")
+
+    # Determinism gate: a fresh adaptive planner on the same workload
+    # must make the same route decisions (routing costs are counted in
+    # distance computations, never wall time).
+    _, rerun_outcome, _, _ = run_policy("adaptive")
+    rerun_decisions = [s.route_chosen for s in rerun_outcome.stats]
+    if rerun_decisions != adaptive_decisions:
+        raise SystemExit(
+            "adaptive route decisions changed between identical runs — "
+            "routing is reading non-deterministic state"
+        )
+    print("determinism       : adaptive route decisions identical "
+          "across two runs")
+
+    static, adaptive = results["static"], results["adaptive"]
+    qps_speedup = adaptive["qps"] / max(static["qps"], 1e-9)
+    dc_speedup = (static["mean_distance_computations"]
+                  / max(adaptive["mean_distance_computations"], 1e-9))
+    recall_delta = adaptive["recall_at_k"] - static["recall_at_k"]
+    print(f"\nadaptive vs static : {qps_speedup:.2f}x qps, "
+          f"{dc_speedup:.2f}x distance computations, "
+          f"recall delta {recall_delta:+.4f}")
+
+    entry = {
+        "bench": "route",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "s_min": round(index.params.s_min, 6),
+        "policies": results,
+        "adaptive_qps_speedup": round(qps_speedup, 3),
+        "adaptive_dc_speedup": round(dc_speedup, 3),
+        "recall_delta": round(recall_delta, 6),
+    }
+    validate_route_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+    if args.smoke:
+        if recall_delta < -0.01:
+            raise SystemExit(
+                f"smoke check failed: adaptive routing lost recall "
+                f"({recall_delta:+.4f} vs static)"
+            )
+        if len(results["adaptive"]["route_counts"]) < 1:
+            raise SystemExit(
+                "smoke check failed: adaptive run recorded no routes"
+            )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -969,6 +1162,29 @@ def build_parser() -> argparse.ArgumentParser:
              "recall matches sequential within 0.01",
     )
     build.set_defaults(func=_cmd_bench_build)
+
+    route = sub.add_parser(
+        "bench-route",
+        help="static s_min routing vs the adaptive cost-based planner "
+             "on a correlated/anti-correlated workload",
+    )
+    route.add_argument("--n", type=int, default=10000)
+    route.add_argument("--dim", type=int, default=32)
+    route.add_argument("--queries", type=int, default=240)
+    route.add_argument("--k", type=int, default=10)
+    route.add_argument("--ef", type=int, default=64)
+    route.add_argument("--m", type=int, default=16)
+    route.add_argument("--gamma", type=int, default=12)
+    route.add_argument("--workers", type=int, default=1)
+    route.add_argument("--estimator", choices=("exact", "sampling"),
+                       default="exact")
+    route.add_argument("--sample-size", type=int, default=500,
+                       help="sampling-estimator sample size")
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument("--smoke", action="store_true",
+                       help="small run with hard regression gates (CI)")
+    route.add_argument("--out", default="BENCH_route.json")
+    route.set_defaults(func=_cmd_bench_route)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

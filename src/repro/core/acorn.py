@@ -417,6 +417,7 @@ class AcornIndex(BatchSearchMixin):
         k: int,
         ef_search: int = 64,
         entry_point: int | None = None,
+        monitor=None,
     ) -> SearchResult:
         """Hybrid search: K nearest neighbors passing ``predicate``.
 
@@ -428,6 +429,10 @@ class AcornIndex(BatchSearchMixin):
         Args:
             entry_point: start node override (defaults to the index's
                 fixed entry point; used by the entry-point ablation).
+            monitor: optional walk-budget hook for the bottom-level
+                traversal (see :class:`repro.routing.monitor.WalkMonitor`
+                and the adaptive planner's fallback); None keeps the
+                default search path untouched.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -468,7 +473,7 @@ class AcornIndex(BatchSearchMixin):
             found = search_layer(
                 computer, query, entry_points, ef=max(ef_search, k),
                 neighbor_fn=self._neighbor_fn(0, mask), scratch=scratch,
-                stats=tstats,
+                stats=tstats, monitor=monitor,
             )
         finally:
             computer.flush_counts()

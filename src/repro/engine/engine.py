@@ -173,6 +173,30 @@ class BatchResult:
         return min((s.recall_ceiling for s in self.stats), default=1.0)
 
     @property
+    def route_counts(self) -> dict[str, int]:
+        """Queries per chosen route, sorted by route name (empty for
+        searchers without a route planner)."""
+        counts: dict[str, int] = {}
+        for s in self.stats:
+            if s.route_chosen:
+                counts[s.route_chosen] = counts.get(s.route_chosen, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def fallbacks_triggered(self) -> int:
+        """Queries whose graph walk was abandoned for the pre-filter
+        fallback."""
+        return sum(1 for s in self.stats if s.fallback_triggered)
+
+    @property
+    def mean_abs_estimator_error(self) -> float:
+        """Mean absolute selectivity-estimation error across the batch
+        (0.0 for an empty or unrouted batch)."""
+        if not self.stats:
+            return 0.0
+        return sum(abs(s.estimator_error) for s in self.stats) / len(self.stats)
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -214,6 +238,9 @@ class BatchResult:
             "shards_timed_out": self.total_shards_timed_out,
             "degraded_queries": self.degraded_queries,
             "min_recall_ceiling": self.min_recall_ceiling,
+            "route_counts": self.route_counts,
+            "fallbacks_triggered": self.fallbacks_triggered,
+            "mean_abs_estimator_error": self.mean_abs_estimator_error,
         }
 
 
@@ -318,6 +345,11 @@ class SearchEngine:
         freeze = getattr(self.searcher, "freeze", None)
         if callable(freeze):
             freeze()
+        # Batch-lifecycle hook: adaptive routers reset/mark their
+        # per-batch feedback epoch here, before the first query runs.
+        begin_batch = getattr(self.searcher, "begin_batch", None)
+        if callable(begin_batch):
+            begin_batch()
         compiled, hit_flags = self._compile_predicates(batch.predicates)
 
         if len(batch) == 0:
@@ -347,6 +379,14 @@ class SearchEngine:
                 shards_timed_out=int(getattr(result, "shards_timed_out", 0)),
                 degraded=bool(getattr(result, "degraded", False)),
                 recall_ceiling=float(getattr(result, "recall_ceiling", 1.0)),
+                route_chosen=str(getattr(result, "route_chosen", "")),
+                route_reason=str(getattr(result, "route_reason", "")),
+                fallback_triggered=bool(
+                    getattr(result, "fallback_triggered", False)
+                ),
+                estimator_error=float(
+                    getattr(result, "estimator_error", 0.0)
+                ),
             )
             return result, stats
 

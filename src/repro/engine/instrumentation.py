@@ -48,6 +48,18 @@ class QueryStats:
         recall_ceiling: estimated upper bound on this query's recall
             given shard failures (1.0 when not degraded), from the
             router's per-shard selectivity estimates.
+        route_chosen: the route that produced this query's final
+            results (``""`` for searchers without a route planner;
+            ``"pre-filter"`` after a mid-search fallback).
+        route_reason: the planner's decision rationale, or the walk
+            monitor's abort reason after a fallback (``""`` when
+            unrouted).
+        fallback_triggered: True when a monitored graph walk was
+            abandoned mid-search and the results come from the
+            pre-filter fallback.
+        estimator_error: signed selectivity-estimation error
+            (``estimate - exact``) of the routing decision (0.0 when
+            unrouted).
     """
 
     query_index: int
@@ -62,6 +74,10 @@ class QueryStats:
     shards_timed_out: int = 0
     degraded: bool = False
     recall_ceiling: float = 1.0
+    route_chosen: str = ""
+    route_reason: str = ""
+    fallback_triggered: bool = False
+    estimator_error: float = 0.0
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

@@ -1,8 +1,8 @@
 """Schemas and validators for the repo's BENCH_*.json result files.
 
 Every benchmark CLI (``bench``, ``bench-traversal``, ``bench-shard``,
-``bench-chaos``, ``bench-build``) appends one JSON object per run to its
-result file; CI smoke jobs and ``tests/test_cli.py`` re-validate those
+``bench-chaos``, ``bench-build``, ``bench-route``) appends one JSON
+object per run to its result file; CI smoke jobs and ``tests/test_cli.py`` re-validate those
 records with the functions here.  Each validator checks key presence,
 basic types, and the benchmark's accounting invariants — the properties
 a regression in the writer would silently break.
@@ -153,6 +153,104 @@ def validate_chaos_entry(entry: dict) -> None:
     for key in ("min_recall_ceiling", "mean_recall_ceiling"):
         if not 0.0 <= entry[key] <= 1.0:
             raise ValueError(f"{key} must be in [0, 1]")
+
+
+ROUTE_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "workers", "smoke", "s_min", "policies",
+    "adaptive_qps_speedup", "adaptive_dc_speedup", "recall_delta",
+}
+
+_ROUTE_POLICY_KEYS = {
+    "qps", "recall_at_k", "mean_distance_computations", "route_counts",
+    "fallbacks_triggered", "mean_abs_estimator_error", "latency_s",
+}
+
+
+def validate_route_entry(entry: dict) -> None:
+    """Check one BENCH_route.json record against the schema.
+
+    Beyond key presence and types, enforces the router's accounting
+    invariants: every query is attributed to exactly one final route
+    (per-policy ``route_counts`` values sum to ``queries``), fallback
+    counts are non-negative and bounded by the query count, recalls
+    live in [0, 1], and the reported speedups equal the adaptive/static
+    ratios (within rounding).
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI routing job and
+            ``tests/test_cli.py``.
+    """
+    missing = ROUTE_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-route entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "workers"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("s_min", "adaptive_qps_speedup", "adaptive_dc_speedup",
+                "recall_delta"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    if not isinstance(entry["smoke"], bool):
+        raise ValueError("smoke must be a bool")
+    policies = entry["policies"]
+    if not isinstance(policies, dict):
+        raise ValueError("policies must be an object")
+    pol_missing = {"static", "adaptive"} - policies.keys()
+    if pol_missing:
+        raise ValueError(f"policies missing entries: {sorted(pol_missing)}")
+    for name, sub in policies.items():
+        if not isinstance(sub, dict):
+            raise ValueError(f"policies.{name} must be an object")
+        sub_missing = _ROUTE_POLICY_KEYS - sub.keys()
+        if sub_missing:
+            raise ValueError(
+                f"policies.{name} missing keys: {sorted(sub_missing)}"
+            )
+        for key in ("qps", "recall_at_k", "mean_distance_computations",
+                    "mean_abs_estimator_error"):
+            if not isinstance(sub[key], (int, float)):
+                raise ValueError(f"policies.{name}.{key} must be numeric")
+        if not isinstance(sub["fallbacks_triggered"], int):
+            raise ValueError(f"policies.{name}.fallbacks_triggered must be an int")
+        if not isinstance(sub["latency_s"], dict):
+            raise ValueError(f"policies.{name}.latency_s must be an object")
+        counts = sub["route_counts"]
+        if not isinstance(counts, dict):
+            raise ValueError(f"policies.{name}.route_counts must be an object")
+        if any(not isinstance(v, int) or v < 0 for v in counts.values()):
+            raise ValueError(
+                f"policies.{name}.route_counts values must be ints >= 0"
+            )
+        total = sum(counts.values())
+        if total != entry["queries"]:
+            raise ValueError(
+                f"policies.{name} route accounting does not balance: "
+                f"route_counts sum to {total}, expected queries = "
+                f"{entry['queries']}"
+            )
+        if not 0.0 <= sub["recall_at_k"] <= 1.0:
+            raise ValueError(f"policies.{name}.recall_at_k must be in [0, 1]")
+        if not 0 <= sub["fallbacks_triggered"] <= entry["queries"]:
+            raise ValueError(
+                f"policies.{name}.fallbacks_triggered must be in "
+                f"[0, queries]"
+            )
+    static, adaptive = policies["static"], policies["adaptive"]
+    if static["qps"] > 0:
+        ratio = adaptive["qps"] / static["qps"]
+        if abs(entry["adaptive_qps_speedup"] - ratio) > 0.02 * max(ratio, 1.0):
+            raise ValueError(
+                f"adaptive_qps_speedup {entry['adaptive_qps_speedup']} does "
+                f"not match adaptive/static qps ratio {ratio:.3f}"
+            )
+    delta = adaptive["recall_at_k"] - static["recall_at_k"]
+    if abs(entry["recall_delta"] - delta) > 1e-6:
+        raise ValueError(
+            "recall_delta must equal adaptive recall minus static recall"
+        )
 
 
 BUILD_SCHEMA_KEYS = {

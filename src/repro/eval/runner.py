@@ -54,6 +54,8 @@ class SweepPoint:
     mean_shards_timed_out: float = 0.0
     degraded_fraction: float = 0.0
     mean_recall_ceiling: float = 1.0
+    fallback_fraction: float = 0.0
+    mean_abs_estimator_error: float = 0.0
 
 
 @dataclasses.dataclass
@@ -70,7 +72,8 @@ class MethodSweep:
             "method,effort,recall,qps,mean_distance_computations,"
             "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
             "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
-            "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling"
+            "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling,"
+            "fallback_fraction,mean_abs_estimator_error"
         ]
         for p in self.points:
             lines.append(
@@ -80,7 +83,8 @@ class MethodSweep:
                 f"{p.p99_latency_s:.6f},{p.mean_shards_probed:.2f},"
                 f"{p.mean_shards_pruned:.2f},{p.mean_shards_failed:.2f},"
                 f"{p.mean_shards_timed_out:.2f},{p.degraded_fraction:.4f},"
-                f"{p.mean_recall_ceiling:.4f}"
+                f"{p.mean_recall_ceiling:.4f},{p.fallback_fraction:.4f},"
+                f"{p.mean_abs_estimator_error:.6f}"
             )
         return "\n".join(lines)
 
@@ -188,5 +192,14 @@ class SweepRunner:
             ),
             mean_recall_ceiling=float(
                 np.mean([s.recall_ceiling for s in outcome.stats])
+            ),
+            fallback_fraction=float(
+                np.mean([
+                    1.0 if s.fallback_triggered else 0.0
+                    for s in outcome.stats
+                ])
+            ),
+            mean_abs_estimator_error=float(
+                np.mean([abs(s.estimator_error) for s in outcome.stats])
             ),
         )

@@ -60,6 +60,7 @@ def search_layer(
     neighbor_fn: NeighborFn,
     scratch: TraversalScratch,
     stats: TraversalStats | None = None,
+    monitor=None,
 ) -> list[tuple[float, int]]:
     """Best-first search on one level; returns ``ef`` nearest as (dist, id).
 
@@ -79,6 +80,13 @@ def search_layer(
             :meth:`~repro.hnsw.scratch.TraversalScratch.begin` and marks
             the seeds.
         stats: optional per-query counters, incremented in place.
+        monitor: optional walk-budget hook (duck-typed to
+            :class:`repro.routing.monitor.WalkMonitor`): its
+            ``observe(n_passing)`` is called once per expanded node
+            with the filtered-neighborhood size, and the walk stops
+            early — returning the best results found so far — as soon
+            as it returns False.  None (the default) keeps the
+            unmonitored hot loop byte-identical.
 
     Returns:
         Up to ``ef`` (distance, id) pairs sorted by ascending distance.
@@ -105,6 +113,8 @@ def search_layer(
         neighbor_ids = neighbor_fn(current)
         if not isinstance(neighbor_ids, np.ndarray):
             neighbor_ids = np.asarray(neighbor_ids, dtype=np.intp)
+        if monitor is not None and not monitor.observe(int(neighbor_ids.size)):
+            break
         if neighbor_ids.size == 0:
             continue
         unvisited = neighbor_ids[visited[neighbor_ids] != epoch]

@@ -6,13 +6,17 @@ estimation errors degrade only efficiency, never result quality — our
 router preserves that property, and the sampling estimator here lets
 tests exercise both kinds of misroute.
 
-Two estimators are provided:
+Three estimators are provided:
 
 - :class:`ExactSelectivityEstimator` evaluates the full mask (what a
-  system with precomputed filter bitmaps effectively has), and
+  system with precomputed filter bitmaps effectively has),
 - :class:`SamplingSelectivityEstimator` evaluates the predicate on a
   fixed random sample of entities, the classical database approach when
-  the predicate set is unbounded and masks cannot be precomputed.
+  the predicate set is unbounded and masks cannot be precomputed, and
+- :class:`HistogramSelectivityEstimator` answers scalar predicates from
+  per-column equi-width histograms, falling back to sampling for other
+  shapes (and for empty or all-categorical tables, which build no
+  histograms at all).
 """
 
 from __future__ import annotations
@@ -80,8 +84,19 @@ class HistogramSelectivityEstimator(SelectivityEstimator):
         for name in table.column_names:
             if table.column_kind(name) in (ColumnKind.INT, ColumnKind.FLOAT):
                 values = np.asarray(table.column(name), dtype=np.float64)
+                if values.size == 0:
+                    # An empty table has no distribution to summarize —
+                    # np.histogram would silently invent a phantom
+                    # [0, 1] domain.  Skip the column so predicates
+                    # over it take the explicit fallback path below
+                    # (the fallback estimator returns 0.0 on zero
+                    # rows).
+                    continue
                 counts, edges = np.histogram(values, bins=n_buckets)
                 self._histograms[name] = (counts.astype(np.float64), edges)
+        # All-categorical (or empty) tables build no histograms at all:
+        # every estimate then routes through the fallback estimator,
+        # which handles any predicate shape.
 
     def _mass_between(self, column: str, low: float, high: float) -> float:
         counts, edges = self._histograms[column]

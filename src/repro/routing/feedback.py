@@ -1,0 +1,192 @@
+"""Online routing feedback: observed per-route costs by predicate signature.
+
+ACORN's cost model (§5.2, §6.3.2) predicts route costs from estimated
+selectivity with hardcoded constants; the paper concedes those constants
+are hardware- and workload-dependent.  This store closes the loop: every
+executed query reports its route and realized cost (distance
+computations — the paper's hardware-independent measure — plus latency
+and hops for diagnostics), keyed by the predicate's
+:meth:`~repro.predicates.base.Predicate.fingerprint`.  Later queries in
+the batch consult it two ways:
+
+- **per-signature observations** — once a (signature, route) pair has
+  been executed, its observed mean cost replaces the model's guess
+  entirely (the greedy-exploit half of a bandit);
+- **per-route calibration scales** — every observation also updates an
+  exponentially-weighted ratio of observed to modeled cost for its
+  route, so even unseen signatures benefit from corrected constants.
+
+Everything is deterministic (no RNG, pure dict arithmetic) and
+lock-protected, so multi-worker batches converge to the same state for
+a fixed query order and the routing double-run determinism CI gate can
+diff route decisions byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+
+@dataclasses.dataclass
+class RouteObservation:
+    """Aggregated realized cost of one (signature, route) pair."""
+
+    count: int = 0
+    total_cost: float = 0.0
+    total_latency_s: float = 0.0
+    total_hops: int = 0
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean observed cost (0.0 before any observation)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_cost / self.count
+
+
+class RoutingFeedback:
+    """Deterministic per-signature route-cost store with online calibration.
+
+    Args:
+        smoothing: EWMA factor for the per-route calibration scales
+            (1.0 trusts only the latest observation, small values
+            average over the batch).
+        min_observations: observations of a (signature, route) pair
+            before its mean replaces the model prediction.
+        initial_scales: optional starting calibration multipliers per
+            route name.  Values below 1.0 make a route look cheaper
+            than modeled until real observations arrive — an
+            exploration knob the route benchmark uses to force early
+            graph attempts (and thereby exercise the walk-monitor
+            fallback) on unseen signatures.
+    """
+
+    def __init__(
+        self,
+        smoothing: float = 0.3,
+        min_observations: int = 1,
+        initial_scales: dict[str, float] | None = None,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {smoothing}")
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.smoothing = float(smoothing)
+        self.min_observations = int(min_observations)
+        self._lock = threading.Lock()
+        self._scales: dict[str, float] = dict(initial_scales or {})
+        self._observations: dict[tuple[str, str], RouteObservation] = {}
+        self.batches_started = 0
+        self.queries_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Engine hook: called once before each batch fans out.
+
+        Learning persists across batches (observed constants stay
+        valid); the counter only marks batch boundaries for
+        diagnostics.  Call :meth:`reset` for a cold start.
+        """
+        with self._lock:
+            self.batches_started += 1
+
+    def reset(self) -> None:
+        """Drop all observations and calibration back to the initial state."""
+        with self._lock:
+            self._observations.clear()
+            self._scales.clear()
+            self.queries_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording and prediction
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        signature: str,
+        route: str,
+        observed_cost: float,
+        model_cost: float | None = None,
+        latency_s: float = 0.0,
+        hops: int = 0,
+    ) -> None:
+        """Record one executed query's realized cost for its route.
+
+        Args:
+            signature: the predicate fingerprint.
+            route: the route that produced the final result.
+            observed_cost: realized cost in model units (distance
+                computations, including any fallback work — the true
+                price of having chosen this route).
+            model_cost: what the cost model predicted before execution;
+                when positive, updates the route's calibration scale.
+            latency_s / hops: extra telemetry kept for diagnostics
+                (never used for routing — wall-time would break
+                run-to-run determinism of route decisions).
+        """
+        with self._lock:
+            agg = self._observations.setdefault(
+                (signature, route), RouteObservation()
+            )
+            agg.count += 1
+            agg.total_cost += float(observed_cost)
+            agg.total_latency_s += float(latency_s)
+            agg.total_hops += int(hops)
+            self.queries_recorded += 1
+            if model_cost is not None and model_cost > 0:
+                ratio = float(observed_cost) / float(model_cost)
+                previous = self._scales.get(route)
+                if previous is None:
+                    self._scales[route] = ratio
+                else:
+                    self._scales[route] = (
+                        (1.0 - self.smoothing) * previous
+                        + self.smoothing * ratio
+                    )
+
+    def cost_scale(self, route: str) -> float:
+        """Current calibration multiplier for a route (1.0 when unseen)."""
+        with self._lock:
+            return self._scales.get(route, 1.0)
+
+    def predict(self, signature: str, route: str, model_cost: float) -> float:
+        """Best available cost prediction for routing one query.
+
+        Observed mean cost when the (signature, route) pair has enough
+        observations; otherwise the model prediction times the route's
+        calibration scale.
+        """
+        with self._lock:
+            agg = self._observations.get((signature, route))
+            if agg is not None and agg.count >= self.min_observations:
+                return agg.mean_cost
+            return float(model_cost) * self._scales.get(route, 1.0)
+
+    def observation(
+        self, signature: str, route: str
+    ) -> RouteObservation | None:
+        """A copy of the stored aggregate for one pair (None when unseen)."""
+        with self._lock:
+            agg = self._observations.get((signature, route))
+            return dataclasses.replace(agg) if agg is not None else None
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of the store (tests and diagnostics)."""
+        with self._lock:
+            return {
+                "batches_started": self.batches_started,
+                "queries_recorded": self.queries_recorded,
+                "scales": dict(self._scales),
+                "observations": {
+                    f"{route}::{signature}": dataclasses.asdict(agg)
+                    for (signature, route), agg in sorted(
+                        self._observations.items()
+                    )
+                },
+            }

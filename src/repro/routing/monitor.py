@@ -1,0 +1,119 @@
+"""Mid-search walk monitoring: the RACORN-1 degeneration trigger.
+
+ACORN's static router commits to a route before the first hop; when the
+selectivity estimate is wrong (or the predicate is anti-correlated with
+the query), a graph walk can degenerate — the frontier keeps expanding
+nodes whose filtered neighborhoods are nearly empty, burning hops
+without reaching the predicate subgraph.  RACORN-1 (arxiv 2607.00768)
+observes that such walks are detectable *while they happen*: the
+passing-rate of expanded neighborhoods collapses and the hop count
+overshoots what a healthy walk of that effort would need.
+
+:class:`WalkMonitor` implements that trigger as a budget hook threaded
+through :func:`repro.hnsw.traversal.search_layer`: the kernel calls
+``observe(n_passing)`` once per expanded node with the size of the
+*filtered* neighborhood, and stops the walk as soon as the monitor
+votes to abort.  The planner then discards the partial walk and falls
+back to exact pre-filtering, so an abort can only ever cost efficiency,
+never recall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkBudget:
+    """Abort thresholds for one monitored graph walk.
+
+    Attributes:
+        hop_budget: maximum nodes the walk may expand before aborting —
+            a healthy bottom-level walk expands O(ef) nodes, so a few
+            multiples of ``ef_search`` is a generous ceiling.
+        min_passing_rate: abort when the mean filtered-neighborhood
+            size per hop, as a fraction of the index degree M, falls
+            below this after the grace period.  A healthy walk inside
+            the predicate subgraph sees ``min(1, s·γ)``-ish rates; a
+            degenerate one sees near zero.
+        grace_hops: hops before the passing-rate test arms — the
+            filtering-only descent toward the subgraph legitimately
+            sees empty neighborhoods early (§6.3.2's two-stage shape).
+    """
+
+    hop_budget: int
+    min_passing_rate: float = 0.05
+    grace_hops: int = 32
+
+    def __post_init__(self) -> None:
+        if self.hop_budget <= 0:
+            raise ValueError(
+                f"hop_budget must be positive, got {self.hop_budget}"
+            )
+        if not 0.0 <= self.min_passing_rate <= 1.0:
+            raise ValueError(
+                f"min_passing_rate must lie in [0, 1], "
+                f"got {self.min_passing_rate}"
+            )
+        if self.grace_hops < 0:
+            raise ValueError(
+                f"grace_hops must be >= 0, got {self.grace_hops}"
+            )
+
+
+class WalkMonitor:
+    """Per-query degeneration detector for one monitored traversal.
+
+    One instance watches exactly one walk (create a fresh monitor per
+    query); ``search_layer`` calls :meth:`observe` after each node
+    expansion and stops the walk when it returns False.
+
+    Args:
+        budget: the abort thresholds.
+        m: the index degree M the passing-rate is normalized by.
+    """
+
+    def __init__(self, budget: WalkBudget, m: int) -> None:
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        self.budget = budget
+        self.m = int(m)
+        self.hops = 0
+        self.passing_total = 0
+        self.aborted = False
+        self.abort_reason = ""
+
+    @property
+    def passing_rate(self) -> float:
+        """Mean filtered-neighborhood size per hop, as a fraction of M."""
+        if self.hops == 0:
+            return 1.0
+        return self.passing_total / (self.hops * self.m)
+
+    def observe(self, n_passing: int) -> bool:
+        """Record one node expansion; returns False to abort the walk.
+
+        Args:
+            n_passing: size of the expanded node's *filtered*
+                neighborhood (post-predicate, pre-visited-check).
+        """
+        if self.aborted:
+            return False
+        self.hops += 1
+        self.passing_total += int(n_passing)
+        if self.hops > self.budget.hop_budget:
+            self.aborted = True
+            self.abort_reason = (
+                f"hop budget exhausted ({self.hops} > "
+                f"{self.budget.hop_budget})"
+            )
+        elif (
+            self.hops >= self.budget.grace_hops
+            and self.passing_rate < self.budget.min_passing_rate
+        ):
+            self.aborted = True
+            self.abort_reason = (
+                f"passing rate collapsed ({self.passing_rate:.4f} < "
+                f"{self.budget.min_passing_rate} after {self.hops} hops)"
+            )
+        return not self.aborted

@@ -201,7 +201,8 @@ class FaultInjector:
             self._calls[shard_id] = index + 1
             return index
 
-    def perform(self, shard_id: int, inner, query, predicate, k, ef_search):
+    def perform(self, shard_id: int, inner, query, predicate, k, ef_search,
+                **kwargs):
         """Run one shard search with this call's active faults applied."""
         call_index = self._next_call(shard_id)
         rules = self.plan.rules_for(shard_id, call_index)
@@ -212,7 +213,8 @@ class FaultInjector:
                 raise ShardFault(
                     f"injected error (shard {shard_id}, call {call_index})"
                 )
-        result = inner.search(query, predicate, k, ef_search=ef_search)
+        result = inner.search(query, predicate, k, ef_search=ef_search,
+                              **kwargs)
         for rule in rules:
             if rule.kind == "corrupt":
                 result = self._corrupt(result, shard_id, call_index, len(inner))
@@ -253,10 +255,15 @@ class FaultyShard:
         self.injector = injector
         self.shard_id = int(shard_id)
 
-    def search(self, query, predicate, k, ef_search: int = 64):
-        """The wrapped search, perturbed per the injector's plan."""
+    def search(self, query, predicate, k, ef_search: int = 64, **kwargs):
+        """The wrapped search, perturbed per the injector's plan.
+
+        Extra keyword arguments (e.g. a route planner's ``monitor``)
+        pass through to the wrapped shard untouched.
+        """
         return self.injector.perform(
-            self.shard_id, self.inner, query, predicate, k, ef_search
+            self.shard_id, self.inner, query, predicate, k, ef_search,
+            **kwargs
         )
 
     def __len__(self) -> int:

@@ -81,6 +81,15 @@ class ShardedSearchResult(SearchResult):
         per_shard: one dict per shard (plan order) with the decision
             and, for probed shards, the local search's counters plus
             resilience accounting (``status``/``attempts``/``failure``).
+        route_chosen: with per-shard routing enabled, the most common
+            route across probed shards (ties break toward pre-filter);
+            ``""`` otherwise.
+        route_reason: per-shard route tally string (``""`` when
+            routing is off).
+        fallback_triggered: True when any shard's monitored walk fell
+            back to pre-filtering.
+        estimator_error: mean signed per-shard selectivity-estimation
+            error across probed shards (0.0 when routing is off).
     """
 
     shards_probed: int = 0
@@ -90,6 +99,10 @@ class ShardedSearchResult(SearchResult):
     degraded: bool = False
     recall_ceiling: float = 1.0
     per_shard: tuple = ()
+    route_chosen: str = ""
+    route_reason: str = ""
+    fallback_triggered: bool = False
+    estimator_error: float = 0.0
 
 
 def merge_topk(
@@ -170,6 +183,14 @@ class ShardedAcornIndex(BatchSearchMixin):
             thread — the deterministic default the chaos suite relies
             on).  ``BaseException`` raised inside a probe always
             propagates, never folds into failure accounting.
+        route_policy: per-shard query routing.  ``None`` (default)
+            probes each shard's graph directly — the historical
+            behavior.  ``"static"`` or ``"adaptive"`` wraps each shard
+            in a :class:`~repro.routing.planner.RoutePlanner` of that
+            policy, seeded with the shard router's summary-based local
+            selectivity estimate as the prior; route telemetry
+            surfaces on :class:`ShardedSearchResult` and in per-shard
+            records.
     """
 
     def __init__(
@@ -182,6 +203,7 @@ class ShardedAcornIndex(BatchSearchMixin):
         scale_ef: bool = False,
         resilience: ResiliencePolicy | None = None,
         shard_workers: int | None = None,
+        route_policy: str | None = None,
     ) -> None:
         if len(shards) != assignment.n_shards:
             raise ValueError(
@@ -211,6 +233,17 @@ class ShardedAcornIndex(BatchSearchMixin):
         self.shard_workers = (
             1 if shard_workers is None else max(int(shard_workers), 1)
         )
+        self.route_policy = route_policy
+        self._shard_planners = None
+        if route_policy is not None:
+            from repro.routing.planner import RoutePlanner
+
+            # One planner (and one private feedback store) per shard:
+            # shard sizes differ, so observed costs must not mix.
+            self._shard_planners = [
+                RoutePlanner(shard, policy=route_policy)
+                for shard in self.shards
+            ]
         self._scatter_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -235,6 +268,7 @@ class ShardedAcornIndex(BatchSearchMixin):
         shard_workers: int | None = None,
         build_workers: int = 1,
         n_workers: int = 1,
+        route_policy: str | None = None,
     ) -> "ShardedAcornIndex":
         """Partition ``vectors``/``table`` and build one index per shard.
 
@@ -265,6 +299,7 @@ class ShardedAcornIndex(BatchSearchMixin):
                 the variant's ``build`` (ignored when ``build_shard`` is
                 supplied).  1 keeps every shard on the sequential
                 reference path.
+            route_policy: forwarded to the instance (see class docs).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) != vectors.shape[0]:
@@ -294,7 +329,7 @@ class ShardedAcornIndex(BatchSearchMixin):
         return cls(
             shards=shards, assignment=assignment, partitioner=partitioner,
             table=table, scale_ef=scale_ef, resilience=resilience,
-            shard_workers=shard_workers,
+            shard_workers=shard_workers, route_policy=route_policy,
         )
 
     def with_faults(self, injector) -> "ShardedAcornIndex":
@@ -314,6 +349,7 @@ class ShardedAcornIndex(BatchSearchMixin):
             scale_ef=self.scale_ef,
             resilience=self.resilience,
             shard_workers=self.shard_workers,
+            route_policy=self.route_policy,
         )
 
     def __len__(self) -> int:
@@ -334,6 +370,13 @@ class ShardedAcornIndex(BatchSearchMixin):
         for shard in self.shards:
             if len(shard):
                 shard.freeze()
+
+    def begin_batch(self) -> None:
+        """Batch-engine hook: open a feedback batch on every shard
+        planner (no-op without per-shard routing)."""
+        if self._shard_planners is not None:
+            for planner in self._shard_planners:
+                planner.begin_batch()
 
     # ------------------------------------------------------------------
     # Lifecycle (only needed when shard_workers > 1)
@@ -433,10 +476,24 @@ class ShardedAcornIndex(BatchSearchMixin):
         shard = self.shards[decision.shard_id]
         local = CompiledPredicate(compiled.predicate, local_mask)
 
-        def run_search():
-            """One attempt of the local search (resilience closure)."""
-            return shard.search(query, local, k,
-                                ef_search=decision.ef_search)
+        if self._shard_planners is not None:
+            planner = self._shard_planners[decision.shard_id]
+
+            def run_search():
+                """One planner-routed attempt (resilience closure).
+
+                The shard router's summary-based local selectivity
+                estimate rides along as the planner's prior.
+                """
+                return planner.search(
+                    query, local, k, ef_search=decision.ef_search,
+                    selectivity_hint=decision.est_selectivity,
+                )
+        else:
+            def run_search():
+                """One attempt of the local search (resilience closure)."""
+                return shard.search(query, local, k,
+                                    ef_search=decision.ef_search)
 
         if self.resilience is None:
             found = run_search()
@@ -455,6 +512,17 @@ class ShardedAcornIndex(BatchSearchMixin):
         record["distance_computations"] = int(found.distance_computations)
         record["hops"] = int(found.hops)
         record["returned"] = int(len(found))
+        if self._shard_planners is not None:
+            # Route telemetry only exists on planner-routed results;
+            # the key set of default-path records stays pinned.
+            record["route_chosen"] = str(getattr(found, "route_chosen", ""))
+            record["route_reason"] = str(getattr(found, "route_reason", ""))
+            record["fallback_triggered"] = bool(
+                getattr(found, "fallback_triggered", False)
+            )
+            record["estimator_error"] = float(
+                getattr(found, "estimator_error", 0.0)
+            )
         return record, found, gids
 
     def search(
@@ -535,6 +603,35 @@ class ShardedAcornIndex(BatchSearchMixin):
 
         degraded = (failed + timed_out) > 0
         merged = merge_topk(streams, k)
+        route_chosen = ""
+        route_reason = ""
+        fallback_triggered = False
+        estimator_error = 0.0
+        if self._shard_planners is not None:
+            routed = [r for r in per_shard if r.get("route_chosen")]
+            if routed:
+                from repro.routing.cost import ALL_ROUTES
+
+                counts: dict[str, int] = {}
+                errors: list[float] = []
+                for rec in routed:
+                    counts[rec["route_chosen"]] = (
+                        counts.get(rec["route_chosen"], 0) + 1
+                    )
+                    errors.append(rec["estimator_error"])
+                    fallback_triggered |= rec["fallback_triggered"]
+                # Majority route across probed shards; ties break in
+                # ALL_ROUTES order (pre-filter first).
+                order = {r: i for i, r in enumerate(ALL_ROUTES)}
+                route_chosen = max(
+                    counts,
+                    key=lambda r: (counts[r], -order.get(r, len(order))),
+                )
+                route_reason = "shards: " + ", ".join(
+                    f"{r}x{counts[r]}"
+                    for r in sorted(counts, key=lambda r: order.get(r, len(order)))
+                )
+                estimator_error = float(np.mean(errors))
         return ShardedSearchResult(
             ids=np.asarray([gid for _, gid in merged], dtype=np.intp),
             distances=np.asarray([d for d, _ in merged], dtype=np.float32),
@@ -550,6 +647,10 @@ class ShardedAcornIndex(BatchSearchMixin):
                 recall_ceiling(est_rows, ok_flags) if degraded else 1.0
             ),
             per_shard=tuple(per_shard),
+            route_chosen=route_chosen,
+            route_reason=route_reason,
+            fallback_triggered=fallback_triggered,
+            estimator_error=estimator_error,
         )
 
     # ``search_batch`` comes from BatchSearchMixin: batches run through

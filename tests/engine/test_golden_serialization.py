@@ -30,6 +30,10 @@ QUERY_STATS_FIELDS = (
     "shards_timed_out",
     "degraded",
     "recall_ceiling",
+    "route_chosen",
+    "route_reason",
+    "fallback_triggered",
+    "estimator_error",
 )
 
 SUMMARY_KEYS = (
@@ -48,13 +52,17 @@ SUMMARY_KEYS = (
     "shards_timed_out",
     "degraded_queries",
     "min_recall_ceiling",
+    "route_counts",
+    "fallbacks_triggered",
+    "mean_abs_estimator_error",
 )
 
 CSV_HEADER = (
     "method,effort,recall,qps,mean_distance_computations,"
     "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
     "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
-    "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling"
+    "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling,"
+    "fallback_fraction,mean_abs_estimator_error"
 )
 
 
@@ -69,6 +77,9 @@ def _stats_pair():
         visited_nodes=30, predicate_cache_hit=True, wall_time_s=0.004,
         shards_probed=2, shards_pruned=2, shards_failed=1,
         shards_timed_out=1, degraded=True, recall_ceiling=0.625,
+        route_chosen="pre-filter",
+        route_reason="fallback from acorn-gamma: hop budget exhausted",
+        fallback_triggered=True, estimator_error=-0.05,
     )
     return healthy, degraded
 
@@ -94,6 +105,10 @@ class TestQueryStatsGolden:
             "shards_timed_out": 0,
             "degraded": False,
             "recall_ceiling": 1.0,
+            "route_chosen": "",
+            "route_reason": "",
+            "fallback_triggered": False,
+            "estimator_error": 0.0,
         }
 
     def test_failure_fields_default_to_healthy(self):
@@ -102,6 +117,13 @@ class TestQueryStatsGolden:
         assert healthy.shards_timed_out == 0
         assert healthy.degraded is False
         assert healthy.recall_ceiling == 1.0
+
+    def test_routing_fields_default_to_unrouted(self):
+        healthy, _ = _stats_pair()
+        assert healthy.route_chosen == ""
+        assert healthy.route_reason == ""
+        assert healthy.fallback_triggered is False
+        assert healthy.estimator_error == 0.0
 
 
 class TestBatchSummaryGolden:
@@ -130,6 +152,11 @@ class TestBatchSummaryGolden:
         assert summary["shards_timed_out"] == 1
         assert summary["degraded_queries"] == 1
         assert summary["min_recall_ceiling"] == pytest.approx(0.625)
+        # Only the degraded query carries a route; the healthy query
+        # ran unrouted and must not appear in the tally.
+        assert summary["route_counts"] == {"pre-filter": 1}
+        assert summary["fallbacks_triggered"] == 1
+        assert summary["mean_abs_estimator_error"] == pytest.approx(0.025)
         assert summary["latency_s"] == pytest.approx({
             "count": 2, "mean": 0.003, "p50": 0.003, "p95": 0.0039,
             "p99": 0.00398, "min": 0.002, "max": 0.004,
@@ -153,12 +180,14 @@ class TestSweepCsvGolden:
             p99_latency_s=0.0013, mean_shards_probed=3.5,
             mean_shards_pruned=0.5, mean_shards_failed=0.25,
             mean_shards_timed_out=0.75, degraded_fraction=0.5,
-            mean_recall_ceiling=0.9375,
+            mean_recall_ceiling=0.9375, fallback_fraction=0.125,
+            mean_abs_estimator_error=0.015625,
         )
         sweep = MethodSweep(method="acorn", points=[point])
         assert sweep.to_csv().splitlines()[1] == (
             "acorn,40,0.950000,1234.500,321.00,0.000800,0.000700,"
-            "0.001100,0.001300,3.50,0.50,0.25,0.75,0.5000,0.9375"
+            "0.001100,0.001300,3.50,0.50,0.25,0.75,0.5000,0.9375,"
+            "0.1250,0.015625"
         )
 
     def test_failure_columns_default_to_healthy(self):
@@ -170,3 +199,5 @@ class TestSweepCsvGolden:
         assert point.mean_shards_timed_out == 0.0
         assert point.degraded_fraction == 0.0
         assert point.mean_recall_ceiling == 1.0
+        assert point.fallback_fraction == 0.0
+        assert point.mean_abs_estimator_error == 0.0

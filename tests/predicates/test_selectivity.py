@@ -105,3 +105,45 @@ class TestHistogram:
 
         with pytest.raises(ValueError):
             HistogramSelectivityEstimator(table, n_buckets=0)
+
+    def test_empty_table_builds_no_histograms(self):
+        """Regression: an empty int column must not produce a phantom
+        histogram (np.histogram silently invents a [0, 1] domain on
+        empty input); estimates route to the fallback and return 0.0."""
+        from repro.predicates import HistogramSelectivityEstimator
+
+        empty = AttributeTable(0)
+        empty.add_int_column("label", [])
+        estimator = HistogramSelectivityEstimator(empty, seed=0)
+        assert estimator._histograms == {}
+        assert estimator.estimate(Equals("label", 3)) == 0.0
+
+    def test_empty_table_between_and_oneof(self):
+        from repro.predicates import (
+            Between,
+            HistogramSelectivityEstimator,
+            OneOf,
+        )
+
+        empty = AttributeTable(0)
+        empty.add_int_column("score", [])
+        estimator = HistogramSelectivityEstimator(empty, seed=0)
+        assert estimator.estimate(Between("score", 0, 10)) == 0.0
+        assert estimator.estimate(OneOf("score", (1, 2))) == 0.0
+
+    def test_all_categorical_table_uses_fallback(self):
+        """A table with only string columns builds zero histograms and
+        every estimate goes through the fallback estimator."""
+        from repro.predicates import HistogramSelectivityEstimator
+
+        t = AttributeTable(100)
+        t.add_string_column(
+            "color", ["red" if i % 4 == 0 else "blue" for i in range(100)]
+        )
+        estimator = HistogramSelectivityEstimator(
+            t, fallback=ExactSelectivityEstimator(t)
+        )
+        assert estimator._histograms == {}
+        assert estimator.estimate(Equals("color", "red")) == pytest.approx(
+            0.25
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for the online routing-feedback store."""
+
+import threading
+
+import pytest
+
+from repro.routing import RoutingFeedback
+from repro.routing.cost import ROUTE_ACORN_GAMMA, ROUTE_PRE_FILTER
+
+
+class TestValidation:
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            RoutingFeedback(smoothing=0.0)
+        with pytest.raises(ValueError):
+            RoutingFeedback(smoothing=1.5)
+
+    def test_rejects_bad_min_observations(self):
+        with pytest.raises(ValueError):
+            RoutingFeedback(min_observations=0)
+
+
+class TestPredict:
+    def test_unseen_pair_returns_model_cost(self):
+        fb = RoutingFeedback()
+        assert fb.predict("sig", ROUTE_PRE_FILTER, 100.0) == 100.0
+
+    def test_observed_mean_replaces_model(self):
+        fb = RoutingFeedback()
+        fb.record("sig", ROUTE_ACORN_GAMMA, 400.0)
+        fb.record("sig", ROUTE_ACORN_GAMMA, 600.0)
+        # Observed mean (500) wins over any model guess.
+        assert fb.predict("sig", ROUTE_ACORN_GAMMA, 10.0) == pytest.approx(500.0)
+
+    def test_min_observations_gates_replacement(self):
+        fb = RoutingFeedback(min_observations=2)
+        fb.record("sig", ROUTE_ACORN_GAMMA, 400.0)
+        # One observation < 2: still model-driven.
+        assert fb.predict("sig", ROUTE_ACORN_GAMMA, 10.0) == pytest.approx(10.0)
+        fb.record("sig", ROUTE_ACORN_GAMMA, 600.0)
+        assert fb.predict("sig", ROUTE_ACORN_GAMMA, 10.0) == pytest.approx(500.0)
+
+    def test_other_signatures_use_calibration_scale(self):
+        fb = RoutingFeedback(smoothing=1.0)
+        # Observed 2x the modeled cost -> scale 2.0 for the route.
+        fb.record("seen", ROUTE_ACORN_GAMMA, 200.0, model_cost=100.0)
+        assert fb.cost_scale(ROUTE_ACORN_GAMMA) == pytest.approx(2.0)
+        assert fb.predict("unseen", ROUTE_ACORN_GAMMA, 50.0) == pytest.approx(100.0)
+
+    def test_scale_ewma_smoothing(self):
+        fb = RoutingFeedback(smoothing=0.5)
+        fb.record("a", ROUTE_ACORN_GAMMA, 200.0, model_cost=100.0)  # ratio 2
+        fb.record("b", ROUTE_ACORN_GAMMA, 400.0, model_cost=100.0)  # ratio 4
+        # First observation seeds the scale; second EWMA-blends: 0.5*2+0.5*4.
+        assert fb.cost_scale(ROUTE_ACORN_GAMMA) == pytest.approx(3.0)
+
+    def test_initial_scales_optimism(self):
+        fb = RoutingFeedback(initial_scales={ROUTE_ACORN_GAMMA: 0.1})
+        assert fb.predict("x", ROUTE_ACORN_GAMMA, 1000.0) == pytest.approx(100.0)
+        # Routes without an initial scale stay neutral.
+        assert fb.predict("x", ROUTE_PRE_FILTER, 1000.0) == pytest.approx(1000.0)
+
+
+class TestLifecycle:
+    def test_begin_batch_counts_batches_and_keeps_learning(self):
+        fb = RoutingFeedback()
+        fb.record("sig", ROUTE_PRE_FILTER, 50.0)
+        fb.begin_batch()
+        fb.begin_batch()
+        assert fb.batches_started == 2
+        # Learning persists across batches.
+        assert fb.predict("sig", ROUTE_PRE_FILTER, 999.0) == pytest.approx(50.0)
+
+    def test_reset_cold_starts(self):
+        fb = RoutingFeedback()
+        fb.record("sig", ROUTE_PRE_FILTER, 50.0, model_cost=100.0)
+        fb.reset()
+        assert fb.queries_recorded == 0
+        assert fb.cost_scale(ROUTE_PRE_FILTER) == 1.0
+        assert fb.predict("sig", ROUTE_PRE_FILTER, 999.0) == pytest.approx(999.0)
+
+    def test_observation_returns_copy(self):
+        fb = RoutingFeedback()
+        fb.record("sig", ROUTE_PRE_FILTER, 50.0, hops=7, latency_s=0.1)
+        obs = fb.observation("sig", ROUTE_PRE_FILTER)
+        assert obs.count == 1
+        assert obs.total_hops == 7
+        obs.count = 99
+        assert fb.observation("sig", ROUTE_PRE_FILTER).count == 1
+
+    def test_observation_unseen_is_none(self):
+        assert RoutingFeedback().observation("x", ROUTE_PRE_FILTER) is None
+
+    def test_snapshot_shape(self):
+        fb = RoutingFeedback()
+        fb.begin_batch()
+        fb.record("sig", ROUTE_PRE_FILTER, 50.0)
+        snap = fb.snapshot()
+        assert snap["batches_started"] == 1
+        assert snap["queries_recorded"] == 1
+        assert f"{ROUTE_PRE_FILTER}::sig" in snap["observations"]
+
+
+class TestThreadSafety:
+    def test_concurrent_records_all_counted(self):
+        fb = RoutingFeedback()
+
+        def worker():
+            for _ in range(200):
+                fb.record("sig", ROUTE_PRE_FILTER, 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fb.queries_recorded == 800
+        assert fb.observation("sig", ROUTE_PRE_FILTER).count == 800

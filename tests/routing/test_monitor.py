@@ -1,0 +1,95 @@
+"""Unit tests for the walk monitor (the RACORN-1 degeneration trigger)."""
+
+import dataclasses
+
+import pytest
+
+from repro.routing import WalkBudget, WalkMonitor
+
+
+class TestWalkBudget:
+    def test_rejects_nonpositive_hop_budget(self):
+        with pytest.raises(ValueError):
+            WalkBudget(hop_budget=0)
+
+    def test_rejects_out_of_range_passing_rate(self):
+        with pytest.raises(ValueError):
+            WalkBudget(hop_budget=10, min_passing_rate=1.5)
+        with pytest.raises(ValueError):
+            WalkBudget(hop_budget=10, min_passing_rate=-0.1)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ValueError):
+            WalkBudget(hop_budget=10, grace_hops=-1)
+
+    def test_frozen(self):
+        budget = WalkBudget(hop_budget=10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            budget.hop_budget = 20
+
+
+class TestWalkMonitor:
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            WalkMonitor(WalkBudget(hop_budget=10), m=0)
+
+    def test_healthy_walk_never_aborts(self):
+        monitor = WalkMonitor(
+            WalkBudget(hop_budget=100, min_passing_rate=0.1, grace_hops=4),
+            m=8,
+        )
+        for _ in range(50):
+            assert monitor.observe(6)  # 0.75 passing rate
+        assert not monitor.aborted
+        assert monitor.abort_reason == ""
+
+    def test_hop_budget_abort(self):
+        monitor = WalkMonitor(WalkBudget(hop_budget=5), m=8)
+        for _ in range(5):
+            assert monitor.observe(8)
+        assert monitor.observe(8) is False
+        assert monitor.aborted
+        assert "hop budget exhausted" in monitor.abort_reason
+
+    def test_passing_rate_abort_after_grace(self):
+        monitor = WalkMonitor(
+            WalkBudget(hop_budget=100, min_passing_rate=0.5, grace_hops=4),
+            m=8,
+        )
+        # 3 empty hops inside the grace period: no abort yet.
+        assert monitor.observe(0)
+        assert monitor.observe(0)
+        assert monitor.observe(0)
+        assert not monitor.aborted
+        # 4th hop arms the test: rate 0/32 < 0.5 -> abort.
+        assert monitor.observe(0) is False
+        assert monitor.aborted
+        assert "passing rate collapsed" in monitor.abort_reason
+
+    def test_grace_period_suppresses_early_empty_neighborhoods(self):
+        monitor = WalkMonitor(
+            WalkBudget(hop_budget=100, min_passing_rate=0.5, grace_hops=10),
+            m=8,
+        )
+        for _ in range(9):
+            assert monitor.observe(0)
+        assert not monitor.aborted
+
+    def test_passing_rate_starts_at_one(self):
+        monitor = WalkMonitor(WalkBudget(hop_budget=10), m=8)
+        assert monitor.passing_rate == 1.0
+
+    def test_passing_rate_is_mean_fraction_of_m(self):
+        monitor = WalkMonitor(WalkBudget(hop_budget=100), m=10)
+        monitor.observe(10)
+        monitor.observe(0)
+        assert monitor.passing_rate == pytest.approx(0.5)
+
+    def test_observe_after_abort_stays_false(self):
+        monitor = WalkMonitor(WalkBudget(hop_budget=1), m=4)
+        monitor.observe(4)
+        assert monitor.observe(4) is False
+        hops_at_abort = monitor.hops
+        assert monitor.observe(4) is False
+        # No further accounting once aborted.
+        assert monitor.hops == hops_at_abort

@@ -9,6 +9,7 @@ from repro.cli import (
     main,
     validate_build_entry,
     validate_chaos_entry,
+    validate_route_entry,
     validate_shard_entry,
 )
 
@@ -50,6 +51,19 @@ class TestParser:
         assert args.ef_construction == 144
         assert args.out == "BENCH_build.json"
         assert args.smoke is False
+
+    def test_bench_route_defaults(self):
+        args = build_parser().parse_args(["bench-route"])
+        assert args.n == 10000
+        assert args.queries == 240
+        assert args.ef == 64
+        assert args.estimator == "exact"
+        assert args.out == "BENCH_route.json"
+        assert args.smoke is False
+
+    def test_bench_route_rejects_unknown_estimator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-route", "--estimator", "oracle"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -157,6 +171,45 @@ class TestCommands:
         assert entries[0]["parallel_rebuild_checksum_match"] is True
         assert entries[0]["graphs_valid"] is True
         assert entries[0]["recall_gap"] <= 0.01
+
+    def test_bench_route_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_route.json"
+        main([
+            "bench-route", "--n", "600", "--queries", "16", "--dim", "12",
+            "--m", "8", "--gamma", "6", "--workers", "1",
+            "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "static" in out and "adaptive" in out
+        assert "route decisions identical" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_route_entry(entries[0])
+        assert entries[0]["smoke"] is True
+        assert entries[0]["recall_delta"] >= -0.01
+        adaptive = entries[0]["policies"]["adaptive"]
+        assert sum(adaptive["route_counts"].values()) == 16
+
+    def test_bench_route_deterministic_across_runs(self, tmp_path):
+        """Same seed, same workload — identical entries modulo the
+        timestamp and wall-clock measurements."""
+        records = []
+        for run in range(2):
+            out_path = tmp_path / f"route_{run}.json"
+            main([
+                "bench-route", "--n", "500", "--queries", "12", "--dim",
+                "10", "--m", "8", "--gamma", "6", "--workers", "1",
+                "--smoke", "--out", str(out_path),
+            ])
+            entry = json.loads(out_path.read_text())[0]
+            entry.pop("timestamp")
+            entry.pop("adaptive_qps_speedup")
+            for sub in entry["policies"].values():
+                sub.pop("qps")
+                sub.pop("latency_s")
+            records.append(entry)
+        assert records[0] == records[1]
 
     def test_bench_chaos_deterministic_across_runs(self, tmp_path):
         """Same seed, same plan, same accounting — byte-for-byte except
@@ -319,3 +372,102 @@ class TestValidateBuildEntry:
     def test_inconsistent_recall_gap_rejected(self):
         with pytest.raises(ValueError, match="recall_gap"):
             validate_build_entry(self._entry(recall_gap=0.5))
+
+
+class TestValidateRouteEntry:
+    def _policy(self, qps, recall, dc, routes, fallbacks=0, err=0.0):
+        return {
+            "qps": qps, "recall_at_k": recall,
+            "mean_distance_computations": dc,
+            "route_counts": routes, "fallbacks_triggered": fallbacks,
+            "mean_abs_estimator_error": err,
+            "latency_s": {"p50": 0.001, "p95": 0.002, "p99": 0.003},
+        }
+
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "route",
+            "timestamp": "2026-01-01T00:00:00",
+            "n": 1500, "dim": 16, "queries": 32, "k": 10,
+            "ef_search": 64, "m": 16, "gamma": 12, "workers": 1,
+            "smoke": True, "s_min": 0.083333,
+            "policies": {
+                "static": self._policy(
+                    1000.0, 0.94, 800.0,
+                    {"pre-filter": 16, "acorn-gamma": 16},
+                ),
+                "adaptive": self._policy(
+                    2000.0, 0.99, 1600.0,
+                    {"pre-filter": 30, "acorn-gamma": 2},
+                    fallbacks=1, err=0.01,
+                ),
+            },
+            "adaptive_qps_speedup": 2.0,
+            "adaptive_dc_speedup": 0.5,
+            "recall_delta": 0.05,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_route_entry(self._entry())
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["s_min"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_route_entry(entry)
+
+    def test_mistyped_count_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            validate_route_entry(self._entry(queries="32"))
+
+    def test_mistyped_flag_rejected(self):
+        with pytest.raises(ValueError, match="must be a bool"):
+            validate_route_entry(self._entry(smoke=1))
+
+    def test_missing_policy_rejected(self):
+        entry = self._entry()
+        del entry["policies"]["adaptive"]
+        with pytest.raises(ValueError, match="policies missing"):
+            validate_route_entry(entry)
+
+    def test_missing_policy_key_rejected(self):
+        entry = self._entry()
+        del entry["policies"]["static"]["route_counts"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_route_entry(entry)
+
+    def test_unbalanced_route_counts_rejected(self):
+        entry = self._entry()
+        entry["policies"]["adaptive"]["route_counts"] = {"pre-filter": 31}
+        with pytest.raises(ValueError, match="does not balance"):
+            validate_route_entry(entry)
+
+    def test_negative_route_count_rejected(self):
+        entry = self._entry()
+        entry["policies"]["adaptive"]["route_counts"] = {
+            "pre-filter": 33, "acorn-gamma": -1,
+        }
+        with pytest.raises(ValueError, match="ints >= 0"):
+            validate_route_entry(entry)
+
+    def test_out_of_range_recall_rejected(self):
+        entry = self._entry()
+        entry["policies"]["static"]["recall_at_k"] = 1.2
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            validate_route_entry(entry)
+
+    def test_excess_fallbacks_rejected(self):
+        entry = self._entry()
+        entry["policies"]["adaptive"]["fallbacks_triggered"] = 99
+        with pytest.raises(ValueError, match="fallbacks_triggered"):
+            validate_route_entry(entry)
+
+    def test_inconsistent_speedup_rejected(self):
+        with pytest.raises(ValueError, match="qps_speedup"):
+            validate_route_entry(self._entry(adaptive_qps_speedup=9.9))
+
+    def test_inconsistent_recall_delta_rejected(self):
+        with pytest.raises(ValueError, match="recall_delta"):
+            validate_route_entry(self._entry(recall_delta=-0.5))
