@@ -10,6 +10,7 @@ dataset surrogates without touching pytest::
     python -m repro bench-shard --n 10000 --shards 4
     python -m repro bench-chaos --shards 8 --failure-rate 0.2
     python -m repro bench-route --n 10000 --queries 240
+    python -m repro bench-quant --n 10000 --queries 128
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
@@ -24,7 +25,11 @@ survivors-only ground-truth agreement, and per-query clock budgets)
 and ``bench-route`` to ``BENCH_route.json`` (static s_min threshold
 routing vs the adaptive cost-based planner on a correlated /
 anti-correlated workload, with per-route accounting and estimator
-error; ``--smoke`` turns any of them into a CI regression gate).
+error) and ``bench-quant`` to ``BENCH_quant.json`` (the quantized
+int8/PQ-ADC traversal hot path with its exact-rerank tail vs the
+float32 search on the same graph — batch-QPS speedup, recall floor,
+and a double-run determinism gate; ``--smoke`` turns any of them into
+a CI regression gate).
 """
 
 from __future__ import annotations
@@ -253,11 +258,13 @@ def _cmd_bench_batch(args: argparse.Namespace) -> None:
 from repro.eval.benchschema import (  # noqa: E402  (re-export)
     BUILD_SCHEMA_KEYS,
     CHAOS_SCHEMA_KEYS,
+    QUANT_SCHEMA_KEYS,
     ROUTE_SCHEMA_KEYS,
     SHARD_SCHEMA_KEYS,
     TRAVERSAL_SCHEMA_KEYS,
     validate_build_entry,
     validate_chaos_entry,
+    validate_quant_entry,
     validate_route_entry,
     validate_shard_entry,
     validate_traversal_entry,
@@ -1011,6 +1018,160 @@ def _cmd_bench_route(args: argparse.Namespace) -> None:
             )
 
 
+def _cmd_bench_quant(args: argparse.Namespace) -> None:
+    from repro.eval.metrics import recall_at_k
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.queries = min(args.queries, 32)
+    print(f"generating quantization workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries})...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params,
+                                 seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}) "
+          f"in {t.elapsed:.1f}s")
+    index.freeze()
+
+    pre = PreFilterSearcher(vectors, table)
+    # Predicates are compiled once and shared by both arms and the
+    # ground truth, mirroring SweepRunner's protocol (§7.2: baselines
+    # amortize filter bitmaps) — the arms then differ only in distance
+    # arithmetic.
+    compiled = [p.compile(table) for p in predicates]
+    ground_truth = [
+        pre.search(q, c, args.k).ids for q, c in zip(queries, compiled)
+    ]
+
+    def summarize(elapsed, results):
+        recall = float(np.mean([
+            recall_at_k(res.ids, gt, args.k)
+            for res, gt in zip(results, ground_truth)
+        ]))
+        return {
+            "qps": round(len(queries) / elapsed, 2),
+            "recall_at_k": round(recall, 6),
+            "mean_distance_computations": round(float(np.mean(
+                [r.distance_computations for r in results]
+            )), 2),
+            "mean_quantized_distances": round(float(np.mean(
+                [getattr(r, "quantized_distances", 0) for r in results]
+            )), 2),
+            "mean_rerank_distances": round(float(np.mean(
+                [getattr(r, "rerank_distances", 0) for r in results]
+            )), 2),
+            "latency_s": round(elapsed / len(queries), 6),
+        }
+
+    def run_float_arm():
+        """Engine pass on the per-query float32 path (after an untimed
+        warmup so both arms measure steady state)."""
+        batch = QueryBatch.build(queries, compiled, k=args.k,
+                                 ef_search=args.ef)
+        with SearchEngine(index, num_workers=args.workers) as engine:
+            engine.search_batch(batch)
+            with Timer() as t:
+                outcome = engine.search_batch(batch)
+        return summarize(t.elapsed, outcome.results)
+
+    def run_quant_arm():
+        """Lockstep batch pass on the quantized hot path (untimed
+        warmup populates the per-predicate CSR cache first)."""
+        index.search_batch_quantized(queries, compiled, args.k,
+                                     ef_search=args.ef, beam=args.beam)
+        with Timer() as t:
+            results = index.search_batch_quantized(
+                queries, compiled, args.k,
+                ef_search=args.ef, beam=args.beam,
+            )
+        return results, summarize(t.elapsed, results)
+
+    # Arm 1: the float32 baseline — same graph, same workload.
+    float_metrics = run_float_arm()
+    print(f"float32  : {float_metrics['qps']:8.1f} qps  "
+          f"recall@{args.k} {float_metrics['recall_at_k']:.4f}  "
+          f"dc/query {float_metrics['mean_distance_computations']:.0f}")
+
+    # Arm 2: the lockstep quantized hot path over the very same graph.
+    index.enable_quantization({
+        "kind": args.quantization, "rerank_factor": args.rerank_factor,
+    })
+    quant_results, quant_metrics = run_quant_arm()
+    print(f"{args.quantization:9s}: {quant_metrics['qps']:8.1f} qps  "
+          f"recall@{args.k} {quant_metrics['recall_at_k']:.4f}  "
+          f"dc/query {quant_metrics['mean_distance_computations']:.0f}  "
+          f"qd/query {quant_metrics['mean_quantized_distances']:.0f}  "
+          f"rerank/query {quant_metrics['mean_rerank_distances']:.0f}")
+
+    # Determinism gate: the quantized path must return identical ids and
+    # identical counters on a second pass over the same frozen index.
+    rerun_results, _ = run_quant_arm()
+    deterministic = all(
+        np.array_equal(a.ids, b.ids)
+        and a.quantized_distances == b.quantized_distances
+        for a, b in zip(quant_results, rerun_results)
+    )
+    if not deterministic:
+        raise SystemExit(
+            "quantized results changed between identical runs — the "
+            "beam kernel is reading non-deterministic state"
+        )
+    print("determinism : quantized ids and counters identical across "
+          "two runs")
+
+    speedup = quant_metrics["qps"] / max(float_metrics["qps"], 1e-9)
+    recall_ok = quant_metrics["recall_at_k"] >= args.recall_floor
+    print(f"\nquantized vs float32 : {speedup:.2f}x batch qps, "
+          f"recall floor {args.recall_floor:.2f} "
+          f"{'met' if recall_ok else 'MISSED'}")
+
+    entry = {
+        "bench": "quant",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "workers": args.workers,
+        "beam": args.beam,
+        "smoke": bool(args.smoke),
+        "quantization": args.quantization,
+        "rerank_factor": float(args.rerank_factor),
+        "float32": float_metrics,
+        "quantized": quant_metrics,
+        "batch_qps_speedup": round(speedup, 3),
+        "recall_floor": float(args.recall_floor),
+        "recall_ok": bool(recall_ok),
+        "deterministic": bool(deterministic),
+    }
+    validate_quant_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+    if not recall_ok:
+        raise SystemExit(
+            f"check failed: quantized recall@{args.k} "
+            f"{quant_metrics['recall_at_k']:.4f} below floor "
+            f"{args.recall_floor:.2f}"
+        )
+    if not args.smoke and speedup <= 2.0:
+        raise SystemExit(
+            f"check failed: quantized batch QPS speedup {speedup:.2f}x "
+            "did not exceed the 2x target (smoke runs skip this gate)"
+        )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -1185,6 +1346,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small run with hard regression gates (CI)")
     route.add_argument("--out", default="BENCH_route.json")
     route.set_defaults(func=_cmd_bench_route)
+
+    quant = sub.add_parser(
+        "bench-quant",
+        help="quantized traversal hot path (int8/PQ-ADC + exact rerank) "
+             "vs the float32 search on the same graph",
+    )
+    quant.add_argument("--n", type=int, default=10000)
+    quant.add_argument("--queries", type=int, default=128)
+    quant.add_argument("--dim", type=int, default=32)
+    quant.add_argument("--k", type=int, default=10)
+    quant.add_argument("--m", type=int, default=12)
+    quant.add_argument("--gamma", type=int, default=12)
+    quant.add_argument("--ef", type=int, default=192)
+    quant.add_argument("--workers", type=int, default=4)
+    quant.add_argument("--beam", type=int, default=32,
+                       help="lockstep frontier width per round")
+    quant.add_argument("--quantization", choices=("sq8", "pq"),
+                       default="sq8")
+    quant.add_argument("--rerank-factor", type=float, default=3.0)
+    quant.add_argument("--recall-floor", type=float, default=0.95)
+    quant.add_argument("--distinct-predicates", type=int, default=8)
+    quant.add_argument("--seed", type=int, default=0)
+    quant.add_argument("--out", default="BENCH_quant.json")
+    quant.add_argument(
+        "--smoke", action="store_true",
+        help="small workload; exit nonzero unless quantized results are "
+             "deterministic across two runs and recall clears the floor "
+             "(the 2x QPS gate applies to full runs only)",
+    )
+    quant.set_defaults(func=_cmd_bench_quant)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -15,6 +15,7 @@ and recovers density at search time via full 2-hop expansion.
 from __future__ import annotations
 
 import bisect
+import hashlib
 import threading
 
 import numpy as np
@@ -39,6 +40,11 @@ from repro.hnsw.scratch import thread_scratch
 from repro.hnsw.traversal import TraversalStats, search_layer
 from repro.predicates.base import CompiledPredicate, Predicate
 from repro.vectors.distance import DistanceComputer, Metric
+from repro.vectors.quantized_store import (
+    QuantizedStore,
+    rerank_budget,
+    resolve_quantization,
+)
 from repro.vectors.store import VectorStore
 
 
@@ -56,6 +62,12 @@ class AcornIndex(BatchSearchMixin):
         seed: level-assignment seed.
         labels: single-attribute integer labels, required only by the
             metadata-aware RNG pruning ablation (Figure 12).
+        quantization: None (default, float32 search), a codec kind
+            (``"sq8"``/``"pq"``), or a
+            :class:`~repro.vectors.quantized_store.QuantizationConfig`.
+            When set, the bottom-level traversal ranks candidates by
+            quantized distances and an exact float32 tail re-scores
+            ``rerank_factor * k`` of them (``docs/quantization.md``).
     """
 
     def __init__(
@@ -66,6 +78,7 @@ class AcornIndex(BatchSearchMixin):
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
         labels: np.ndarray | None = None,
+        quantization=None,
     ) -> None:
         self.params = params if params is not None else AcornParams()
         self.table = table
@@ -83,12 +96,19 @@ class AcornIndex(BatchSearchMixin):
             raise ValueError("metadata-aware pruning requires `labels`")
         self.pruning_stats = cons.PruningStats()
         self._frozen: list[FrozenLevel] | None = None
+        self.quantization = resolve_quantization(quantization)
+        self._quant: QuantizedStore | None = None
         self._deleted: set[int] = set()
         # Tombstone-composed predicate masks, keyed on (mask identity,
         # deleted-set version); see _effective_mask.
         self._deleted_version = 0
         self._mask_cache: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
         self._mask_cache_lock = threading.Lock()
+        # Predicate-filtered bottom-level CSRs for the lockstep
+        # quantized kernel, keyed on (mask identity, source-CSR
+        # identity); see _masked_expansion.
+        self._masked_csr_cache: dict = {}
+        self._masked_csr_lock = threading.Lock()
         # Level-0 shrink triggers: pruned indexes re-prune once a list
         # outgrows M·γ (the pruning rule's own |H| + kept budget); an
         # unpruned one keeps nearest up to 2·M·γ (mirroring HNSW's 2M
@@ -123,6 +143,7 @@ class AcornIndex(BatchSearchMixin):
         labels: np.ndarray | None = None,
         n_workers: int = 1,
         wave_cap: int | None = None,
+        quantization=None,
     ) -> "AcornIndex":
         """Construct an index over ``vectors`` aligned with ``table`` rows.
 
@@ -136,6 +157,9 @@ class AcornIndex(BatchSearchMixin):
             wave_cap: maximum wave size for the parallel pipeline
                 (default scales with ``n``); ignored when
                 ``n_workers == 1``.
+            quantization: forwarded to the constructor; a parallel
+                build additionally runs its Phase-A distance batches on
+                the quantized codes (see :mod:`repro.core.bulkbuild`).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) < vectors.shape[0]:
@@ -144,7 +168,7 @@ class AcornIndex(BatchSearchMixin):
                 f"table has {len(table)} rows but got {vectors.shape[0]} vectors"
             )
         index = cls(vectors.shape[1], table, params=params, metric=metric,
-                    seed=seed, labels=labels)
+                    seed=seed, labels=labels, quantization=quantization)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if n_workers > 1:
@@ -410,6 +434,49 @@ class AcornIndex(BatchSearchMixin):
             return lambda c: compressed_neighbors(adjacency, c, mask, m_beta)
         return lambda c: filtered_neighbors(adjacency, c, mask)
 
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+
+    def enable_quantization(self, config="sq8") -> None:
+        """Activate (or with None, deactivate) the quantized hot path.
+
+        Trains the codec on the currently stored vectors; later inserts
+        are encoded with the frozen codec at the next search.
+        """
+        self.quantization = resolve_quantization(config)
+        self._quant = None
+        if self.quantization is not None and len(self.store):
+            self._quant_store()
+
+    def _quant_store(self) -> QuantizedStore | None:
+        """The code mirror, trained lazily and synced to the store."""
+        if self.quantization is None or len(self.store) == 0:
+            return None
+        if self._quant is None:
+            qs = QuantizedStore(self.quantization, self.metric)
+            qs.train(self.store.vectors)
+            self._quant = qs
+        self._quant.sync(self.store)
+        return self._quant
+
+    def _quant_level0(self, frozen0: FrozenLevel, mask: np.ndarray):
+        """Bottom-level candidate source for the quantized beam kernel.
+
+        Returns ``(indptr, indices, mask, neighbor_fn)``: a CSR pair
+        (the raw adjacency for the filter strategy, or the materialized
+        expansion lists for the compressed lookup) with the predicate
+        mask applied post-gather — or, when no expansion was
+        materialized, a per-node fallback on the index's regular
+        neighbor strategy.
+        """
+        if self._is_compressed(0):
+            expansion = frozen0._expansions.get(self.params.m_beta)
+            if expansion is not None:
+                return expansion[0], expansion[1], mask, None
+            return None, None, None, self._neighbor_fn(0, mask)
+        return frozen0.indptr, frozen0.indices, mask, None
+
     def search(
         self,
         query: np.ndarray,
@@ -442,6 +509,7 @@ class AcornIndex(BatchSearchMixin):
                 np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float32), 0
             )
         computer = self.store.computer()
+        qstore = self._quant_store()
         computer.defer_counts()
         try:
             query = computer.set_query(query)
@@ -466,10 +534,15 @@ class AcornIndex(BatchSearchMixin):
                 best = found[0]
 
             entry_points = self._bottom_seeds(computer, query, [best])
+            tstats.visited += len(entry_points)
+            if qstore is not None:
+                return self._search_bottom_quantized(
+                    computer, qstore, query, mask, entry_points, k,
+                    max(ef_search, k), tstats, monitor,
+                )
             scratch.begin(len(self.store))
             for _, seed_node in entry_points:
                 scratch.mark(seed_node)
-            tstats.visited += len(entry_points)
             found = search_layer(
                 computer, query, entry_points, ef=max(ef_search, k),
                 neighbor_fn=self._neighbor_fn(0, mask), scratch=scratch,
@@ -488,6 +561,254 @@ class AcornIndex(BatchSearchMixin):
             hops=tstats.hops,
             visited_nodes=tstats.visited,
         )
+
+    def _search_bottom_quantized(
+        self,
+        computer: DistanceComputer,
+        qstore: QuantizedStore,
+        query: np.ndarray,
+        mask: np.ndarray,
+        entry_points: list[tuple[float, int]],
+        k: int,
+        ef: int,
+        tstats: TraversalStats,
+        monitor,
+    ) -> SearchResult:
+        """Quantized bottom-level beam search + exact rerank tail.
+
+        The descent already ran in float32 (few, high-leverage
+        distances); only the bottom-level traversal — where nearly all
+        evaluations happen — ranks by quantized distances.
+        """
+        from repro.core.quantsearch import exact_rerank, quantized_search_layer
+
+        qcomp = qstore.computer()
+        qcomp.set_query(query)
+        seed_ids = np.unique(
+            np.asarray([nid for _, nid in entry_points], dtype=np.intp)
+        )
+        seed_dists = qcomp.distances(seed_ids)
+        frozen0 = self._adjacency()[0]
+        indptr, indices, kmask, neighbor_fn = self._quant_level0(frozen0, mask)
+        found_ids, _ = quantized_search_layer(
+            qcomp, seed_ids, seed_dists, ef,
+            indptr=indptr, indices=indices, mask=kmask,
+            neighbor_fn=neighbor_fn, num_ids=frozen0.num_ids,
+            stats=tstats, monitor=monitor,
+        )
+        # Seeds may fail the predicate; everything else was
+        # mask-filtered before scoring.
+        passing = found_ids[mask[found_ids]]
+        rf = self.quantization.rerank_factor
+        ids, dists, n_rerank = exact_rerank(
+            computer, query, passing, k, rerank_budget(k, rf)
+        )
+        return SearchResult(
+            ids, dists, computer.count,
+            hops=tstats.hops, visited_nodes=tstats.visited,
+            quantized_distances=qcomp.count,
+            rerank_distances=n_rerank, rerank_factor=rf,
+        )
+
+    def _masked_expansion(
+        self, indptr: np.ndarray, indices: np.ndarray, mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The bottom-level candidate CSR restricted to one predicate.
+
+        Materializing the predicate subgraph's candidate lists once per
+        distinct mask shrinks every lockstep gather by the predicate's
+        selectivity (and drops the per-round mask lookup entirely);
+        int32 indices halve the remaining memory traffic.  Cached keyed
+        on (mask *content* digest, source-CSR identity) — content
+        rather than object identity so re-compiling the same predicate
+        (a fresh but equal mask array) still hits — with the source
+        ``indices`` array pinned to guard against id reuse.
+        """
+        key = (hashlib.sha1(mask.tobytes()).digest(), id(indices))
+        with self._masked_csr_lock:
+            hit = self._masked_csr_cache.get(key)
+            if hit is not None and hit[0] is indices:
+                return hit[1], hit[2]
+        kept = mask[indices]
+        cumulative = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(kept, out=cumulative[1:])
+        f_indptr = cumulative[indptr]
+        f_indices = indices[kept].astype(np.int32, copy=False)
+        with self._masked_csr_lock:
+            if len(self._masked_csr_cache) >= 8:
+                self._masked_csr_cache.pop(
+                    next(iter(self._masked_csr_cache))
+                )
+            self._masked_csr_cache[key] = (indices, f_indptr, f_indices)
+        return f_indptr, f_indices
+
+    def search_batch_quantized(
+        self,
+        queries: np.ndarray,
+        predicates,
+        k: int,
+        ef_search: int = 64,
+        beam: int | None = None,
+    ) -> list[SearchResult]:
+        """Answer a whole batch on the quantized hot path in lockstep.
+
+        The per-query :meth:`search` already ranks the bottom level by
+        quantized distances; this method additionally amortizes the
+        traversal's Python overhead across the batch via
+        :func:`~repro.core.quantsearch.quantized_search_batch` — each
+        round gathers every query's frontier together and evaluates one
+        batched code-distance call, the serving-side counterpart of the
+        bulk builder's GEMM-batched Phase A.  Descents stay per-query
+        float32 (few, high-leverage distances), and each query gets the
+        standard exact-rerank tail.
+
+        Deterministic: each query's walk reads only its own frontier
+        and eligibility row, so results depend on the frozen index and
+        the query alone — two runs over the same batch are identical.
+
+        Args:
+            queries: ``(nq, dim)`` float32 query matrix.
+            predicates: one ``Predicate`` / ``CompiledPredicate`` per
+                query.
+            k: neighbors per query.
+            ef_search: dynamic-list size (clamped up to ``k``).
+            beam: frontier nodes expanded per lockstep round; ``None``
+                uses the kernel default.
+
+        Returns:
+            One :class:`~repro.hnsw.hnsw.SearchResult` per query, with
+            the same counters the per-query quantized path reports.
+
+        Raises:
+            RuntimeError: when quantization is not enabled.
+        """
+        from repro.core.quantsearch import exact_rerank, quantized_search_batch
+
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be a 2-D (nq, dim) matrix, got shape "
+                f"{queries.shape}"
+            )
+        predicates = list(predicates)
+        if len(predicates) != queries.shape[0]:
+            raise ValueError(
+                f"{queries.shape[0]} queries but {len(predicates)} predicates"
+            )
+        qstore = self._quant_store()
+        if qstore is None:
+            raise RuntimeError(
+                "search_batch_quantized requires quantization to be "
+                "enabled on the index (build with quantization=... or "
+                "call enable_quantization)"
+            )
+        nq = queries.shape[0]
+        if nq == 0 or len(self.graph) == 0:
+            return [
+                SearchResult(
+                    np.empty(0, dtype=np.intp),
+                    np.empty(0, dtype=np.float32), 0,
+                )
+                for _ in range(nq)
+            ]
+        compiled = [self._compile(p) for p in predicates]
+        masks = [self._effective_mask(c.mask) for c in compiled]
+        frozen0 = self._adjacency()[0]
+        indptr, indices, _kmask, neighbor_fn = self._quant_level0(
+            frozen0, masks[0]
+        )
+        if indptr is None:
+            # No materialized CSR (dynamic-expansion fallback): the
+            # lockstep kernel needs one, so fall back to per-query
+            # quantized searches.
+            return [
+                self.search(queries[i], compiled[i], k, ef_search=ef_search)
+                for i in range(nq)
+            ]
+
+        ef = max(ef_search, k)
+        computer = self.store.computer()
+        computer.defer_counts()
+        try:
+            tstats = [TraversalStats() for _ in range(nq)]
+            descent_counts = np.zeros(nq, dtype=np.int64)
+            seed_nodes = np.empty(nq, dtype=np.int64)
+            scratch = thread_scratch(len(self.store))
+            entry = self.graph.entry_point
+            top = self.graph.node_level(entry)
+            for i in range(nq):
+                before = computer.count
+                query = computer.set_query(queries[i])
+                best = (computer.distance_one(query, entry), entry)
+                tstats[i].visited += 1
+                for lev in range(top, 0, -1):
+                    scratch.begin(len(self.store))
+                    scratch.mark(best[1])
+                    found = search_layer(
+                        computer, query, [best], ef=1,
+                        neighbor_fn=self._neighbor_fn(lev, masks[i]),
+                        scratch=scratch, stats=tstats[i],
+                    )
+                    best = found[0]
+                seed_nodes[i] = best[1]
+                descent_counts[i] = computer.count - before
+
+            # Lockstep per mask group: queries sharing a predicate run
+            # over one predicate-filtered CSR (built once, cached), so
+            # every gather is already selectivity-narrow and needs no
+            # per-round mask lookup.
+            num_ids = frozen0.num_ids
+            groups: dict[bytes, list[int]] = {}
+            for i, m in enumerate(masks):
+                groups.setdefault(hashlib.sha1(m.tobytes()).digest(),
+                                  []).append(i)
+            res_ids = np.full((nq, ef), -1, dtype=np.int64)
+            hops = np.zeros(nq, dtype=np.int64)
+            visited = np.zeros(nq, dtype=np.int64)
+            qevals = np.zeros(nq, dtype=np.int64)
+            for members in groups.values():
+                sel = np.asarray(members, dtype=np.intp)
+                f_indptr, f_indices = self._masked_expansion(
+                    indptr, indices, masks[members[0]]
+                )
+                eligible = np.ones((sel.size, num_ids), dtype=bool)
+                kernel_kwargs = {} if beam is None else {"beam": int(beam)}
+                g_ids, _g_dists, g_hops, g_vis, g_qe = (
+                    quantized_search_batch(
+                        qstore, queries[sel], seed_nodes[sel], ef,
+                        f_indptr, f_indices, eligible, **kernel_kwargs,
+                    )
+                )
+                res_ids[sel] = g_ids
+                hops[sel] = g_hops
+                visited[sel] = g_vis
+                qevals[sel] = g_qe
+
+            rf = self.quantization.rerank_factor
+            budget = rerank_budget(k, rf)
+            results = []
+            for i in range(nq):
+                row = res_ids[i]
+                found_ids = row[row >= 0]
+                passing = found_ids[masks[i][found_ids]]
+                before = computer.count
+                ids, dists, n_rerank = exact_rerank(
+                    computer, queries[i], passing, k, budget
+                )
+                results.append(SearchResult(
+                    ids, dists,
+                    int(descent_counts[i]) + (computer.count - before),
+                    hops=tstats[i].hops + int(hops[i]),
+                    visited_nodes=tstats[i].visited + int(visited[i]),
+                    quantized_distances=int(qevals[i]),
+                    rerank_distances=n_rerank,
+                    rerank_factor=rf,
+                ))
+        finally:
+            computer.flush_counts()
+        return results
 
     def _effective_mask(self, mask: np.ndarray) -> np.ndarray:
         """The predicate mask with tombstones composed in, cached.
@@ -611,6 +932,8 @@ class AcornIndex(BatchSearchMixin):
             ],
             "avg_out_degree": self.out_degree_by_level(),
             "nbytes": self.nbytes(),
+            "quantization": (self.quantization.kind
+                             if self.quantization is not None else None),
             "params": {
                 "m": self.params.m,
                 "gamma": self.params.gamma,
@@ -645,6 +968,7 @@ class AcornOneIndex(AcornIndex):
         ef_construction: int = 40,
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
+        quantization=None,
     ) -> None:
         super().__init__(
             dim,
@@ -652,6 +976,7 @@ class AcornOneIndex(AcornIndex):
             params=AcornParams.acorn_1(m=m, ef_construction=ef_construction),
             metric=metric,
             seed=seed,
+            quantization=quantization,
         )
 
     @classmethod
@@ -665,6 +990,7 @@ class AcornOneIndex(AcornIndex):
         seed: int | np.random.Generator | None = None,
         n_workers: int = 1,
         wave_cap: int | None = None,
+        quantization=None,
     ) -> "AcornOneIndex":
         """Construct an ACORN-1 index over ``vectors``.
 
@@ -679,7 +1005,8 @@ class AcornOneIndex(AcornIndex):
                 f"table has {len(table)} rows but got {vectors.shape[0]} vectors"
             )
         index = cls(vectors.shape[1], table, m=m,
-                    ef_construction=ef_construction, metric=metric, seed=seed)
+                    ef_construction=ef_construction, metric=metric, seed=seed,
+                    quantization=quantization)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if n_workers > 1:
@@ -704,3 +1031,14 @@ class AcornOneIndex(AcornIndex):
     def _neighbor_fn(self, level: int, mask: np.ndarray):
         adjacency = self._adjacency()[level]
         return lambda c: expanded_neighbors(adjacency, c, mask)
+
+    def _quant_level0(self, frozen0, mask: np.ndarray):
+        """ACORN-1's 2-hop lookup: the ``m_beta = 0`` expansion CSR.
+
+        When the unpruned 2-hop lists blew the materialization bound,
+        the kernel falls back to the dynamic per-node expansion.
+        """
+        expansion = frozen0._expansions.get(0)
+        if expansion is not None:
+            return expansion[0], expansion[1], mask, None
+        return None, None, None, self._neighbor_fn(0, mask)

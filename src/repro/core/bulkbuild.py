@@ -615,8 +615,16 @@ def _run_group(
     base_norms: np.ndarray | None,
     query_norms: np.ndarray | None,
     num_ids: int,
+    qstore=None,
 ) -> None:
-    """Drive one group's tasks to completion with batched rounds."""
+    """Drive one group's tasks to completion with batched rounds.
+
+    With ``qstore`` (a :class:`~repro.vectors.quantized_store.QuantizedStore`),
+    the distance rounds run on quantized codes — decode-free SQ dot
+    products or PQ ADC-table gathers — instead of float32 rows.
+    Evaluations still land on ``computer``'s counter: construction cost
+    stays one hardware-independent tally either way.
+    """
     scratch = _WaveScratch(len(tasks), num_ids)
     for slot, task in enumerate(tasks):
         task.bind(slot, scratch, computer)
@@ -632,10 +640,13 @@ def _run_group(
             qrows = np.asarray([t.qrow for t, _ in pending], dtype=np.intp)
             cat_ids = np.concatenate([ids for _, ids in pending])
             qidx = np.repeat(qrows, sizes)
-            dists = _batched_distances(
-                computer.base, queries, qidx, cat_ids, metric,
-                base_norms=base_norms, query_norms=query_norms,
-            )
+            if qstore is not None:
+                dists = qstore.batched_distances(queries, qidx, cat_ids)
+            else:
+                dists = _batched_distances(
+                    computer.base, queries, qidx, cat_ids, metric,
+                    base_norms=base_norms, query_norms=query_norms,
+                )
             computer.add_count(cat_ids.size)
             offset = 0
             nxt: list[tuple[_LockstepTask, np.ndarray]] = []
@@ -837,30 +848,36 @@ def _run_wave(index, adapter, wave: list[int], levels: dict[int, int],
                    if metric is Metric.COSINE else None)
 
     # Solo waves replay the sequential heap search exactly (wave_cap=1
-    # equivalence); larger waves use the beam-batched traversal.
+    # equivalence); larger waves use the beam-batched traversal.  The
+    # quantized Phase-A rounds apply only to multi-node waves for the
+    # same reason: the sequential reference computes float32 distances,
+    # so solo waves must too to stay byte-identical.
     if len(wave) == 1:
         tasks = [
             _LockstepTask(adapter, node, levels[node], entry, top,
                           queries[row], row, neighbor_fn)
             for row, node in enumerate(wave)
         ]
+        qstore = None
     else:
         tasks = [
             _BeamTask(adapter, node, levels[node], entry, top,
                       queries[row], row, frozen, trunc)
             for row, node in enumerate(wave)
         ]
+        qstore = getattr(index, "_quant", None)
 
     # Phase A: lockstep batched searches over the frozen snapshot.
     groups = _split_chunks(tasks, n_workers)
     if executor is None or len(groups) == 1:
         for group in groups:
             _run_group(group, store.computer(), queries, metric,
-                       base_norms, query_norms, num_ids)
+                       base_norms, query_norms, num_ids, qstore=qstore)
     else:
         futures = [
             executor.submit(_run_group, group, store.computer(), queries,
-                            metric, base_norms, query_norms, num_ids)
+                            metric, base_norms, query_norms, num_ids,
+                            qstore=qstore)
             for group in groups
         ]
         for future in futures:
@@ -979,6 +996,10 @@ def bulk_insert_hnsw(index, vectors: np.ndarray, n_workers: int = 2,
     """
     ids = index.store.add_many(vectors)
     index._frozen = None
+    if getattr(index, "quantization", None) is not None:
+        # Train + encode before the waves so Phase A can run its
+        # distance rounds on codes (solo waves stay float32).
+        index._quant_store()
     _bulk_insert(index, _HnswAdapter(index), ids.tolist(), n_workers, wave_cap)
     return ids
 
@@ -995,5 +1016,7 @@ def bulk_insert_acorn(index, vectors: np.ndarray, n_workers: int = 2,
     """
     ids = index.store.add_many(vectors)
     index._frozen = None
+    if getattr(index, "quantization", None) is not None:
+        index._quant_store()
     _bulk_insert(index, _AcornAdapter(index), ids.tolist(), n_workers, wave_cap)
     return ids

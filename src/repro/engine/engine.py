@@ -197,6 +197,18 @@ class BatchResult:
         return sum(abs(s.estimator_error) for s in self.stats) / len(self.stats)
 
     @property
+    def total_quantized_distances(self) -> int:
+        """Sum of per-query quantized-code distance evaluations
+        (0 for unquantized searchers)."""
+        return sum(s.quantized_distances for s in self.stats)
+
+    @property
+    def total_rerank_distances(self) -> int:
+        """Sum of per-query exact rerank evaluations over quantized
+        candidates (0 for unquantized searchers)."""
+        return sum(s.rerank_distances for s in self.stats)
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -241,6 +253,8 @@ class BatchResult:
             "route_counts": self.route_counts,
             "fallbacks_triggered": self.fallbacks_triggered,
             "mean_abs_estimator_error": self.mean_abs_estimator_error,
+            "total_quantized_distances": self.total_quantized_distances,
+            "total_rerank_distances": self.total_rerank_distances,
         }
 
 
@@ -387,6 +401,13 @@ class SearchEngine:
                 estimator_error=float(
                     getattr(result, "estimator_error", 0.0)
                 ),
+                quantized_distances=int(
+                    getattr(result, "quantized_distances", 0)
+                ),
+                rerank_distances=int(
+                    getattr(result, "rerank_distances", 0)
+                ),
+                rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
             )
             return result, stats
 

@@ -60,6 +60,16 @@ class QueryStats:
         estimator_error: signed selectivity-estimation error
             (``estimate - exact``) of the routing decision (0.0 when
             unrouted).
+        quantized_distances: approximate distances evaluated on the
+            quantized (int8/PQ) hot path for this query — disjoint
+            from ``distance_computations``, which stays exact-float32
+            only (0 for unquantized searchers).
+        rerank_distances: exact float32 distances spent re-scoring the
+            quantized candidate head (a subset of
+            ``distance_computations``; 0 when unquantized).
+        rerank_factor: the rerank budget multiplier in effect
+            (``rerank_factor * k`` candidates re-scored; 0.0 when
+            unquantized).
     """
 
     query_index: int
@@ -78,6 +88,9 @@ class QueryStats:
     route_reason: str = ""
     fallback_triggered: bool = False
     estimator_error: float = 0.0
+    quantized_distances: int = 0
+    rerank_distances: int = 0
+    rerank_factor: float = 0.0
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

@@ -1,7 +1,8 @@
 """Schemas and validators for the repo's BENCH_*.json result files.
 
 Every benchmark CLI (``bench``, ``bench-traversal``, ``bench-shard``,
-``bench-chaos``, ``bench-build``, ``bench-route``) appends one JSON
+``bench-chaos``, ``bench-build``, ``bench-route``, ``bench-quant``)
+appends one JSON
 object per run to its result file; CI smoke jobs and ``tests/test_cli.py`` re-validate those
 records with the functions here.  Each validator checks key presence,
 basic types, and the benchmark's accounting invariants — the properties
@@ -310,3 +311,87 @@ def validate_build_entry(entry: dict) -> None:
     gap = abs(entry["recall_at_10_sequential"] - entry["recall_at_10_parallel"])
     if abs(entry["recall_gap"] - gap) > 1e-6:
         raise ValueError("recall_gap must equal |recall_seq - recall_par|")
+
+
+QUANT_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "workers", "beam", "smoke", "quantization", "rerank_factor",
+    "float32", "quantized", "batch_qps_speedup", "recall_floor",
+    "recall_ok", "deterministic",
+}
+
+_QUANT_ARM_KEYS = {
+    "qps", "recall_at_k", "mean_distance_computations",
+    "mean_quantized_distances", "mean_rerank_distances", "latency_s",
+}
+
+
+def validate_quant_entry(entry: dict) -> None:
+    """Check one BENCH_quant.json record against the schema.
+
+    Beyond key presence and types, enforces the quantized benchmark's
+    accounting invariants: both arms report the full per-arm metric set,
+    recalls live in [0, 1], the float32 arm performs zero quantized
+    evaluations, the quantized arm performs some (and reranks at most
+    ``rerank_factor * k`` candidates per query on average), and the
+    reported speedup equals the quantized/float32 batch-QPS ratio
+    (within rounding).
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI quant job and
+            ``tests/test_cli.py``.
+    """
+    missing = QUANT_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-quant entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "workers", "beam"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("rerank_factor", "batch_qps_speedup", "recall_floor"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("smoke", "recall_ok", "deterministic"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    if entry["quantization"] not in ("sq8", "pq"):
+        raise ValueError(
+            f"quantization must be 'sq8' or 'pq', got {entry['quantization']!r}"
+        )
+    for arm in ("float32", "quantized"):
+        sub = entry[arm]
+        if not isinstance(sub, dict):
+            raise ValueError(f"{arm} must be an object, got {type(sub)}")
+        sub_missing = _QUANT_ARM_KEYS - sub.keys()
+        if sub_missing:
+            raise ValueError(f"{arm} missing keys: {sorted(sub_missing)}")
+        for key in _QUANT_ARM_KEYS:
+            if not isinstance(sub[key], (int, float)):
+                raise ValueError(f"{arm}.{key} must be numeric")
+        if sub["latency_s"] < 0:
+            raise ValueError(f"{arm}.latency_s must be non-negative")
+        if not 0.0 <= sub["recall_at_k"] <= 1.0:
+            raise ValueError(f"{arm}.recall_at_k must be in [0, 1]")
+    if entry["float32"]["mean_quantized_distances"] != 0:
+        raise ValueError(
+            "float32 arm must perform zero quantized distance evaluations"
+        )
+    if entry["quantized"]["mean_quantized_distances"] <= 0:
+        raise ValueError(
+            "quantized arm performed no quantized distance evaluations"
+        )
+    max_rerank = entry["rerank_factor"] * entry["k"] + 1e-9
+    if entry["quantized"]["mean_rerank_distances"] > max_rerank:
+        raise ValueError(
+            f"quantized arm reranked "
+            f"{entry['quantized']['mean_rerank_distances']} candidates per "
+            f"query on average, above rerank_factor * k = {max_rerank:.1f}"
+        )
+    if entry["float32"]["qps"] > 0:
+        ratio = entry["quantized"]["qps"] / entry["float32"]["qps"]
+        if abs(entry["batch_qps_speedup"] - ratio) > 0.02 * max(ratio, 1.0):
+            raise ValueError(
+                f"batch_qps_speedup {entry['batch_qps_speedup']} does not "
+                f"match quantized/float32 qps ratio {ratio:.3f}"
+            )

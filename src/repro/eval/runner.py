@@ -56,6 +56,8 @@ class SweepPoint:
     mean_recall_ceiling: float = 1.0
     fallback_fraction: float = 0.0
     mean_abs_estimator_error: float = 0.0
+    mean_quantized_distances: float = 0.0
+    mean_rerank_distances: float = 0.0
 
 
 @dataclasses.dataclass
@@ -73,7 +75,8 @@ class MethodSweep:
             "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
             "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
             "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling,"
-            "fallback_fraction,mean_abs_estimator_error"
+            "fallback_fraction,mean_abs_estimator_error,"
+            "mean_quantized_distances,mean_rerank_distances"
         ]
         for p in self.points:
             lines.append(
@@ -84,7 +87,9 @@ class MethodSweep:
                 f"{p.mean_shards_pruned:.2f},{p.mean_shards_failed:.2f},"
                 f"{p.mean_shards_timed_out:.2f},{p.degraded_fraction:.4f},"
                 f"{p.mean_recall_ceiling:.4f},{p.fallback_fraction:.4f},"
-                f"{p.mean_abs_estimator_error:.6f}"
+                f"{p.mean_abs_estimator_error:.6f},"
+                f"{p.mean_quantized_distances:.2f},"
+                f"{p.mean_rerank_distances:.2f}"
             )
         return "\n".join(lines)
 
@@ -201,5 +206,11 @@ class SweepRunner:
             ),
             mean_abs_estimator_error=float(
                 np.mean([abs(s.estimator_error) for s in outcome.stats])
+            ),
+            mean_quantized_distances=float(
+                np.mean([s.quantized_distances for s in outcome.stats])
+            ),
+            mean_rerank_distances=float(
+                np.mean([s.rerank_distances for s in outcome.stats])
             ),
         )

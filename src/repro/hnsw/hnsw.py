@@ -16,8 +16,13 @@ from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.heuristics import select_neighbors_heuristic
 from repro.hnsw.levels import LevelGenerator
 from repro.hnsw.scratch import thread_scratch
-from repro.hnsw.traversal import search_layer
+from repro.hnsw.traversal import TraversalStats, search_layer
 from repro.vectors.distance import DistanceComputer, Metric
+from repro.vectors.quantized_store import (
+    QuantizedStore,
+    rerank_budget,
+    resolve_quantization,
+)
 from repro.vectors.store import VectorStore
 
 
@@ -28,12 +33,21 @@ class SearchResult:
     Attributes:
         ids: result node ids, ascending distance, length <= K.
         distances: matching distances (rank-preserving metric values).
-        distance_computations: distances evaluated while answering, the
-            paper's hardware-independent cost measure (Table 3).
+        distance_computations: *exact float32* distances evaluated while
+            answering, the paper's hardware-independent cost measure
+            (Table 3).  On the quantized path this counts the descent
+            plus the rerank tail only.
         hops: graph nodes expanded during traversal (0 for flat scans,
             which visit no graph).
         visited_nodes: visited-set insertions during traversal (0 for
             flat scans).
+        quantized_distances: approximate (SQ8/PQ-ADC) distance
+            evaluations on the quantized traversal path; 0 when the
+            index searches in float32.
+        rerank_distances: candidates re-scored by the exact float32
+            rerank tail (already included in ``distance_computations``).
+        rerank_factor: the rerank budget multiplier in effect (0.0 when
+            unquantized).
     """
 
     ids: np.ndarray
@@ -41,6 +55,9 @@ class SearchResult:
     distance_computations: int
     hops: int = 0
     visited_nodes: int = 0
+    quantized_distances: int = 0
+    rerank_distances: int = 0
+    rerank_factor: float = 0.0
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
@@ -56,6 +73,12 @@ class HnswIndex:
         ef_construction: candidate-list size during insertion (efc).
         metric: ``l2`` (default), ``ip``, or ``cosine``.
         seed: seed for the stochastic level assignment.
+        quantization: None (default, float32 search), a codec kind
+            (``"sq8"``/``"pq"``), or a
+            :class:`~repro.vectors.quantized_store.QuantizationConfig`.
+            When set, bottom-level search ranks candidates by quantized
+            distances and re-scores a ``rerank_factor * k`` tail
+            exactly (see ``docs/quantization.md``).
     """
 
     def __init__(
@@ -65,6 +88,7 @@ class HnswIndex:
         ef_construction: int = 40,
         metric: "Metric | str" = Metric.L2,
         seed: int | np.random.Generator | None = None,
+        quantization=None,
     ) -> None:
         if m < 2:
             raise ValueError(f"M must be at least 2, got {m}")
@@ -77,6 +101,8 @@ class HnswIndex:
         self.graph = LayeredGraph()
         self._levels = LevelGenerator(self.m, seed=seed)
         self._frozen = None
+        self.quantization = resolve_quantization(quantization)
+        self._quant: QuantizedStore | None = None
 
     def __len__(self) -> int:
         return len(self.store)
@@ -168,6 +194,7 @@ class HnswIndex:
         seed: int | np.random.Generator | None = None,
         n_workers: int = 1,
         wave_cap: int | None = None,
+        quantization=None,
     ) -> "HnswIndex":
         """Construct an index over ``vectors`` (n, d) in insertion order.
 
@@ -181,10 +208,13 @@ class HnswIndex:
             wave_cap: maximum wave size for the parallel pipeline
                 (default: scaled from ``n``); ignored when
                 ``n_workers == 1``.
+            quantization: forwarded to the constructor; a parallel
+                build additionally runs its Phase-A distance batches on
+                the quantized codes (see :mod:`repro.core.bulkbuild`).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         index = cls(vectors.shape[1], m=m, ef_construction=ef_construction,
-                    metric=metric, seed=seed)
+                    metric=metric, seed=seed, quantization=quantization)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if n_workers > 1:
@@ -263,6 +293,70 @@ class HnswIndex:
         assert_frozen(frozen)
         return frozen
 
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+
+    def enable_quantization(self, config="sq8") -> None:
+        """Activate (or with None, deactivate) the quantized hot path.
+
+        Trains the codec on the currently stored vectors; later inserts
+        are encoded with the frozen codec at the next search.
+        """
+        self.quantization = resolve_quantization(config)
+        self._quant = None
+        if self.quantization is not None and len(self.store):
+            self._quant_store()
+
+    def _quant_store(self) -> QuantizedStore | None:
+        """The code mirror, trained lazily and synced to the store."""
+        if self.quantization is None or len(self.store) == 0:
+            return None
+        if self._quant is None:
+            qs = QuantizedStore(self.quantization, self.metric)
+            qs.train(self.store.vectors)
+            self._quant = qs
+        self._quant.sync(self.store)
+        return self._quant
+
+    def _search_quantized(
+        self,
+        computer: DistanceComputer,
+        qstore: QuantizedStore,
+        query: np.ndarray,
+        ef: int,
+        stats: TraversalStats | None = None,
+    ):
+        """Float32 descent + quantized beam search on level 0.
+
+        Returns ``(candidate_ids, qcomp)``: candidates in ascending
+        quantized-distance order plus the quantized computer (for its
+        evaluation count).  The exact rerank tail is the caller's.
+        """
+        from repro.core.quantsearch import quantized_search_layer
+
+        frozen = self._adjacency()
+        entry = self.graph.entry_point
+        best = (computer.distance_one(query, entry), entry)
+        for lev in range(self.graph.node_level(entry), 0, -1):
+            best = self._greedy_step(
+                computer, query, best, lev,
+                neighbor_fn=frozen[lev].__getitem__,
+            )
+        qcomp = qstore.computer()
+        qcomp.set_query(query)
+        level0 = frozen[0]
+        seed_ids = np.asarray([best[1]], dtype=np.intp)
+        seed_dists = qcomp.distances(seed_ids)
+        if stats is not None:
+            stats.visited += 1
+        found_ids, _ = quantized_search_layer(
+            qcomp, seed_ids, seed_dists, ef,
+            indptr=level0.indptr, indices=level0.indices,
+            num_ids=level0.num_ids, stats=stats,
+        )
+        return found_ids, qcomp
+
     def search(self, query: np.ndarray, k: int, ef_search: int = 64) -> SearchResult:
         """K-nearest-neighbor search (paper Algorithm 1).
 
@@ -278,9 +372,27 @@ class HnswIndex:
             empty = np.empty(0, dtype=np.intp)
             return SearchResult(empty, np.empty(0, dtype=np.float32), 0)
         computer = self.store.computer()
+        qstore = self._quant_store()
         computer.defer_counts()
         try:
             query = computer.set_query(query)
+            if qstore is not None:
+                from repro.core.quantsearch import exact_rerank
+
+                tstats = TraversalStats()
+                cand_ids, qcomp = self._search_quantized(
+                    computer, qstore, query, max(ef_search, k), stats=tstats,
+                )
+                rf = self.quantization.rerank_factor
+                ids, dists, n_rerank = exact_rerank(
+                    computer, query, cand_ids, k, rerank_budget(k, rf)
+                )
+                return SearchResult(
+                    ids, dists, computer.count,
+                    hops=tstats.hops, visited_nodes=tstats.visited,
+                    quantized_distances=qcomp.count,
+                    rerank_distances=n_rerank, rerank_factor=rf,
+                )
             found = self._search_candidates(computer, query, max(ef_search, k))
         finally:
             computer.flush_counts()
@@ -297,15 +409,30 @@ class HnswIndex:
         """Raw ef-search: (dist, id) candidates plus distance-comp count.
 
         Exposed for the post-filtering baseline, which over-searches for
-        ``K/s`` candidates and filters afterwards (paper §7.2).
+        ``K/s`` candidates and filters afterwards (paper §7.2).  On the
+        quantized path every candidate is re-scored exactly (a full
+        rerank) so downstream filtering still sees float32 distances.
         """
         if len(self.graph) == 0:
             return [], 0
         computer = self.store.computer()
+        qstore = self._quant_store()
         computer.defer_counts()
         try:
             query = computer.set_query(query)
-            found = self._search_candidates(computer, query, ef_search)
+            if qstore is not None:
+                from repro.core.quantsearch import exact_rerank
+
+                cand_ids, _ = self._search_quantized(
+                    computer, qstore, query, ef_search,
+                )
+                ids, dists, _ = exact_rerank(
+                    computer, query, cand_ids,
+                    k=cand_ids.size, budget=cand_ids.size,
+                )
+                found = list(zip(dists.tolist(), ids.tolist()))
+            else:
+                found = self._search_candidates(computer, query, ef_search)
         finally:
             computer.flush_counts()
         return found, computer.count

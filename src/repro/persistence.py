@@ -28,9 +28,86 @@ from repro.core.flat import FlatAcornIndex
 from repro.core.params import AcornParams, PruningStrategy
 from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.hnsw import HnswIndex
+from repro.vectors.quantized_store import (
+    QuantizationConfig,
+    QuantizedStore,
+    codes_checksum,
+)
 from repro.vectors.store import VectorStore
 
 _FORMAT_VERSION = 1
+
+
+class QuantLoadError(RuntimeError):
+    """An archive's quantized-code payload is incomplete or corrupt.
+
+    Raised with the offending npz array named in the message (mirroring
+    :class:`repro.shard.persistence.ShardLoadError`), so operators know
+    exactly which artifact to restore; the index is never built over
+    silently corrupted codes.
+    """
+
+
+def _pack_quantization(index, payload: dict) -> None:
+    """Add the quantized-code arrays (if any) to a save payload.
+
+    Keys are additive and optional — archives written without
+    quantization load unchanged, and old readers ignore the extra keys
+    — so the format version stays at 1.  The code array ships with a
+    sha256 fingerprint (``quant_checksum``) verified on load.
+    """
+    if getattr(index, "quantization", None) is None:
+        return
+    qstore = index._quant_store()
+    if qstore is None:
+        return
+    payload["quant_config"] = np.asarray(
+        [index.quantization.to_json()], dtype=object
+    )
+    arrays = qstore.state_arrays()
+    payload.update(arrays)
+    payload["quant_checksum"] = np.asarray(
+        [codes_checksum(arrays["quant_codes"])], dtype=object
+    )
+
+
+def _unpack_quantization(index, archive) -> None:
+    """Restore the quantized-code mirror saved by :func:`_pack_quantization`.
+
+    Raises:
+        QuantLoadError: when the config is present but a code array is
+            missing, or the stored checksum does not match the loaded
+            ``quant_codes`` bytes.
+    """
+    if "quant_config" not in archive:
+        return
+    config = QuantizationConfig.from_json(str(archive["quant_config"][0]))
+    needed = ["quant_codes"]
+    needed += (["quant_sq_min", "quant_sq_scale"] if config.kind == "sq8"
+               else ["quant_pq_codebooks"])
+    arrays = {}
+    for name in needed:
+        if name not in archive:
+            raise QuantLoadError(
+                f"archive is missing quantized artifact {name!r}; restore "
+                "the file or re-save the index"
+            )
+        arrays[name] = archive[name]
+    expected = (str(archive["quant_checksum"][0])
+                if "quant_checksum" in archive else None)
+    if expected is not None:
+        actual = codes_checksum(np.asarray(arrays["quant_codes"],
+                                           dtype=np.uint8))
+        if actual != expected:
+            raise QuantLoadError(
+                "checksum mismatch for quantized artifact 'quant_codes'; "
+                f"the code array is corrupt (expected sha256 "
+                f"{expected[:12]}..., got {actual[:12]}...)"
+            )
+    index.quantization = config
+    index._quant = QuantizedStore.from_state(
+        config, index.store.metric, arrays
+    )
 
 
 def _pack_graph(graph: LayeredGraph, payload: dict) -> None:
@@ -135,6 +212,7 @@ def save_index(index, path) -> None:
         "metric": np.asarray([index.store.metric.value], dtype=object),
     }
     _pack_graph(index.graph, payload)
+    _pack_quantization(index, payload)
     if isinstance(index, AcornIndex):
         if isinstance(index, AcornOneIndex):
             kind = "acorn1"
@@ -209,6 +287,7 @@ def load_index(path):
             )
             index.store = VectorStore.from_array(vectors, metric=metric)
             index.graph = graph
+            _unpack_quantization(index, archive)
             return index
 
         table = _unpack_table(archive)
@@ -236,6 +315,7 @@ def load_index(path):
             )
         index.store = VectorStore.from_array(vectors, metric=metric)
         index.graph = graph
+        _unpack_quantization(index, archive)
         if "deleted" in archive:
             index._deleted = set(archive["deleted"].tolist())
         index._edge_dists = []

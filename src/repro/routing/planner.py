@@ -180,6 +180,17 @@ class RoutePlanner(BatchSearchMixin):
                 n=len(index), m=index.params.m, gamma=index.params.gamma
             )
         )
+        if cost_model is None:
+            # Routes whose backend walks quantized codes are cheaper
+            # per computation; tell the model so its predictions (and
+            # the feedback conversions) carry the discount.
+            if getattr(index, "quantization", None) is not None:
+                self.cost_model.mark_quantized(ROUTE_ACORN_GAMMA)
+            if (
+                acorn_one is not None
+                and getattr(acorn_one, "quantization", None) is not None
+            ):
+                self.cost_model.mark_quantized(ROUTE_ACORN_ONE)
         self.feedback = feedback if feedback is not None else RoutingFeedback()
         self.walk_budget = walk_budget
         self.correlation_samples = int(correlation_samples)
@@ -377,7 +388,7 @@ class RoutePlanner(BatchSearchMixin):
 
         fallback = False
         reason = plan.reason
-        walk_comps = walk_hops = walk_visited = 0
+        walk_comps = walk_hops = walk_visited = walk_quant = 0
         if plan.route == ROUTE_PRE_FILTER:
             result = self.prefilter.search(query, exec_compiled, k)
         elif plan.route == ROUTE_POST_FILTER:
@@ -412,11 +423,15 @@ class RoutePlanner(BatchSearchMixin):
                 walk_comps = int(result.distance_computations)
                 walk_hops = int(result.hops)
                 walk_visited = int(result.visited_nodes)
+                walk_quant = int(getattr(result, "quantized_distances", 0))
                 result = self.prefilter.search(query, exec_compiled, k)
 
         total_comps = int(result.distance_computations) + walk_comps
         total_hops = int(result.hops) + walk_hops
         total_visited = int(result.visited_nodes) + walk_visited
+        total_quant = (
+            int(getattr(result, "quantized_distances", 0)) + walk_quant
+        )
         final_route = ROUTE_PRE_FILTER if fallback else plan.route
 
         if self.policy == "adaptive":
@@ -430,12 +445,14 @@ class RoutePlanner(BatchSearchMixin):
             )
             if fallback:
                 observed = (
-                    walk_comps * self.cost_model.unit_cost(plan.route)
+                    self.cost_model.observed_units(
+                        plan.route, walk_comps, walk_quant
+                    )
                     + scan_units
                 )
             else:
-                observed = (
-                    total_comps * self.cost_model.unit_cost(plan.route)
+                observed = self.cost_model.observed_units(
+                    plan.route, total_comps, total_quant
                 )
             self.feedback.record(
                 signature,
@@ -459,6 +476,9 @@ class RoutePlanner(BatchSearchMixin):
             distance_computations=total_comps,
             hops=total_hops,
             visited_nodes=total_visited,
+            quantized_distances=total_quant,
+            rerank_distances=int(getattr(result, "rerank_distances", 0)),
+            rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
             route_chosen=final_route,
             route_reason=reason,
             fallback_triggered=fallback,

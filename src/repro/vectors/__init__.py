@@ -16,13 +16,26 @@ from repro.vectors.distance import (
     pairwise_distances,
     resolve_metric,
 )
+from repro.vectors.quantization import ProductQuantizer, ScalarQuantizer
+from repro.vectors.quantized_store import (
+    QuantizationConfig,
+    QuantizedStore,
+    rerank_budget,
+    resolve_quantization,
+)
 from repro.vectors.store import VectorStore
 
 __all__ = [
     "METRICS",
     "DistanceComputer",
     "Metric",
+    "ProductQuantizer",
+    "QuantizationConfig",
+    "QuantizedStore",
+    "ScalarQuantizer",
     "VectorStore",
     "pairwise_distances",
+    "rerank_budget",
     "resolve_metric",
+    "resolve_quantization",
 ]

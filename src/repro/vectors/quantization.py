@@ -24,15 +24,36 @@ import numpy as np
 from repro.utils.rng import default_rng
 
 
+def _validated_training(vectors: np.ndarray, codec: str) -> np.ndarray:
+    """Coerce a training set to float32 and reject unusable input.
+
+    A 1-D array is ambiguous (one vector or n scalar dims?), an empty
+    set leaves no statistics to learn, and NaN/inf poison every learned
+    scale or centroid silently — all three must fail loudly.
+    """
+    arr = np.asarray(vectors, dtype=np.float32)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{codec} training vectors must be a 2-D (n, dim) array, "
+            f"got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(
+            f"{codec} needs a non-empty training set, got shape {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            f"{codec} training vectors contain NaN or inf; clean the "
+            "data before training the codec"
+        )
+    return arr
+
+
 class ScalarQuantizer:
     """Per-dimension 8-bit affine quantization (SQ8)."""
 
     def __init__(self, training_vectors: np.ndarray) -> None:
-        training_vectors = np.atleast_2d(
-            np.asarray(training_vectors, dtype=np.float32)
-        )
-        if training_vectors.shape[0] == 0:
-            raise ValueError("SQ8 needs at least one training vector")
+        training_vectors = _validated_training(training_vectors, "SQ8")
         self.min = training_vectors.min(axis=0)
         span = training_vectors.max(axis=0) - self.min
         # Constant dimensions quantize to 0 with scale 1 (exactly
@@ -80,12 +101,8 @@ class ProductQuantizer:
         n_iter: int = 8,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
-        training_vectors = np.atleast_2d(
-            np.asarray(training_vectors, dtype=np.float32)
-        )
+        training_vectors = _validated_training(training_vectors, "PQ")
         n, dim = training_vectors.shape
-        if n == 0:
-            raise ValueError("PQ needs training vectors")
         if dim % n_subspaces != 0:
             raise ValueError(
                 f"n_subspaces={n_subspaces} must divide dim={dim}"
@@ -129,16 +146,42 @@ class ProductQuantizer:
             )
         return out
 
-    def distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
-        """Asymmetric squared-L2 via per-subspace lookup tables (ADC)."""
+    def lookup_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-query ADC table: squared-L2 from each codeword to ``query``.
+
+        Shape ``(n_subspaces, n_centroids)``; row ``sub`` holds the
+        distance contribution of every codeword in subspace ``sub``.
+        Computing this once per query and gathering per candidate is
+        what makes ADC cheap — reuse the table across a whole batch of
+        ``distances`` calls for the same query.
+        """
         query = np.asarray(query, dtype=np.float32).reshape(-1)
-        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
-        total = np.zeros(codes.shape[0], dtype=np.float32)
+        table = np.empty(
+            (self.n_subspaces, self.codebooks[0].shape[0]), dtype=np.float32
+        )
         for sub, codebook in enumerate(self.codebooks):
             q_block = query[sub * self.sub_dim:(sub + 1) * self.sub_dim]
             diff = codebook - q_block
-            table = np.einsum("ij,ij->i", diff, diff)
-            total += table[codes[:, sub]]
+            table[sub] = np.einsum("ij,ij->i", diff, diff)
+        return table
+
+    def distances(
+        self,
+        query: np.ndarray,
+        codes: np.ndarray,
+        table: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Asymmetric squared-L2 via per-subspace lookup tables (ADC).
+
+        Pass a precomputed ``lookup_table(query)`` as ``table`` to skip
+        rebuilding it for every call with the same query.
+        """
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+        if table is None:
+            table = self.lookup_table(query)
+        total = np.zeros(codes.shape[0], dtype=np.float32)
+        for sub in range(self.n_subspaces):
+            total += table[sub][codes[:, sub]]
         return total
 
     def code_nbytes(self, count: int) -> int:

@@ -151,3 +151,101 @@ class TestFlatAndTombstoneRoundtrip:
 
         result = restored.search(vectors[3], TruePredicate(), 5, ef_search=32)
         assert 3 not in result.ids
+
+
+class TestQuantizedRoundtrip:
+    """Quantized codes persist alongside the floats and are verified."""
+
+    @pytest.fixture
+    def index(self, world):
+        vectors, table = world
+        params = AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24)
+        return AcornIndex.build(vectors, table, params=params, seed=0,
+                                quantization="sq8")
+
+    def test_sq8_roundtrip_search_identical(self, world, index, tmp_path):
+        vectors, _ = world
+        path = tmp_path / "quant-sq8.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.quantization == index.quantization
+        np.testing.assert_array_equal(
+            restored._quant_store().codes, index._quant_store().codes
+        )
+        for q in vectors[:10]:
+            a = index.search(q, Equals("label", 1), 5, ef_search=32)
+            b = restored.search(q, Equals("label", 1), 5, ef_search=32)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.distances, b.distances)
+            assert a.quantized_distances == b.quantized_distances
+
+    def test_pq_roundtrip_search_identical(self, world, tmp_path):
+        vectors, table = world
+        params = AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24)
+        index = AcornIndex.build(
+            vectors, table, params=params, seed=0,
+            quantization={"kind": "pq", "pq_subspaces": 4,
+                          "pq_centroids": 32},
+        )
+        path = tmp_path / "quant-pq.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.quantization.kind == "pq"
+        for q in vectors[:10]:
+            a = index.search(q, Equals("label", 1), 5, ef_search=32)
+            b = restored.search(q, Equals("label", 1), 5, ef_search=32)
+            np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_hnsw_quantized_roundtrip(self, world, tmp_path):
+        vectors, _ = world
+        index = HnswIndex.build(vectors, m=6, ef_construction=24, seed=0,
+                                quantization="sq8")
+        path = tmp_path / "hnsw-quant.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        for q in vectors[:10]:
+            np.testing.assert_array_equal(
+                index.search(q, 5, ef_search=32).ids,
+                restored.search(q, 5, ef_search=32).ids,
+            )
+
+    def test_unquantized_archive_loads_unquantized(self, world, tmp_path):
+        vectors, table = world
+        params = AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24)
+        index = AcornIndex.build(vectors, table, params=params, seed=0)
+        path = tmp_path / "plain.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.quantization is None
+        assert restored._quant_store() is None
+
+    def _resave(self, path, mutate):
+        """Round-trip the npz payload through ``mutate``."""
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        mutate(payload)
+        np.savez_compressed(path, **payload)
+
+    def test_corrupt_codes_named_in_error(self, index, tmp_path):
+        from repro.persistence import QuantLoadError
+
+        path = tmp_path / "corrupt.npz"
+        save_index(index, path)
+
+        def flip(payload):
+            codes = payload["quant_codes"].copy()
+            codes[0, 0] ^= 0xFF
+            payload["quant_codes"] = codes
+
+        self._resave(path, flip)
+        with pytest.raises(QuantLoadError, match="quant_codes"):
+            load_index(path)
+
+    def test_missing_artifact_named_in_error(self, index, tmp_path):
+        from repro.persistence import QuantLoadError
+
+        path = tmp_path / "missing.npz"
+        save_index(index, path)
+        self._resave(path, lambda p: p.pop("quant_sq_scale"))
+        with pytest.raises(QuantLoadError, match="quant_sq_scale"):
+            load_index(path)

@@ -34,6 +34,9 @@ QUERY_STATS_FIELDS = (
     "route_reason",
     "fallback_triggered",
     "estimator_error",
+    "quantized_distances",
+    "rerank_distances",
+    "rerank_factor",
 )
 
 SUMMARY_KEYS = (
@@ -55,6 +58,8 @@ SUMMARY_KEYS = (
     "route_counts",
     "fallbacks_triggered",
     "mean_abs_estimator_error",
+    "total_quantized_distances",
+    "total_rerank_distances",
 )
 
 CSV_HEADER = (
@@ -62,7 +67,8 @@ CSV_HEADER = (
     "mean_latency_s,p50_latency_s,p95_latency_s,p99_latency_s,"
     "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
     "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling,"
-    "fallback_fraction,mean_abs_estimator_error"
+    "fallback_fraction,mean_abs_estimator_error,"
+    "mean_quantized_distances,mean_rerank_distances"
 )
 
 
@@ -80,6 +86,7 @@ def _stats_pair():
         route_chosen="pre-filter",
         route_reason="fallback from acorn-gamma: hop budget exhausted",
         fallback_triggered=True, estimator_error=-0.05,
+        quantized_distances=640, rerank_distances=30, rerank_factor=3.0,
     )
     return healthy, degraded
 
@@ -109,6 +116,9 @@ class TestQueryStatsGolden:
             "route_reason": "",
             "fallback_triggered": False,
             "estimator_error": 0.0,
+            "quantized_distances": 0,
+            "rerank_distances": 0,
+            "rerank_factor": 0.0,
         }
 
     def test_failure_fields_default_to_healthy(self):
@@ -157,6 +167,10 @@ class TestBatchSummaryGolden:
         assert summary["route_counts"] == {"pre-filter": 1}
         assert summary["fallbacks_triggered"] == 1
         assert summary["mean_abs_estimator_error"] == pytest.approx(0.025)
+        # Only the degraded query ran quantized; totals sum per-query
+        # counters and the healthy query contributes zero.
+        assert summary["total_quantized_distances"] == 640
+        assert summary["total_rerank_distances"] == 30
         assert summary["latency_s"] == pytest.approx({
             "count": 2, "mean": 0.003, "p50": 0.003, "p95": 0.0039,
             "p99": 0.00398, "min": 0.002, "max": 0.004,
@@ -182,12 +196,13 @@ class TestSweepCsvGolden:
             mean_shards_timed_out=0.75, degraded_fraction=0.5,
             mean_recall_ceiling=0.9375, fallback_fraction=0.125,
             mean_abs_estimator_error=0.015625,
+            mean_quantized_distances=512.25, mean_rerank_distances=30.5,
         )
         sweep = MethodSweep(method="acorn", points=[point])
         assert sweep.to_csv().splitlines()[1] == (
             "acorn,40,0.950000,1234.500,321.00,0.000800,0.000700,"
             "0.001100,0.001300,3.50,0.50,0.25,0.75,0.5000,0.9375,"
-            "0.1250,0.015625"
+            "0.1250,0.015625,512.25,30.50"
         )
 
     def test_failure_columns_default_to_healthy(self):
@@ -201,3 +216,5 @@ class TestSweepCsvGolden:
         assert point.mean_recall_ceiling == 1.0
         assert point.fallback_fraction == 0.0
         assert point.mean_abs_estimator_error == 0.0
+        assert point.mean_quantized_distances == 0.0
+        assert point.mean_rerank_distances == 0.0

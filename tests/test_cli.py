@@ -9,6 +9,7 @@ from repro.cli import (
     main,
     validate_build_entry,
     validate_chaos_entry,
+    validate_quant_entry,
     validate_route_entry,
     validate_shard_entry,
 )
@@ -60,6 +61,23 @@ class TestParser:
         assert args.estimator == "exact"
         assert args.out == "BENCH_route.json"
         assert args.smoke is False
+
+    def test_bench_quant_defaults(self):
+        args = build_parser().parse_args(["bench-quant"])
+        assert args.n == 10000
+        assert args.queries == 128
+        assert args.ef == 192
+        assert args.beam == 32
+        assert args.quantization == "sq8"
+        assert args.rerank_factor == 3.0
+        assert args.recall_floor == 0.95
+        assert args.out == "BENCH_quant.json"
+        assert args.smoke is False
+
+    def test_bench_quant_rejects_unknown_codec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-quant", "--quantization",
+                                       "int4"])
 
     def test_bench_route_rejects_unknown_estimator(self):
         with pytest.raises(SystemExit):
@@ -208,6 +226,47 @@ class TestCommands:
             for sub in entry["policies"].values():
                 sub.pop("qps")
                 sub.pop("latency_s")
+            records.append(entry)
+        assert records[0] == records[1]
+
+    def test_bench_quant_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_quant.json"
+        main([
+            "bench-quant", "--n", "600", "--queries", "16", "--dim", "12",
+            "--m", "8", "--gamma", "6", "--ef", "96",
+            "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "float32" in out
+        assert "sq8" in out
+        assert "determinism" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_quant_entry(entries[0])
+        assert entries[0]["smoke"] is True
+        assert entries[0]["recall_ok"] is True
+        assert entries[0]["deterministic"] is True
+        assert entries[0]["float32"]["mean_quantized_distances"] == 0.0
+        assert entries[0]["quantized"]["mean_quantized_distances"] > 0
+
+    def test_bench_quant_deterministic_across_runs(self, tmp_path):
+        """Same seed, same workload — identical arms modulo the
+        timestamp and wall-clock measurements."""
+        records = []
+        for run in range(2):
+            out_path = tmp_path / f"quant_{run}.json"
+            main([
+                "bench-quant", "--n", "500", "--queries", "12", "--dim",
+                "10", "--m", "8", "--gamma", "6", "--ef", "96",
+                "--smoke", "--out", str(out_path),
+            ])
+            entry = json.loads(out_path.read_text())[0]
+            entry.pop("timestamp")
+            entry.pop("batch_qps_speedup")
+            for arm in ("float32", "quantized"):
+                entry[arm].pop("qps")
+                entry[arm].pop("latency_s")
             records.append(entry)
         assert records[0] == records[1]
 
@@ -471,3 +530,87 @@ class TestValidateRouteEntry:
     def test_inconsistent_recall_delta_rejected(self):
         with pytest.raises(ValueError, match="recall_delta"):
             validate_route_entry(self._entry(recall_delta=-0.5))
+
+
+class TestValidateQuantEntry:
+    def _arm(self, qps, recall, dc, qd, rerank):
+        return {
+            "qps": qps, "recall_at_k": recall,
+            "mean_distance_computations": dc,
+            "mean_quantized_distances": qd,
+            "mean_rerank_distances": rerank,
+            "latency_s": 0.002,
+        }
+
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "quant",
+            "timestamp": "2026-01-01T00:00:00",
+            "n": 1500, "dim": 16, "queries": 32, "k": 10,
+            "ef_search": 96, "m": 8, "gamma": 6, "workers": 1,
+            "beam": 32, "smoke": True,
+            "quantization": "sq8", "rerank_factor": 3.0,
+            "float32": self._arm(300.0, 0.97, 900.0, 0.0, 0.0),
+            "quantized": self._arm(700.0, 0.96, 100.0, 950.0, 28.0),
+            "batch_qps_speedup": 2.333,
+            "recall_floor": 0.95,
+            "recall_ok": True,
+            "deterministic": True,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_quant_entry(self._entry())
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["beam"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_quant_entry(entry)
+
+    def test_mistyped_count_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            validate_quant_entry(self._entry(queries="32"))
+
+    def test_mistyped_flag_rejected(self):
+        with pytest.raises(ValueError, match="must be a bool"):
+            validate_quant_entry(self._entry(deterministic=1))
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="quantization"):
+            validate_quant_entry(self._entry(quantization="int4"))
+
+    def test_missing_arm_key_rejected(self):
+        entry = self._entry()
+        del entry["quantized"]["mean_rerank_distances"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_quant_entry(entry)
+
+    def test_out_of_range_recall_rejected(self):
+        entry = self._entry()
+        entry["float32"]["recall_at_k"] = 1.2
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            validate_quant_entry(entry)
+
+    def test_float_arm_quantized_evals_rejected(self):
+        entry = self._entry()
+        entry["float32"]["mean_quantized_distances"] = 5.0
+        with pytest.raises(ValueError, match="zero quantized"):
+            validate_quant_entry(entry)
+
+    def test_quantized_arm_without_evals_rejected(self):
+        entry = self._entry()
+        entry["quantized"]["mean_quantized_distances"] = 0.0
+        with pytest.raises(ValueError, match="no quantized"):
+            validate_quant_entry(entry)
+
+    def test_rerank_over_budget_rejected(self):
+        entry = self._entry()
+        entry["quantized"]["mean_rerank_distances"] = 99.0
+        with pytest.raises(ValueError, match="rerank"):
+            validate_quant_entry(entry)
+
+    def test_inconsistent_speedup_rejected(self):
+        with pytest.raises(ValueError, match="speedup"):
+            validate_quant_entry(self._entry(batch_qps_speedup=9.9))

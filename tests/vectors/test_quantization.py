@@ -54,6 +54,46 @@ class TestScalarQuantizer:
             ScalarQuantizer(np.empty((0, 4), dtype=np.float32))
 
 
+class TestTrainingValidation:
+    """Both codecs reject ambiguous or poisoned training input loudly."""
+
+    @pytest.mark.parametrize("make", [
+        ScalarQuantizer,
+        lambda v: ProductQuantizer(v, n_subspaces=2, n_centroids=4, seed=0),
+    ], ids=["sq8", "pq"])
+    def test_1d_input_rejected(self, make):
+        with pytest.raises(ValueError, match="2-D"):
+            make(np.ones(8, dtype=np.float32))
+
+    @pytest.mark.parametrize("make", [
+        ScalarQuantizer,
+        lambda v: ProductQuantizer(v, n_subspaces=2, n_centroids=4, seed=0),
+    ], ids=["sq8", "pq"])
+    def test_3d_input_rejected(self, make):
+        with pytest.raises(ValueError, match="2-D"):
+            make(np.ones((2, 4, 2), dtype=np.float32))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("make", [
+        ScalarQuantizer,
+        lambda v: ProductQuantizer(v, n_subspaces=2, n_centroids=4, seed=0),
+    ], ids=["sq8", "pq"])
+    def test_nonfinite_input_rejected(self, make, bad):
+        data = np.ones((10, 4), dtype=np.float32)
+        data[3, 2] = bad
+        with pytest.raises(ValueError, match="NaN or inf"):
+            make(data)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScalarQuantizer(np.empty((5, 0), dtype=np.float32))
+
+    def test_pq_empty_training_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ProductQuantizer(np.empty((0, 4), dtype=np.float32),
+                             n_subspaces=2)
+
+
 class TestProductQuantizer:
     def test_code_shape_and_dtype(self, data):
         pq = ProductQuantizer(data, n_subspaces=4, n_centroids=32, seed=0)
@@ -96,3 +136,28 @@ class TestProductQuantizer:
     def test_code_nbytes(self, data):
         pq = ProductQuantizer(data, n_subspaces=4, n_centroids=16, seed=0)
         assert pq.code_nbytes(100) == 400
+
+    def test_lookup_table_shape(self, data):
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=32, seed=0)
+        table = pq.lookup_table(data[0])
+        assert table.shape == (4, 32)
+        assert table.dtype == np.float32
+
+    def test_distances_reuse_lookup_table_exactly(self, data):
+        """Regression pin: ``distances`` is exactly a gather-sum over
+        ``lookup_table(query)`` — precomputing the table must be
+        bitwise-equivalent to letting ``distances`` build it."""
+        pq = ProductQuantizer(data, n_subspaces=4, n_centroids=32, seed=0)
+        codes = pq.encode(data)
+        query = data[11] + 0.2
+        table = pq.lookup_table(query)
+        np.testing.assert_array_equal(
+            pq.distances(query, codes),
+            pq.distances(query, codes, table=table),
+        )
+        # And the ADC arithmetic itself: per-subspace table gathers
+        # accumulated in float32, in subspace order.
+        manual = np.zeros(codes.shape[0], dtype=np.float32)
+        for sub in range(pq.n_subspaces):
+            manual += table[sub][codes[:, sub]]
+        np.testing.assert_array_equal(pq.distances(query, codes), manual)
