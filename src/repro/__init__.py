@@ -75,6 +75,13 @@ from repro.routing import (
     WalkBudget,
     WalkMonitor,
 )
+from repro.serving import (
+    AcornService,
+    ArrivalSchedule,
+    ServedResponse,
+    ServingConfig,
+    TenantQuota,
+)
 from repro.shard import (
     AttributeRangePartitioner,
     HashPartitioner,
@@ -90,7 +97,9 @@ __all__ = [
     "AcornIndex",
     "AcornOneIndex",
     "AcornParams",
+    "AcornService",
     "And",
+    "ArrivalSchedule",
     "AttributeRangePartitioner",
     "AttributeTable",
     "BatchResult",
@@ -122,9 +131,12 @@ __all__ = [
     "RoutingFeedback",
     "SearchEngine",
     "SearchResult",
+    "ServedResponse",
+    "ServingConfig",
     "ShardLoadError",
     "ShardRouter",
     "ShardedAcornIndex",
+    "TenantQuota",
     "TruePredicate",
     "VectorStore",
     "WalkBudget",

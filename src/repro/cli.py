@@ -260,12 +260,14 @@ from repro.eval.benchschema import (  # noqa: E402  (re-export)
     CHAOS_SCHEMA_KEYS,
     QUANT_SCHEMA_KEYS,
     ROUTE_SCHEMA_KEYS,
+    SERVING_SCHEMA_KEYS,
     SHARD_SCHEMA_KEYS,
     TRAVERSAL_SCHEMA_KEYS,
     validate_build_entry,
     validate_chaos_entry,
     validate_quant_entry,
     validate_route_entry,
+    validate_serving_entry,
     validate_shard_entry,
     validate_traversal_entry,
 )
@@ -1172,6 +1174,183 @@ def _cmd_bench_quant(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_bench_serving(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.serving import (
+        AcornService,
+        ArrivalSchedule,
+        ServingConfig,
+        TenantQuota,
+        generate_arrivals,
+        replay,
+        replay_realtime,
+        summarize_load,
+    )
+    from repro.utils.clock import FakeClock
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.duration = min(args.duration, 0.4)
+
+    print(f"generating serving workload (n={args.n}, dim={args.dim}, "
+          f"query pool={args.pool}, {args.distinct_predicates} distinct "
+          "regex predicates)...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.pool, args.distinct_predicates, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params,
+                                 seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}) "
+          f"in {t.elapsed:.1f}s")
+    index.freeze()
+
+    def make_config() -> ServingConfig:
+        return ServingConfig(
+            k=args.k, ef_search=args.ef, max_batch=args.max_batch,
+            latency_budget_ms=args.latency_budget_ms,
+            max_pending=args.max_pending,
+            default_quota=TenantQuota(
+                rate_qps=args.tenant_rate, burst=args.tenant_burst,
+            ),
+            engine_workers=args.workers,
+        )
+
+    flash_start = args.duration * 0.4
+    schedules = {
+        "poisson": ArrivalSchedule.poisson(
+            rate_qps=args.rate, duration_s=args.duration,
+            n_tenants=args.tenants, query_pool=len(queries),
+            seed=args.seed,
+        ),
+        "flash": ArrivalSchedule.flash_crowd(
+            rate_qps=args.rate, duration_s=args.duration,
+            flash_start_s=flash_start,
+            flash_duration_s=args.duration * 0.3,
+            flash_multiplier=args.flash_multiplier,
+            n_tenants=args.tenants, query_pool=len(queries),
+            seed=args.seed + 1,
+        ),
+    }
+
+    def virtual_run(arrivals):
+        """One FakeClock replay: admission log + accounting summary."""
+        service = AcornService(index, make_config(), clock=FakeClock())
+        responses = asyncio.run(replay(service, arrivals, queries, predicates))
+        summary = summarize_load(arrivals, responses)
+        return list(service.admission_log), summary
+
+    def realtime_run(arrivals):
+        """One wall-clock replay: goodput + tail latency under load."""
+        async def go():
+            service = AcornService(index, make_config())
+            start = time.perf_counter()
+            responses = await replay_realtime(
+                service, arrivals, queries, predicates
+            )
+            wall = time.perf_counter() - start
+            await service.aclose()
+            return responses, wall
+
+        responses, wall = asyncio.run(go())
+        summary = summarize_load(arrivals, responses, wall_s=wall)
+        latency = summary["latency_ms"]
+        return {
+            "wall_s": round(wall, 4),
+            "goodput_qps": (
+                round(summary["goodput_qps"], 2)
+                if summary["goodput_qps"] is not None else None
+            ),
+            "served": summary["ok"] + summary["degraded"],
+            "rejected": summary["rejected"],
+            "p50_latency_ms": (
+                round(latency["p50"], 3)
+                if latency["p50"] is not None else None
+            ),
+            "p99_latency_ms": (
+                round(latency["p99"], 3)
+                if latency["p99"] is not None else None
+            ),
+        }
+
+    deterministic = True
+    schedule_entries = {}
+    for name, schedule in schedules.items():
+        arrivals = generate_arrivals(schedule)
+        # Determinism gate: two virtual replays of the same trace must
+        # make identical admission decisions and identical summaries.
+        log_a, virtual_a = virtual_run(arrivals)
+        log_b, virtual_b = virtual_run(arrivals)
+        schedule_ok = log_a == log_b and virtual_a == virtual_b
+        deterministic = deterministic and schedule_ok
+        realtime = realtime_run(arrivals)
+        print(f"\n{name:8s}: {len(arrivals)} arrivals over "
+              f"{args.duration:.1f}s ({args.rate:.0f} qps base)")
+        print(f"  virtual : ok {virtual_a['ok']}  degraded "
+              f"{virtual_a['degraded']}  rejected {virtual_a['rejected']} "
+              f"(shed {virtual_a['shed_fraction']:.1%})  "
+              f"mean batch {virtual_a['mean_batch_size']:.2f}  "
+              f"deterministic {'yes' if schedule_ok else 'NO'}")
+        p50 = realtime["p50_latency_ms"]
+        p99 = realtime["p99_latency_ms"]
+        goodput = realtime["goodput_qps"]
+        print(f"  realtime: goodput "
+              f"{goodput if goodput is not None else 'n/a'} qps  "
+              f"p50/p99 "
+              f"{p50 if p50 is not None else 'n/a'}/"
+              f"{p99 if p99 is not None else 'n/a'} ms  "
+              f"rejected {realtime['rejected']}")
+        schedule_entries[name] = {**virtual_a, "realtime": realtime}
+
+    entry = {
+        "bench": "serving",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "engine_workers": args.workers,
+        "smoke": bool(args.smoke),
+        "max_batch": args.max_batch,
+        "latency_budget_ms": float(args.latency_budget_ms),
+        "max_pending": args.max_pending,
+        "n_tenants": args.tenants,
+        "tenant_rate_qps": float(args.tenant_rate),
+        "tenant_burst": float(args.tenant_burst),
+        "rate_qps": float(args.rate),
+        "duration_s": float(args.duration),
+        "schedules": schedule_entries,
+        "deterministic": bool(deterministic),
+    }
+    validate_serving_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"\nrecorded entry in {out}")
+
+    if not deterministic:
+        raise SystemExit(
+            "check failed: virtual replays of the same trace diverged — "
+            "admission or batching is reading non-deterministic state"
+        )
+    if schedule_entries["flash"]["rejected"] == 0:
+        raise SystemExit(
+            "check failed: the flash-crowd schedule shed nothing — the "
+            "admission path was not exercised (raise --rate or "
+            "--flash-multiplier, or lower --tenant-rate)"
+        )
+    if schedule_entries["poisson"]["ok"] == 0:
+        raise SystemExit(
+            "check failed: the steady Poisson schedule served nothing"
+        )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -1376,6 +1555,45 @@ def build_parser() -> argparse.ArgumentParser:
              "(the 2x QPS gate applies to full runs only)",
     )
     quant.set_defaults(func=_cmd_bench_quant)
+
+    serving = sub.add_parser(
+        "bench-serving",
+        help="asyncio multi-tenant serving layer under seeded open-loop "
+             "load (steady Poisson + flash crowd): goodput, tail "
+             "latency, shed/degraded accounting",
+    )
+    serving.add_argument("--n", type=int, default=10000)
+    serving.add_argument("--dim", type=int, default=32)
+    serving.add_argument("--k", type=int, default=10)
+    serving.add_argument("--m", type=int, default=12)
+    serving.add_argument("--gamma", type=int, default=12)
+    serving.add_argument("--ef", type=int, default=64)
+    serving.add_argument("--workers", type=int, default=4,
+                         help="engine worker threads inside the service")
+    serving.add_argument("--pool", type=int, default=64,
+                         help="distinct query vectors the traces draw from")
+    serving.add_argument("--distinct-predicates", type=int, default=8)
+    serving.add_argument("--max-batch", type=int, default=32)
+    serving.add_argument("--latency-budget-ms", type=float, default=5.0)
+    serving.add_argument("--max-pending", type=int, default=256)
+    serving.add_argument("--tenants", type=int, default=4)
+    serving.add_argument("--tenant-rate", type=float, default=150.0,
+                         help="per-tenant token-bucket refill rate (qps)")
+    serving.add_argument("--tenant-burst", type=float, default=20.0)
+    serving.add_argument("--rate", type=float, default=800.0,
+                         help="base open-loop arrival rate (qps)")
+    serving.add_argument("--duration", type=float, default=2.0,
+                         help="schedule length in seconds")
+    serving.add_argument("--flash-multiplier", type=float, default=4.0)
+    serving.add_argument("--seed", type=int, default=0)
+    serving.add_argument("--out", default="BENCH_serving.json")
+    serving.add_argument(
+        "--smoke", action="store_true",
+        help="small workload; exit nonzero unless both schedules replay "
+             "deterministically on the virtual clock, the flash crowd "
+             "sheds load, and the steady schedule serves load",
+    )
+    serving.set_defaults(func=_cmd_bench_serving)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -209,6 +209,32 @@ class BatchResult:
         return sum(s.rerank_distances for s in self.stats)
 
     @property
+    def mean_queue_wait_ms(self) -> float:
+        """Mean serving-layer coalescing wait across the batch (0.0 for
+        direct engine calls or an empty batch)."""
+        if not self.stats:
+            return 0.0
+        return sum(s.queue_wait_ms for s in self.stats) / len(self.stats)
+
+    @property
+    def mean_batch_size_served(self) -> float:
+        """Mean coalesced-batch size the queries rode in (0.0 for
+        direct engine calls or an empty batch)."""
+        if not self.stats:
+            return 0.0
+        return sum(s.batch_size_served for s in self.stats) / len(self.stats)
+
+    @property
+    def tenant_counts(self) -> dict[str, int]:
+        """Queries per tenant, sorted by tenant id (empty for direct
+        engine calls — only the serving layer stamps tenants)."""
+        counts: dict[str, int] = {}
+        for s in self.stats:
+            if s.tenant_id:
+                counts[s.tenant_id] = counts.get(s.tenant_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -255,6 +281,9 @@ class BatchResult:
             "mean_abs_estimator_error": self.mean_abs_estimator_error,
             "total_quantized_distances": self.total_quantized_distances,
             "total_rerank_distances": self.total_rerank_distances,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "mean_batch_size_served": self.mean_batch_size_served,
+            "tenant_counts": self.tenant_counts,
         }
 
 

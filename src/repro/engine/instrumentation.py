@@ -70,6 +70,13 @@ class QueryStats:
         rerank_factor: the rerank budget multiplier in effect
             (``rerank_factor * k`` candidates re-scored; 0.0 when
             unquantized).
+        queue_wait_ms: milliseconds the query spent in the serving
+            layer's coalescing buffer before dispatch (0.0 for direct
+            engine calls).
+        batch_size_served: size of the coalesced GEMM batch the query
+            rode in (0 for direct engine calls).
+        tenant_id: submitting tenant in the serving layer (``""`` for
+            direct engine calls).
     """
 
     query_index: int
@@ -91,6 +98,9 @@ class QueryStats:
     quantized_distances: int = 0
     rerank_distances: int = 0
     rerank_factor: float = 0.0
+    queue_wait_ms: float = 0.0
+    batch_size_served: int = 0
+    tenant_id: str = ""
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

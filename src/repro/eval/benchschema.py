@@ -1,7 +1,8 @@
 """Schemas and validators for the repo's BENCH_*.json result files.
 
 Every benchmark CLI (``bench``, ``bench-traversal``, ``bench-shard``,
-``bench-chaos``, ``bench-build``, ``bench-route``, ``bench-quant``)
+``bench-chaos``, ``bench-build``, ``bench-route``, ``bench-quant``,
+``bench-serving``)
 appends one JSON
 object per run to its result file; CI smoke jobs and ``tests/test_cli.py`` re-validate those
 records with the functions here.  Each validator checks key presence,
@@ -394,4 +395,177 @@ def validate_quant_entry(entry: dict) -> None:
             raise ValueError(
                 f"batch_qps_speedup {entry['batch_qps_speedup']} does not "
                 f"match quantized/float32 qps ratio {ratio:.3f}"
+            )
+
+
+SERVING_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "k", "ef_search", "m", "gamma",
+    "engine_workers", "smoke", "max_batch", "latency_budget_ms",
+    "max_pending", "n_tenants", "tenant_rate_qps", "tenant_burst",
+    "rate_qps", "duration_s", "schedules", "deterministic",
+}
+
+_SERVING_SCHEDULE_KEYS = {
+    "offered", "ok", "degraded", "rejected", "shed_fraction",
+    "mean_batch_size", "min_recall_ceiling", "latency_ms",
+    "queue_wait_ms", "tenants", "realtime",
+}
+
+_SERVING_REALTIME_KEYS = {
+    "wall_s", "goodput_qps", "served", "rejected",
+    "p50_latency_ms", "p99_latency_ms",
+}
+
+_SERVING_PERCENTILE_KEYS = {
+    "count", "mean", "p50", "p95", "p99", "min", "max",
+}
+
+
+def _check_percentiles(label: str, sub: dict) -> None:
+    """A percentile block: count int; stats all-None iff count == 0."""
+    if not isinstance(sub, dict):
+        raise ValueError(f"{label} must be an object, got {type(sub)}")
+    sub_missing = _SERVING_PERCENTILE_KEYS - sub.keys()
+    if sub_missing:
+        raise ValueError(f"{label} missing keys: {sorted(sub_missing)}")
+    if not isinstance(sub["count"], int) or sub["count"] < 0:
+        raise ValueError(f"{label}.count must be an int >= 0")
+    stats = [sub[key] for key in ("mean", "p50", "p95", "p99", "min", "max")]
+    if sub["count"] == 0:
+        if any(value is not None for value in stats):
+            raise ValueError(
+                f"{label} has count 0 but non-None statistics (an "
+                "all-shed window must report None, not fake zeros)"
+            )
+    elif any(not isinstance(value, (int, float)) for value in stats):
+        raise ValueError(f"{label} statistics must be numeric when count > 0")
+
+
+def validate_serving_entry(entry: dict) -> None:
+    """Check one BENCH_serving.json record against the schema.
+
+    Beyond key presence and types, enforces the serving accounting
+    invariants for every arrival schedule: the deterministic virtual
+    replay's ``ok + degraded + rejected`` must equal the offered load
+    exactly (nothing is lost or double-counted under shedding),
+    ``shed_fraction`` must equal ``rejected / offered`` and live in
+    [0, 1], per-tenant offers must sum to the schedule's offered load,
+    the realtime arm's ``served + rejected`` must also equal its
+    offered load, and percentile blocks must be ``None``-consistent
+    (all-``None`` exactly when the sample is empty).
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI serving job and
+            ``tests/test_cli.py``.
+    """
+    missing = SERVING_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(f"bench-serving entry missing keys: {sorted(missing)}")
+    for key in ("n", "dim", "k", "ef_search", "m", "gamma",
+                "engine_workers", "max_batch", "max_pending", "n_tenants"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("latency_budget_ms", "tenant_rate_qps", "tenant_burst",
+                "rate_qps", "duration_s"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("smoke", "deterministic"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    schedules = entry["schedules"]
+    if not isinstance(schedules, dict):
+        raise ValueError("schedules must be an object")
+    sched_missing = {"poisson", "flash"} - schedules.keys()
+    if sched_missing:
+        raise ValueError(f"schedules missing entries: {sorted(sched_missing)}")
+    for name, sub in schedules.items():
+        if not isinstance(sub, dict):
+            raise ValueError(f"schedules.{name} must be an object")
+        sub_missing = _SERVING_SCHEDULE_KEYS - sub.keys()
+        if sub_missing:
+            raise ValueError(
+                f"schedules.{name} missing keys: {sorted(sub_missing)}"
+            )
+        for key in ("offered", "ok", "degraded", "rejected"):
+            if not isinstance(sub[key], int) or sub[key] < 0:
+                raise ValueError(f"schedules.{name}.{key} must be an int >= 0")
+        balance = sub["ok"] + sub["degraded"] + sub["rejected"]
+        if balance != sub["offered"]:
+            raise ValueError(
+                f"schedules.{name} accounting does not balance: "
+                f"ok + degraded + rejected = {balance}, expected offered "
+                f"= {sub['offered']}"
+            )
+        if not isinstance(sub["shed_fraction"], (int, float)):
+            raise ValueError(f"schedules.{name}.shed_fraction must be numeric")
+        if not 0.0 <= sub["shed_fraction"] <= 1.0:
+            raise ValueError(
+                f"schedules.{name}.shed_fraction must be in [0, 1]"
+            )
+        if sub["offered"] > 0:
+            expected = sub["rejected"] / sub["offered"]
+            if abs(sub["shed_fraction"] - expected) > 1e-9:
+                raise ValueError(
+                    f"schedules.{name}.shed_fraction must equal "
+                    f"rejected / offered = {expected:.6f}"
+                )
+        if not isinstance(sub["mean_batch_size"], (int, float)):
+            raise ValueError(
+                f"schedules.{name}.mean_batch_size must be numeric"
+            )
+        if not 0.0 <= sub["min_recall_ceiling"] <= 1.0:
+            raise ValueError(
+                f"schedules.{name}.min_recall_ceiling must be in [0, 1]"
+            )
+        _check_percentiles(f"schedules.{name}.latency_ms", sub["latency_ms"])
+        _check_percentiles(
+            f"schedules.{name}.queue_wait_ms", sub["queue_wait_ms"]
+        )
+        tenants = sub["tenants"]
+        if not isinstance(tenants, dict):
+            raise ValueError(f"schedules.{name}.tenants must be an object")
+        tenant_offered = sum(t.get("offered", 0) for t in tenants.values())
+        if tenant_offered != sub["offered"]:
+            raise ValueError(
+                f"schedules.{name} per-tenant offers sum to "
+                f"{tenant_offered}, expected offered = {sub['offered']}"
+            )
+        realtime = sub["realtime"]
+        if not isinstance(realtime, dict):
+            raise ValueError(f"schedules.{name}.realtime must be an object")
+        rt_missing = _SERVING_REALTIME_KEYS - realtime.keys()
+        if rt_missing:
+            raise ValueError(
+                f"schedules.{name}.realtime missing keys: {sorted(rt_missing)}"
+            )
+        for key in ("served", "rejected"):
+            if not isinstance(realtime[key], int) or realtime[key] < 0:
+                raise ValueError(
+                    f"schedules.{name}.realtime.{key} must be an int >= 0"
+                )
+        if realtime["served"] + realtime["rejected"] != sub["offered"]:
+            raise ValueError(
+                f"schedules.{name}.realtime accounting does not balance: "
+                f"served + rejected = "
+                f"{realtime['served'] + realtime['rejected']}, expected "
+                f"offered = {sub['offered']}"
+            )
+        if not isinstance(realtime["wall_s"], (int, float)) or (
+            realtime["wall_s"] <= 0
+        ):
+            raise ValueError(
+                f"schedules.{name}.realtime.wall_s must be positive"
+            )
+        for key in ("goodput_qps", "p50_latency_ms", "p99_latency_ms"):
+            value = realtime[key]
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"schedules.{name}.realtime.{key} must be numeric or "
+                    "null (all requests shed)"
+                )
+        if realtime["served"] > 0 and realtime["goodput_qps"] is None:
+            raise ValueError(
+                f"schedules.{name}.realtime served requests but reports "
+                "no goodput"
             )

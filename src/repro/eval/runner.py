@@ -58,6 +58,8 @@ class SweepPoint:
     mean_abs_estimator_error: float = 0.0
     mean_quantized_distances: float = 0.0
     mean_rerank_distances: float = 0.0
+    mean_queue_wait_ms: float = 0.0
+    mean_batch_size_served: float = 0.0
 
 
 @dataclasses.dataclass
@@ -76,7 +78,8 @@ class MethodSweep:
             "mean_shards_probed,mean_shards_pruned,mean_shards_failed,"
             "mean_shards_timed_out,degraded_fraction,mean_recall_ceiling,"
             "fallback_fraction,mean_abs_estimator_error,"
-            "mean_quantized_distances,mean_rerank_distances"
+            "mean_quantized_distances,mean_rerank_distances,"
+            "mean_queue_wait_ms,mean_batch_size_served"
         ]
         for p in self.points:
             lines.append(
@@ -89,7 +92,9 @@ class MethodSweep:
                 f"{p.mean_recall_ceiling:.4f},{p.fallback_fraction:.4f},"
                 f"{p.mean_abs_estimator_error:.6f},"
                 f"{p.mean_quantized_distances:.2f},"
-                f"{p.mean_rerank_distances:.2f}"
+                f"{p.mean_rerank_distances:.2f},"
+                f"{p.mean_queue_wait_ms:.3f},"
+                f"{p.mean_batch_size_served:.2f}"
             )
         return "\n".join(lines)
 
@@ -212,5 +217,11 @@ class SweepRunner:
             ),
             mean_rerank_distances=float(
                 np.mean([s.rerank_distances for s in outcome.stats])
+            ),
+            mean_queue_wait_ms=float(
+                np.mean([s.queue_wait_ms for s in outcome.stats])
+            ),
+            mean_batch_size_served=float(
+                np.mean([s.batch_size_served for s in outcome.stats])
             ),
         )

@@ -29,32 +29,39 @@ class PercentileSummary:
 
     Attributes:
         count: number of observations summarized.
-        mean: arithmetic mean (0.0 for an empty sample).
+        mean: arithmetic mean (``None`` for an empty sample).
         p50: median.
         p95: 95th percentile.
         p99: 99th percentile.
         min: smallest observation.
         max: largest observation.
+
+    An empty sample (count 0) carries ``None`` in every statistic —
+    the serving layer hits this when an entire load window is shed,
+    and ``None`` serializes honestly where a fake 0.0 would read as
+    "zero latency".
     """
 
     count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    min: float
-    max: float
+    mean: float | None
+    p50: float | None
+    p95: float | None
+    p99: float | None
+    min: float | None
+    max: float | None
 
 
 def percentile_summary(values: Iterable[float]) -> PercentileSummary:
     """Summarize per-query observations into a :class:`PercentileSummary`.
 
-    Accepts any iterable of numbers; an empty sample yields an all-zero
-    summary rather than NaNs, so callers can serialize unconditionally.
+    Accepts any iterable of numbers; an empty sample (e.g. a load
+    window in which every request was shed) yields ``count=0`` with
+    ``None`` statistics rather than NaNs or misleading zeros, so
+    callers can serialize unconditionally.
     """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
-        return PercentileSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return PercentileSummary(0, None, None, None, None, None, None)
     p50, p95, p99 = np.percentile(arr, (50, 95, 99))
     return PercentileSummary(
         count=int(arr.size),

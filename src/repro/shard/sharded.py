@@ -52,6 +52,7 @@ from repro.shard.partition import (
     subset_table,
 )
 from repro.shard.resilience import (
+    BreakerState,
     ResiliencePolicy,
     recall_ceiling,
     resilient_probe,
@@ -694,6 +695,23 @@ class ShardedAcornIndex(BatchSearchMixin):
         if self.breakers is None:
             return None
         return [breaker.state.value for breaker in self.breakers]
+
+    def open_breaker_fraction(self) -> float:
+        """Fraction of shard circuit breakers currently open (0.0
+        without a resilience policy).
+
+        The serving layer's breaker-aware load shedding reads this as
+        its health signal: when the fraction crosses the configured
+        threshold, new arrivals are rejected instead of queued against
+        an index that can only answer degraded.
+        """
+        if self.breakers is None or not self.breakers:
+            return 0.0
+        open_count = sum(
+            1 for breaker in self.breakers
+            if breaker.state is BreakerState.OPEN
+        )
+        return open_count / len(self.breakers)
 
     def stats(self) -> dict:
         """Operator-facing build summary: shard sizes and per-shard stats."""

@@ -87,3 +87,37 @@ class TestSubgraphQuality:
     def test_mean_scc(self, hnsw_index):
         quality = hnsw_graph_quality(hnsw_index)
         assert quality.mean_scc >= 1.0
+
+
+class TestPercentileSummary:
+    """The empty-sample contract the serving layer leans on: an
+    all-shed load window summarizes to count=0 with None statistics,
+    never NaNs or fake zeros."""
+
+    def test_empty_sample_is_all_none(self):
+        from dataclasses import asdict
+
+        from repro.eval.stats import percentile_summary
+
+        summary = percentile_summary([])
+        assert asdict(summary) == {
+            "count": 0, "mean": None, "p50": None, "p95": None,
+            "p99": None, "min": None, "max": None,
+        }
+
+    def test_empty_sample_accepts_generators(self):
+        from repro.eval.stats import percentile_summary
+
+        assert percentile_summary(x for x in ()).count == 0
+
+    def test_nonempty_sample_stays_numeric(self):
+        from dataclasses import asdict
+
+        from repro.eval.stats import percentile_summary
+
+        summary = percentile_summary([2.0, 4.0])
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.p50 == pytest.approx(3.0)
+        assert summary.min == 2.0 and summary.max == 4.0
+        assert all(v is not None for v in asdict(summary).values())

@@ -1,0 +1,260 @@
+"""Chaos composition: the serving layer over a faulted sharded index.
+
+The contracts pinned here (all on a single shared FakeClock — the
+autouse conftest fixture fails the suite on any real sleep):
+
+- queries touching broken shards resolve as ``degraded`` with the
+  engine's *exact* ``recall_ceiling``, identical to a direct search on
+  an identically-faulted index;
+- once enough failures open circuit breakers, breaker-aware shedding
+  rejects new arrivals with ``breakers-open`` instead of queueing them;
+- ``drain()`` resolves every admitted future even when every shard is
+  on fire — degradation never becomes a hang;
+- virtual latency faults flow into the service's latency accounting
+  through the shared clock.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.predicates import Equals, TruePredicate
+
+from repro.serving import TenantQuota
+from repro.serving.service import REJECT_BREAKERS
+from repro.shard.faults import Fault, FaultInjector, FaultPlan
+from repro.shard.partition import HashPartitioner
+from repro.shard.resilience import BreakerState, ResiliencePolicy
+from repro.shard.sharded import ShardedAcornIndex
+from repro.utils.clock import FakeClock
+
+from tests.serving.conftest import make_service, make_world, run
+
+N, DIM, SEED = 144, 8, 5
+N_SHARDS = 4
+
+
+def _policy(clock, **overrides):
+    kwargs = dict(
+        shard_deadline_s=1.0,
+        max_retries=1,
+        backoff_base_s=0.05,
+        breaker_threshold=100,
+        breaker_reset_s=50.0,
+        clock=clock,
+    )
+    kwargs.update(overrides)
+    return ResiliencePolicy(**kwargs)
+
+
+def _build(policy):
+    vectors, table = make_world(n=N, dim=DIM, seed=SEED)
+    return ShardedAcornIndex.build(
+        vectors, table,
+        partitioner=HashPartitioner(N_SHARDS),
+        variant="flat",
+        seed=7,
+        resilience=policy,
+    )
+
+
+def _chaos(index, plan, clock):
+    return index.with_faults(FaultInjector(plan, clock=clock, seed=3))
+
+
+@pytest.fixture(scope="module")
+def fault_world():
+    """Queries/predicates matching the DIM-8 sharded fault world."""
+    rng = np.random.default_rng(31)
+    queries = rng.standard_normal((6, DIM)).astype(np.float32)
+    predicates = [
+        Equals("cat", f"c{i % 4}") if i % 3 else TruePredicate()
+        for i in range(6)
+    ]
+    return queries, predicates
+
+
+class TestDegradedAccounting:
+    def test_dead_shard_serves_degraded_with_exact_ceiling(
+        self, fault_world
+    ):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        plan = FaultPlan({1: (Fault(kind="error"),)})
+        chaos = _chaos(_build(_policy(clock)), plan, clock)
+        service = make_service(chaos, clock=clock, max_batch=3)
+
+        async def drive():
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit(queries[i], predicates[i])
+                )
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            await service.drain()
+            return await asyncio.gather(*tasks)
+
+        responses = run(drive())
+        # Same plan + fresh injector/breakers = the reference run the
+        # served stats must match number-for-number.
+        reference = _chaos(_build(_policy(clock)), plan, clock)
+        for i, r in enumerate(responses):
+            assert r.degraded and not r.rejected
+            assert r.result is not None and len(r.result.ids) > 0
+            direct = reference.search(
+                queries[i], predicates[i],
+                service.config.k, ef_search=service.config.ef_search,
+            )
+            assert direct.degraded
+            assert r.stats.recall_ceiling == direct.recall_ceiling
+            assert r.stats.recall_ceiling < 1.0
+            assert r.stats.shards_failed == direct.shards_failed >= 1
+        summary = service.summary()
+        assert summary["degraded"] == 3 and summary["ok"] == 0
+        assert summary["tenants"]["default"]["degraded"] == 3
+
+    def test_healthy_shards_still_serve_ok(self, fault_world):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        chaos = _chaos(_build(_policy(clock)), FaultPlan({}), clock)
+        service = make_service(chaos, clock=clock, max_batch=2)
+
+        async def drive():
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit(queries[i], predicates[i])
+                )
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)
+            await service.drain()
+            return await asyncio.gather(*tasks)
+
+        responses = run(drive())
+        assert all(r.ok for r in responses)
+        assert all(r.stats.recall_ceiling == 1.0 for r in responses)
+
+
+class TestBreakerShedding:
+    def test_open_breakers_shed_new_arrivals(self, fault_world):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        plan = FaultPlan({1: (Fault(kind="error"),)})
+        # threshold 1 + fail-fast: the first degraded query opens the
+        # dead shard's breaker.
+        chaos = _chaos(
+            _build(_policy(clock, breaker_threshold=1, max_retries=0)),
+            plan, clock,
+        )
+        service = make_service(
+            chaos, clock=clock, max_batch=1, shed_breaker_fraction=0.25
+        )
+
+        async def drive():
+            first = await service.submit(queries[0], predicates[0])
+            await service.pump()
+            second = await service.submit(queries[1], predicates[1])
+            await service.drain()
+            return first, second
+
+        first, second = run(drive())
+        assert first.degraded
+        assert chaos.open_breaker_fraction() == pytest.approx(0.25)
+        assert chaos.breaker_states()[1] == BreakerState.OPEN.value
+        assert second.rejected and second.reason == REJECT_BREAKERS
+        summary = service.summary()
+        assert summary["offered"] == 2
+        assert summary["degraded"] == 1 and summary["rejected"] == 1
+
+    def test_breaker_reset_readmits(self, fault_world):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        # Shard 1 fails only on its first call, then recovers.
+        plan = FaultPlan(
+            {1: (Fault(kind="error", first_call=0, last_call=0),)}
+        )
+        chaos = _chaos(
+            _build(_policy(
+                clock, breaker_threshold=1, max_retries=0,
+                breaker_reset_s=50.0,
+            )),
+            plan, clock,
+        )
+        service = make_service(
+            chaos, clock=clock, max_batch=1, shed_breaker_fraction=0.25
+        )
+
+        async def drive():
+            first = await service.submit(queries[0], predicates[0])
+            await service.pump()
+            shed = await service.submit(queries[1], predicates[1])
+            clock.advance(60.0)  # past breaker_reset_s: half-open
+            readmitted = await service.submit(queries[1], predicates[1])
+            await service.drain()
+            return first, shed, readmitted
+
+        first, shed, readmitted = run(drive())
+        assert first.degraded
+        assert shed.rejected and shed.reason == REJECT_BREAKERS
+        assert readmitted.ok  # shard recovered, probe succeeded
+
+
+class TestNoHang:
+    def test_drain_resolves_everything_when_all_shards_fail(
+        self, fault_world
+    ):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        plan = FaultPlan(
+            {s: (Fault(kind="error"),) for s in range(N_SHARDS)}
+        )
+        chaos = _chaos(_build(_policy(clock)), plan, clock)
+        service = make_service(chaos, clock=clock, max_batch=4)
+
+        async def drive():
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit(queries[i], predicates[i])
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)
+            await asyncio.wait_for(service.drain(), timeout=30.0)
+            return await asyncio.gather(*tasks)
+
+        responses = run(drive())
+        # No survivors anywhere: every future still resolves, as a
+        # degraded empty result with a zero recall ceiling.
+        for r in responses:
+            assert r.degraded
+            assert len(r.result.ids) == 0
+            assert r.stats.recall_ceiling == 0.0
+        assert service.summary()["degraded"] == 4
+
+    def test_latency_faults_flow_into_latency_accounting(
+        self, fault_world
+    ):
+        queries, predicates = fault_world
+        clock = FakeClock()
+        # 5 virtual seconds of shard latency against a 1s deadline:
+        # the shard times out (degraded) and the virtual seconds the
+        # searcher slept show up in the served latency, not in any
+        # real wall clock.
+        plan = FaultPlan({2: (Fault(kind="latency", latency_s=5.0),)})
+        chaos = _chaos(
+            _build(_policy(clock, max_retries=0)), plan, clock
+        )
+        service = make_service(chaos, clock=clock, max_batch=1)
+
+        async def drive():
+            response = await service.submit(queries[0], predicates[0])
+            await service.drain()
+            return response
+
+        response = run(drive())
+        assert response.degraded
+        assert response.stats.shards_timed_out >= 1
+        assert response.latency_ms >= 5000.0
+        assert clock.total_slept >= 5.0

@@ -43,6 +43,34 @@ class TestExports:
         for name in predicates.__all__:
             assert hasattr(predicates, name)
 
+    def test_serving_namespace(self):
+        from repro import serving
+
+        for name in serving.__all__:
+            assert hasattr(serving, name), (
+                f"repro.serving.__all__ exports missing {name}"
+            )
+
+    def test_serving_exports_pinned(self):
+        """The serving surface other layers and docs rely on."""
+        from repro import serving
+
+        expected = {
+            "AcornService", "ServingConfig", "ServedResponse",
+            "TenantQuota", "TenantRegistry", "TokenBucket",
+            "ArrivalSchedule", "Arrival", "generate_arrivals",
+            "replay", "replay_realtime", "summarize_load",
+        }
+        missing = expected - set(dir(serving))
+        assert not missing, f"repro.serving missing exports: {missing}"
+        # The headline names are also re-exported at top level.
+        import repro
+
+        for name in ("AcornService", "ServingConfig", "ServedResponse",
+                     "TenantQuota", "ArrivalSchedule"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
 
 class TestDeterminism:
     """Identical seeds must give identical indexes and results —
