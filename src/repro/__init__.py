@@ -52,6 +52,13 @@ from repro.datasets import (
     make_tripclick_like,
 )
 from repro.hnsw import HnswIndex
+from repro.lifecycle import (
+    BackgroundCompactor,
+    EpochSnapshot,
+    LifecycleConfig,
+    LifecycleIndex,
+    ShardedLifecycleIndex,
+)
 from repro.persistence import load_index, save_index
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates import (
@@ -102,12 +109,14 @@ __all__ = [
     "ArrivalSchedule",
     "AttributeRangePartitioner",
     "AttributeTable",
+    "BackgroundCompactor",
     "BatchResult",
     "Between",
     "Bitset",
     "ContainsAll",
     "CostModel",
     "ContainsAny",
+    "EpochSnapshot",
     "Equals",
     "FlatAcornIndex",
     "HashPartitioner",
@@ -116,6 +125,8 @@ __all__ = [
     "HybridQuery",
     "HybridSearcher",
     "InvertedIndex",
+    "LifecycleConfig",
+    "LifecycleIndex",
     "Metric",
     "Not",
     "OneOf",
@@ -136,6 +147,7 @@ __all__ = [
     "ShardLoadError",
     "ShardRouter",
     "ShardedAcornIndex",
+    "ShardedLifecycleIndex",
     "TenantQuota",
     "TruePredicate",
     "VectorStore",

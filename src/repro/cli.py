@@ -11,6 +11,7 @@ dataset surrogates without touching pytest::
     python -m repro bench-chaos --shards 8 --failure-rate 0.2
     python -m repro bench-route --n 10000 --queries 240
     python -m repro bench-quant --n 10000 --queries 128
+    python -m repro bench-lifecycle --n 8000 --ops 2000
     python -m repro info
 
 Every command prints the same text tables the benchmark harness emits;
@@ -28,8 +29,11 @@ anti-correlated workload, with per-route accounting and estimator
 error) and ``bench-quant`` to ``BENCH_quant.json`` (the quantized
 int8/PQ-ADC traversal hot path with its exact-rerank tail vs the
 float32 search on the same graph — batch-QPS speedup, recall floor,
-and a double-run determinism gate; ``--smoke`` turns any of them into
-a CI regression gate).
+and a double-run determinism gate) and ``bench-lifecycle`` to
+``BENCH_lifecycle.json`` (read QPS and exact recall under a concurrent
+seeded write stream with online compaction — gated on a double
+virtual-replay determinism check and on zero failed or blocked reads;
+``--smoke`` turns any of them into a CI regression gate).
 """
 
 from __future__ import annotations
@@ -258,6 +262,7 @@ def _cmd_bench_batch(args: argparse.Namespace) -> None:
 from repro.eval.benchschema import (  # noqa: E402  (re-export)
     BUILD_SCHEMA_KEYS,
     CHAOS_SCHEMA_KEYS,
+    LIFECYCLE_SCHEMA_KEYS,
     QUANT_SCHEMA_KEYS,
     ROUTE_SCHEMA_KEYS,
     SERVING_SCHEMA_KEYS,
@@ -265,6 +270,7 @@ from repro.eval.benchschema import (  # noqa: E402  (re-export)
     TRAVERSAL_SCHEMA_KEYS,
     validate_build_entry,
     validate_chaos_entry,
+    validate_lifecycle_entry,
     validate_quant_entry,
     validate_route_entry,
     validate_serving_entry,
@@ -1351,6 +1357,221 @@ def _cmd_bench_serving(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_bench_lifecycle(args: argparse.Namespace) -> None:
+    import threading
+
+    from repro.eval.metrics import recall_at_k
+    from repro.lifecycle import (
+        BackgroundCompactor,
+        LifecycleConfig,
+        LifecycleIndex,
+    )
+    from repro.utils.clock import FakeClock
+
+    if args.smoke:
+        args.n = min(args.n, 1200)
+        args.ops = min(args.ops, 240)
+        args.reads = min(args.reads, 48)
+
+    print(f"generating lifecycle workload (n={args.n}, dim={args.dim}, "
+          f"ops={args.ops}, reads={args.reads})...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, max(args.reads, 1), args.distinct_predicates,
+        args.seed,
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    config = LifecycleConfig(
+        build_seed=args.seed,
+        compact_min_delta=max(16, args.ops // 8),
+        compact_delta_fraction=0.02,
+        compact_tombstone_fraction=0.05,
+    )
+
+    # One seeded op tape shared by every run below — the determinism
+    # gate depends on each run replaying the identical mutations.
+    gen = np.random.default_rng(args.seed + 17)
+    ops = []
+    next_id = args.n
+    for _ in range(args.ops):
+        if gen.random() < args.delete_fraction and next_id > 1:
+            ops.append(("delete", int(gen.integers(0, next_id))))
+        else:
+            vec = gen.standard_normal(args.dim).astype(np.float32)
+            caption = " ".join(gen.choice(_BENCH_VOCAB, size=8,
+                                          replace=False))
+            ops.append(("insert", vec, caption))
+            next_id += 1
+    n_inserts = sum(1 for op in ops if op[0] == "insert")
+
+    def build_lifecycle(clock=None):
+        return LifecycleIndex.build(
+            vectors, table, params=params, seed=args.seed,
+            config=config, clock=clock,
+        )
+
+    def replay_virtual():
+        """Deterministic arm: FakeClock, reads interleaved on the tape."""
+        clock = FakeClock()
+        lc = build_lifecycle(clock)
+        compactor = BackgroundCompactor(lc, interval_s=0.5, clock=clock)
+        trace = []
+        read_every = max(1, args.ops // max(args.reads, 1))
+        reads_done = 0
+        for i, op in enumerate(ops):
+            if op[0] == "insert":
+                lc.insert(op[1], {"caption": op[2]})
+            else:
+                lc.delete(op[1])
+            clock.advance(0.05)
+            compactor.tick()
+            if i % read_every == 0 and reads_done < args.reads:
+                snap = lc.acquire_read_snapshot()
+                try:
+                    res = snap.search(
+                        queries[reads_done], predicates[reads_done],
+                        args.k, ef_search=args.ef,
+                    )
+                finally:
+                    lc.release_read_snapshot(snap)
+                trace.append((i, res.epoch, tuple(res.ids.tolist())))
+                reads_done += 1
+        return lc, compactor, trace
+
+    # Determinism gate: two full virtual replays of the same tape must
+    # agree on every read's ids, every read's epoch, and the final
+    # lifecycle state.
+    lc_a, compactor_a, trace_a = replay_virtual()
+    lc_b, _, trace_b = replay_virtual()
+    deterministic = (
+        trace_a == trace_b
+        and lc_a.current_epoch == lc_b.current_epoch
+        and np.array_equal(lc_a.live_ids(), lc_b.live_ids())
+    )
+    determinism = "pass" if deterministic else "fail"
+    print(f"determinism : double virtual replay "
+          f"({len(trace_a)} reads, {compactor_a.compactions} "
+          f"compactions) -> {determinism}")
+    if not deterministic:
+        raise SystemExit(
+            "lifecycle replay diverged between two identical seeded "
+            "runs — the epoch pipeline is reading non-deterministic "
+            "state"
+        )
+
+    # Timed arm: a real writer thread streams the same tape (ticking
+    # the compactor as it goes) while this thread reads open-loop.
+    # Reads must never fail and never block on the writer.
+    lc = build_lifecycle()
+    compactor = BackgroundCompactor(lc, interval_s=0.0)
+    writer_done = threading.Event()
+    writer_errors: list[BaseException] = []
+
+    def write_stream():
+        try:
+            for op in ops:
+                if op[0] == "insert":
+                    lc.insert(op[1], {"caption": op[2]})
+                else:
+                    lc.delete(op[1])
+                compactor.tick()
+        except BaseException as exc:  # noqa: BLE001 — reported below
+            writer_errors.append(exc)
+        finally:
+            writer_done.set()
+
+    reads = 0
+    failed_during_compaction = 0
+    blocked_reads = 0
+    recalls = []
+    writer = threading.Thread(target=write_stream, name="lifecycle-writer")
+    with Timer() as t:
+        writer.start()
+        while not writer_done.is_set() or reads == 0:
+            q = queries[reads % len(queries)]
+            pred = predicates[reads % len(predicates)]
+            t_acquire = time.perf_counter()
+            try:
+                snap = lc.acquire_read_snapshot()
+            except Exception:
+                failed_during_compaction += 1
+                reads += 1
+                continue
+            if time.perf_counter() - t_acquire > 0.25:
+                blocked_reads += 1
+            try:
+                res = snap.search(q, pred, args.k, ef_search=args.ef)
+                truth = snap.exact_search(q, pred, args.k)
+            except Exception:
+                failed_during_compaction += 1
+                reads += 1
+                continue
+            finally:
+                lc.release_read_snapshot(snap)
+            if len(truth.ids):
+                recalls.append(recall_at_k(res.ids, truth.ids, args.k))
+            reads += 1
+        writer.join()
+    if writer_errors:
+        raise SystemExit(f"writer thread failed: {writer_errors[0]!r}")
+
+    read_qps = reads / max(t.elapsed, 1e-9)
+    recall = float(np.mean(recalls)) if recalls else 1.0
+    print(f"concurrent  : {reads} reads at {read_qps:.1f} qps, "
+          f"recall@{args.k} {recall:.4f}, {compactor.compactions} "
+          f"compactions, epoch {lc.current_epoch}, "
+          f"{failed_during_compaction} failed / {blocked_reads} blocked")
+    if compactor.compactions < 1:
+        # The concurrent guarantee is vacuous if nothing compacted;
+        # force one so every bench run exercises reads-across-epochs.
+        lc.compact(seed=args.seed)
+        compactor.compactions += 1
+        print("forced one compaction (tape never crossed the policy "
+              "thresholds)")
+
+    entry = {
+        "bench": "lifecycle",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "n_ops": len(ops),
+        "insert_fraction": round(n_inserts / max(len(ops), 1), 4),
+        "delete_fraction": round(1.0 - n_inserts / max(len(ops), 1), 4),
+        "reads": reads,
+        "read_qps": round(read_qps, 2),
+        "recall_at_k": round(recall, 6),
+        "failed_reads_during_compaction": failed_during_compaction,
+        "blocked_reads": blocked_reads,
+        "epochs_published": int(lc.current_epoch),
+        "compactions": int(compactor.compactions),
+        "compactor_crashes": int(compactor.crashes),
+        "writes_applied": len(ops),
+        "writes_rejected": 0,
+        "final_live": int(lc.live_ids().shape[0]),
+        "final_delta": int(lc.delta_size()),
+        "tombstones_remaining": int(lc.tombstone_count()),
+        "determinism": determinism,
+    }
+    validate_lifecycle_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+    if args.smoke and recall < args.recall_floor:
+        raise SystemExit(
+            f"check failed: concurrent recall@{args.k} {recall:.4f} "
+            f"below floor {args.recall_floor:.2f}"
+        )
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -1594,6 +1815,37 @@ def build_parser() -> argparse.ArgumentParser:
              "sheds load, and the steady schedule serves load",
     )
     serving.set_defaults(func=_cmd_bench_serving)
+
+    lifecycle = sub.add_parser(
+        "bench-lifecycle",
+        help="streaming index lifecycle: read QPS and recall under a "
+             "concurrent seeded write stream with online compaction, "
+             "gated by a double-replay determinism check",
+    )
+    lifecycle.add_argument("--n", type=int, default=8000,
+                           help="initial (pre-stream) dataset size")
+    lifecycle.add_argument("--dim", type=int, default=32)
+    lifecycle.add_argument("--k", type=int, default=10)
+    lifecycle.add_argument("--m", type=int, default=12)
+    lifecycle.add_argument("--gamma", type=int, default=12)
+    lifecycle.add_argument("--ef", type=int, default=64)
+    lifecycle.add_argument("--ops", type=int, default=2000,
+                           help="seeded insert/delete ops in the tape")
+    lifecycle.add_argument("--reads", type=int, default=200,
+                           help="interleaved reads in the virtual arm "
+                                "(the timed arm reads open-loop)")
+    lifecycle.add_argument("--delete-fraction", type=float, default=0.3)
+    lifecycle.add_argument("--distinct-predicates", type=int, default=8)
+    lifecycle.add_argument("--recall-floor", type=float, default=0.7)
+    lifecycle.add_argument("--seed", type=int, default=0)
+    lifecycle.add_argument("--out", default="BENCH_lifecycle.json")
+    lifecycle.add_argument(
+        "--smoke", action="store_true",
+        help="small workload; exit nonzero unless the double replay is "
+             "deterministic, no read failed or blocked during "
+             "compaction, and concurrent recall clears the floor",
+    )
+    lifecycle.set_defaults(func=_cmd_bench_lifecycle)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -34,15 +34,44 @@ def _subset_table(table: AttributeTable, keep: np.ndarray) -> AttributeTable:
     return out
 
 
+def live_subset(
+    index: AcornIndex,
+) -> tuple[np.ndarray, np.ndarray, AttributeTable]:
+    """The index's live entities in ascending-id order.
+
+    Returns ``(keep, vectors, table)``: the kept old ids, their vectors,
+    and a fresh table of their rows — the exact builder input both
+    :func:`rebuild` and the online lifecycle compactor
+    (:meth:`repro.lifecycle.manager.LifecycleIndex.compact`) feed to
+    ``build``, which is what makes the two byte-identical for equal
+    seeds.
+    """
+    n = len(index)
+    keep = np.asarray(
+        [node for node in range(n) if not index.is_deleted(node)],
+        dtype=np.int64,
+    )
+    return keep, index.store.vectors[keep], _subset_table(index.table, keep)
+
+
 def rebuild(
     index: AcornIndex,
     seed: int | np.random.Generator | None = 0,
+    n_workers: int = 1,
 ) -> tuple[AcornIndex, np.ndarray]:
     """Compact an index: drop tombstoned entities, rebuild the graph.
+
+    Quantization state survives the rebuild: a quantized source index
+    yields a new index with the same :class:`QuantizationConfig`, its
+    codes retrained over the live vectors (identical to having built
+    the new index with ``quantization=`` directly).
 
     Args:
         index: any ACORN-family index (γ / 1 / flat).
         seed: level-assignment seed for the new build.
+        n_workers: build parallelism; >1 uses the wave-parallel bulk
+            builder (run-to-run deterministic, see
+            :mod:`repro.core.bulkbuild`).
 
     Returns:
         (new_index, id_map): the fresh index, plus an int64 array where
@@ -50,15 +79,10 @@ def rebuild(
         deleted.
     """
     n = len(index)
-    keep = np.asarray(
-        [node for node in range(n) if not index.is_deleted(node)],
-        dtype=np.int64,
-    )
+    keep, vectors, table = live_subset(index)
     id_map = np.full(n, -1, dtype=np.int64)
     id_map[keep] = np.arange(keep.shape[0])
 
-    table = _subset_table(index.table, keep)
-    vectors = index.store.vectors[keep]
     from repro.core.acorn import AcornOneIndex
 
     if isinstance(index, AcornOneIndex):
@@ -71,6 +95,11 @@ def rebuild(
     else:
         new_index = type(index).build(
             vectors, table, params=index.params, metric=index.metric,
-            seed=seed,
+            seed=seed, n_workers=n_workers,
         )
+    if index.quantization is not None:
+        # enable_quantization retrains the codec over the live vectors —
+        # byte-identical to building with quantization= up front, and it
+        # works uniformly across the family (flat builds lack the kwarg).
+        new_index.enable_quantization(index.quantization)
     return new_index, id_map

@@ -235,6 +235,12 @@ class BatchResult:
         return dict(sorted(counts.items()))
 
     @property
+    def max_epoch(self) -> int:
+        """Newest lifecycle epoch observed in the batch (0 for
+        searchers without a streaming lifecycle)."""
+        return max((s.epoch for s in self.stats), default=0)
+
+    @property
     def cache_misses(self) -> int:
         """Queries whose predicate mask had to be materialized."""
         return len(self.stats) - self.cache_hits
@@ -284,6 +290,7 @@ class BatchResult:
             "mean_queue_wait_ms": self.mean_queue_wait_ms,
             "mean_batch_size_served": self.mean_batch_size_served,
             "tenant_counts": self.tenant_counts,
+            "max_epoch": self.max_epoch,
         }
 
 
@@ -388,64 +395,80 @@ class SearchEngine:
         freeze = getattr(self.searcher, "freeze", None)
         if callable(freeze):
             freeze()
-        # Batch-lifecycle hook: adaptive routers reset/mark their
-        # per-batch feedback epoch here, before the first query runs.
-        begin_batch = getattr(self.searcher, "begin_batch", None)
-        if callable(begin_batch):
-            begin_batch()
-        compiled, hit_flags = self._compile_predicates(batch.predicates)
+        # Snapshot-per-batch hook: lifecycle searchers pin one published
+        # epoch here, so every query in the batch reads the same
+        # immutable (base, delta, tombstone) state even while writers
+        # publish newer epochs concurrently.  Released after the batch.
+        acquire = getattr(self.searcher, "acquire_read_snapshot", None)
+        snapshot = acquire() if callable(acquire) else None
+        searcher = self.searcher if snapshot is None else snapshot
+        try:
+            # Batch-lifecycle hook: adaptive routers reset/mark their
+            # per-batch feedback epoch here, before the first query runs.
+            begin_batch = getattr(self.searcher, "begin_batch", None)
+            if callable(begin_batch):
+                begin_batch()
+            compiled, hit_flags = self._compile_predicates(batch.predicates)
 
-        if len(batch) == 0:
-            return BatchResult(
-                results=[], stats=[],
-                wall_time_s=time.perf_counter() - start,
-                num_workers=self.num_workers,
-            )
+            if len(batch) == 0:
+                return BatchResult(
+                    results=[], stats=[],
+                    wall_time_s=time.perf_counter() - start,
+                    num_workers=self.num_workers,
+                )
 
-        def run_one(index: int) -> tuple[SearchResult, QueryStats]:
-            begin = time.perf_counter()
-            result = self.searcher.search(
-                batch.queries[index], compiled[index], batch.k,
-                ef_search=batch.ef_search,
-            )
-            elapsed = time.perf_counter() - begin
-            stats = QueryStats(
-                query_index=index,
-                distance_computations=int(result.distance_computations),
-                hops=int(getattr(result, "hops", 0)),
-                visited_nodes=int(getattr(result, "visited_nodes", 0)),
-                predicate_cache_hit=hit_flags[index],
-                wall_time_s=elapsed,
-                shards_probed=int(getattr(result, "shards_probed", 0)),
-                shards_pruned=int(getattr(result, "shards_pruned", 0)),
-                shards_failed=int(getattr(result, "shards_failed", 0)),
-                shards_timed_out=int(getattr(result, "shards_timed_out", 0)),
-                degraded=bool(getattr(result, "degraded", False)),
-                recall_ceiling=float(getattr(result, "recall_ceiling", 1.0)),
-                route_chosen=str(getattr(result, "route_chosen", "")),
-                route_reason=str(getattr(result, "route_reason", "")),
-                fallback_triggered=bool(
-                    getattr(result, "fallback_triggered", False)
-                ),
-                estimator_error=float(
-                    getattr(result, "estimator_error", 0.0)
-                ),
-                quantized_distances=int(
-                    getattr(result, "quantized_distances", 0)
-                ),
-                rerank_distances=int(
-                    getattr(result, "rerank_distances", 0)
-                ),
-                rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
-            )
-            return result, stats
+            def run_one(index: int) -> tuple[SearchResult, QueryStats]:
+                begin = time.perf_counter()
+                result = searcher.search(
+                    batch.queries[index], compiled[index], batch.k,
+                    ef_search=batch.ef_search,
+                )
+                elapsed = time.perf_counter() - begin
+                stats = QueryStats(
+                    query_index=index,
+                    distance_computations=int(result.distance_computations),
+                    hops=int(getattr(result, "hops", 0)),
+                    visited_nodes=int(getattr(result, "visited_nodes", 0)),
+                    predicate_cache_hit=hit_flags[index],
+                    wall_time_s=elapsed,
+                    shards_probed=int(getattr(result, "shards_probed", 0)),
+                    shards_pruned=int(getattr(result, "shards_pruned", 0)),
+                    shards_failed=int(getattr(result, "shards_failed", 0)),
+                    shards_timed_out=int(
+                        getattr(result, "shards_timed_out", 0)
+                    ),
+                    degraded=bool(getattr(result, "degraded", False)),
+                    recall_ceiling=float(
+                        getattr(result, "recall_ceiling", 1.0)
+                    ),
+                    route_chosen=str(getattr(result, "route_chosen", "")),
+                    route_reason=str(getattr(result, "route_reason", "")),
+                    fallback_triggered=bool(
+                        getattr(result, "fallback_triggered", False)
+                    ),
+                    estimator_error=float(
+                        getattr(result, "estimator_error", 0.0)
+                    ),
+                    quantized_distances=int(
+                        getattr(result, "quantized_distances", 0)
+                    ),
+                    rerank_distances=int(
+                        getattr(result, "rerank_distances", 0)
+                    ),
+                    rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
+                    epoch=int(getattr(result, "epoch", 0)),
+                )
+                return result, stats
 
-        if self.num_workers == 1 or len(batch) == 1:
-            pairs = [run_one(i) for i in range(len(batch))]
-        else:
-            # executor.map yields in submission order, so result
-            # ordering is deterministic whatever the completion order.
-            pairs = list(self._executor().map(run_one, range(len(batch))))
+            if self.num_workers == 1 or len(batch) == 1:
+                pairs = [run_one(i) for i in range(len(batch))]
+            else:
+                # executor.map yields in submission order, so result
+                # ordering is deterministic whatever the completion order.
+                pairs = list(self._executor().map(run_one, range(len(batch))))
+        finally:
+            if snapshot is not None:
+                self.searcher.release_read_snapshot(snapshot)
 
         return BatchResult(
             results=[result for result, _ in pairs],

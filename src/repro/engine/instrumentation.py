@@ -77,6 +77,10 @@ class QueryStats:
             rode in (0 for direct engine calls).
         tenant_id: submitting tenant in the serving layer (``""`` for
             direct engine calls).
+        epoch: lifecycle epoch snapshot that answered the query (0 for
+            searchers without a streaming lifecycle).  Every query in a
+            batch reports the same epoch — the engine pins one snapshot
+            per :class:`~repro.engine.engine.QueryBatch`.
     """
 
     query_index: int
@@ -101,6 +105,7 @@ class QueryStats:
     queue_wait_ms: float = 0.0
     batch_size_served: int = 0
     tenant_id: str = ""
+    epoch: int = 0
 
     def to_dict(self) -> dict:
         """The record as a plain JSON-serializable dict."""

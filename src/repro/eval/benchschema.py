@@ -569,3 +569,90 @@ def validate_serving_entry(entry: dict) -> None:
                 f"schedules.{name}.realtime served requests but reports "
                 "no goodput"
             )
+
+
+LIFECYCLE_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "k", "ef_search", "m", "gamma",
+    "smoke", "seed", "n_ops", "insert_fraction", "delete_fraction",
+    "reads", "read_qps", "recall_at_k",
+    "failed_reads_during_compaction", "blocked_reads",
+    "epochs_published", "compactions", "compactor_crashes",
+    "writes_applied", "writes_rejected",
+    "final_live", "final_delta", "tombstones_remaining",
+    "determinism",
+}
+
+
+def validate_lifecycle_entry(entry: dict) -> None:
+    """Check one BENCH_lifecycle.json record against the schema.
+
+    Beyond key presence and types, enforces the streaming-lifecycle
+    guarantees the bench exists to witness: no read failed or blocked
+    while compaction ran (readers always hold a published snapshot),
+    recall stays a probability, at least one online compaction actually
+    happened during the run (otherwise "reads during compaction" is
+    vacuous), epochs published can't trail compactions (every
+    compaction publishes), the write ledger balances, and the seeded
+    double-run determinism gate passed.
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI lifecycle job and
+            ``tests/test_cli.py``.
+    """
+    missing = LIFECYCLE_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(
+            f"bench-lifecycle entry missing keys: {sorted(missing)}"
+        )
+    for key in ("n", "dim", "k", "ef_search", "m", "gamma", "seed",
+                "n_ops", "reads", "failed_reads_during_compaction",
+                "blocked_reads", "epochs_published", "compactions",
+                "compactor_crashes", "writes_applied", "writes_rejected",
+                "final_live", "final_delta", "tombstones_remaining"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("insert_fraction", "delete_fraction", "read_qps",
+                "recall_at_k"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    if not isinstance(entry["smoke"], bool):
+        raise ValueError("smoke must be a bool")
+    if entry["failed_reads_during_compaction"] != 0:
+        raise ValueError(
+            f"{entry['failed_reads_during_compaction']} reads failed "
+            "during compaction — snapshot isolation is broken"
+        )
+    if entry["blocked_reads"] != 0:
+        raise ValueError(
+            f"{entry['blocked_reads']} reads blocked on the writer — "
+            "the read path must never wait on compaction"
+        )
+    if not 0.0 <= entry["recall_at_k"] <= 1.0:
+        raise ValueError(
+            f"recall_at_k must be in [0, 1], got {entry['recall_at_k']}"
+        )
+    if entry["compactions"] < 1:
+        raise ValueError(
+            "no compaction ran during the bench — the concurrent-read "
+            "guarantee was never exercised"
+        )
+    if entry["epochs_published"] < entry["compactions"]:
+        raise ValueError(
+            f"epochs_published ({entry['epochs_published']}) < "
+            f"compactions ({entry['compactions']}): every compaction "
+            "must publish an epoch"
+        )
+    if entry["writes_applied"] + entry["writes_rejected"] != entry["n_ops"]:
+        raise ValueError(
+            "write ledger does not balance: applied + rejected = "
+            f"{entry['writes_applied'] + entry['writes_rejected']}, "
+            f"expected n_ops = {entry['n_ops']}"
+        )
+    if entry["read_qps"] <= 0:
+        raise ValueError(f"read_qps must be positive, got {entry['read_qps']}")
+    if entry["determinism"] != "pass":
+        raise ValueError(
+            f"determinism gate did not pass: {entry['determinism']!r} "
+            "(two seeded runs must produce identical read results)"
+        )

@@ -1,0 +1,54 @@
+"""Streaming index lifecycle: delta writes, epoch snapshots, compaction.
+
+The update-heavy serving story for the ACORN reproduction: a mutable
+:class:`DeltaIndex` absorbs inserts, an external tombstone set absorbs
+deletes, readers search immutable published :class:`EpochSnapshot`
+objects, and a :class:`BackgroundCompactor` folds the delta into the
+graph base with the wave-parallel bulk builder — the online counterpart
+of :func:`repro.core.maintenance.rebuild`, with the same id-remap
+contract and a byte-identity equivalence test against it.
+
+See ``docs/lifecycle.md`` for epoch semantics, the write path,
+compaction triggers, and the determinism contract.
+"""
+
+from repro.lifecycle.compactor import (
+    BackgroundCompactor,
+    CompactorFaultPlan,
+    CompactorKilled,
+    COMPACTION_STAGES,
+)
+from repro.lifecycle.delta import DeltaIndex, DeltaView
+from repro.lifecycle.epoch import EpochSnapshot, LifecycleSearchResult
+from repro.lifecycle.journal import DeltaJournal, JournalError
+from repro.lifecycle.manager import (
+    CompactionReport,
+    LifecycleConfig,
+    LifecycleIndex,
+)
+from repro.lifecycle.persistence import (
+    LifecycleLoadError,
+    load_lifecycle,
+    save_lifecycle,
+)
+from repro.lifecycle.sharded import ShardedLifecycleIndex
+
+__all__ = [
+    "BackgroundCompactor",
+    "COMPACTION_STAGES",
+    "CompactionReport",
+    "CompactorFaultPlan",
+    "CompactorKilled",
+    "DeltaIndex",
+    "DeltaJournal",
+    "DeltaView",
+    "EpochSnapshot",
+    "JournalError",
+    "LifecycleConfig",
+    "LifecycleIndex",
+    "LifecycleLoadError",
+    "LifecycleSearchResult",
+    "ShardedLifecycleIndex",
+    "load_lifecycle",
+    "save_lifecycle",
+]

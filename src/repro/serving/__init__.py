@@ -23,9 +23,11 @@ from repro.serving.service import (
     REJECT_OVERLOAD,
     REJECT_TENANT_QUEUE,
     REJECT_TENANT_QUOTA,
+    STATUS_APPLIED,
     AcornService,
     ServedResponse,
     ServingConfig,
+    WriteResponse,
 )
 from repro.serving.tenancy import TenantQuota, TenantRegistry, TokenBucket
 
@@ -38,8 +40,10 @@ __all__ = [
     "REJECT_OVERLOAD",
     "REJECT_TENANT_QUEUE",
     "REJECT_TENANT_QUOTA",
+    "STATUS_APPLIED",
     "ServedResponse",
     "ServingConfig",
+    "WriteResponse",
     "TenantQuota",
     "TenantRegistry",
     "TokenBucket",

@@ -99,3 +99,118 @@ class TestRebuild:
         new_index, id_map = rebuild(index, seed=1)
         assert len(new_index) == len(vectors)
         np.testing.assert_array_equal(id_map, np.arange(len(vectors)))
+
+
+class TestRebuildQuantization:
+    """Rebuilding a quantized index must preserve the quantized path."""
+
+    def _quantized_world(self):
+        gen = np.random.default_rng(97)
+        n = 200
+        vectors = gen.standard_normal((n, 10)).astype(np.float32)
+        table = AttributeTable(n)
+        table.add_int_column("label", gen.integers(0, 3, size=n))
+        params = AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24)
+        index = AcornIndex.build(vectors, table, params=params, seed=0,
+                                 quantization="sq8")
+        for victim in (3, 50, 50 + 1, 199):
+            index.mark_deleted(victim)
+        return index, vectors, table, params, gen
+
+    def test_config_survives_rebuild(self):
+        index, *_ = self._quantized_world()
+        new_index, _ = rebuild(index, seed=1)
+        assert new_index.quantization is not None
+        assert new_index.quantization.to_json() == index.quantization.to_json()
+
+    def test_quantized_search_equals_fresh_build(self):
+        """rebuild() of a quantized index answers search_batch_quantized
+        identically to an index freshly built (same seed) over the live
+        subset with quantization enabled up front — the codec retrain is
+        not allowed to drift from the build-time path."""
+        from repro.core.maintenance import live_subset
+
+        index, vectors, table, params, gen = self._quantized_world()
+        new_index, id_map = rebuild(index, seed=1)
+
+        _, live_vectors, live_table = live_subset(index)
+        fresh = AcornIndex.build(live_vectors, live_table, params=params,
+                                 seed=1, quantization="sq8")
+
+        queries = vectors[gen.choice(len(vectors), size=8, replace=False)]
+        predicates = [Equals("label", int(i % 3)) for i in range(8)]
+        got = new_index.search_batch_quantized(queries, predicates, 5,
+                                               ef_search=48)
+        want = fresh.search_batch_quantized(queries, predicates, 5,
+                                            ef_search=48)
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_allclose(a.distances, b.distances)
+
+    def test_unquantized_rebuild_stays_unquantized(self, deleted_world):
+        index, _, _ = deleted_world
+        new_index, _ = rebuild(index, seed=1)
+        assert new_index.quantization is None
+
+
+class TestRebuildPersistenceRoundtrip:
+    """The (new_index, id_map) contract must survive save/load."""
+
+    def test_id_map_roundtrips_through_persistence(self, deleted_world,
+                                                   tmp_path):
+        from repro.persistence import load_index, save_index
+
+        index, vectors, victims = deleted_world
+        new_index, id_map = rebuild(index, seed=1)
+
+        save_index(new_index, tmp_path / "rebuilt.npz")
+        np.save(tmp_path / "id_map.npy", id_map)
+
+        restored = load_index(tmp_path / "rebuilt.npz")
+        restored_map = np.load(tmp_path / "id_map.npy")
+        np.testing.assert_array_equal(restored_map, id_map)
+
+        # Translating an old id through the persisted map lands on the
+        # same entity in the restored index.
+        for old_id in (0, 42, 128):
+            new_id = int(restored_map[old_id])
+            assert new_id >= 0
+            np.testing.assert_array_equal(
+                restored.store.vectors[new_id], vectors[old_id]
+            )
+            assert (restored.table.row(new_id)["name"]
+                    == f"item-{old_id}")
+        for victim in victims:
+            assert restored_map[victim] == -1
+
+        # And the restored index searches exactly like the one we saved.
+        for q in vectors[:5]:
+            a = new_index.search(q, TruePredicate(), 5, ef_search=48)
+            b = restored.search(q, TruePredicate(), 5, ef_search=48)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_allclose(a.distances, b.distances)
+
+    def test_quantized_rebuild_roundtrips(self, tmp_path):
+        from repro.persistence import load_index, save_index
+
+        gen = np.random.default_rng(101)
+        n = 150
+        vectors = gen.standard_normal((n, 8)).astype(np.float32)
+        table = AttributeTable(n)
+        table.add_int_column("label", gen.integers(0, 3, size=n))
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=6, gamma=4, m_beta=8, ef_construction=24),
+            seed=0, quantization="sq8",
+        )
+        index.mark_deleted(7)
+        new_index, _ = rebuild(index, seed=1)
+        save_index(new_index, tmp_path / "q.npz")
+        restored = load_index(tmp_path / "q.npz")
+        assert restored.quantization is not None
+        queries = vectors[:4]
+        predicates = [Equals("label", 0)] * 4
+        a = new_index.search_batch_quantized(queries, predicates, 5)
+        b = restored.search_batch_quantized(queries, predicates, 5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.ids, y.ids)

@@ -40,6 +40,7 @@ QUERY_STATS_FIELDS = (
     "queue_wait_ms",
     "batch_size_served",
     "tenant_id",
+    "epoch",
 )
 
 SUMMARY_KEYS = (
@@ -66,6 +67,7 @@ SUMMARY_KEYS = (
     "mean_queue_wait_ms",
     "mean_batch_size_served",
     "tenant_counts",
+    "max_epoch",
 )
 
 CSV_HEADER = (
@@ -95,6 +97,7 @@ def _stats_pair():
         fallback_triggered=True, estimator_error=-0.05,
         quantized_distances=640, rerank_distances=30, rerank_factor=3.0,
         queue_wait_ms=4.0, batch_size_served=2, tenant_id="acme",
+        epoch=7,
     )
     return healthy, degraded
 
@@ -130,6 +133,7 @@ class TestQueryStatsGolden:
             "queue_wait_ms": 0.0,
             "batch_size_served": 0,
             "tenant_id": "",
+            "epoch": 0,
         }
 
     def test_failure_fields_default_to_healthy(self):
@@ -188,6 +192,9 @@ class TestBatchSummaryGolden:
         assert summary["mean_queue_wait_ms"] == pytest.approx(2.0)
         assert summary["mean_batch_size_served"] == pytest.approx(1.0)
         assert summary["tenant_counts"] == {"acme": 1}
+        # The degraded query ran at lifecycle epoch 7; the healthy one
+        # was un-epoched (0), and the summary reports the newest seen.
+        assert summary["max_epoch"] == 7
         assert summary["latency_s"] == pytest.approx({
             "count": 2, "mean": 0.003, "p50": 0.003, "p95": 0.0039,
             "p99": 0.00398, "min": 0.002, "max": 0.004,

@@ -1,0 +1,115 @@
+"""Shared fixtures for the streaming-lifecycle suites.
+
+Everything here runs in the exhaustive regime (``M * gamma >= n``,
+``ef_search`` larger than any live set), where graph search over the
+passing rows is exact — so "lifecycle equals the rebuild-from-scratch
+oracle" is an equality theorem, not a recall statistic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.core.params import AcornParams
+
+PARAMS = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=48)
+DIM = 8
+EF_EXHAUSTIVE = 512
+
+
+def make_world(seed: int, n: int):
+    """Initial dataset: random vectors + an int attribute column."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, DIM)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("v", rng.integers(0, 4, size=n))
+    return vectors, table, rng
+
+
+class RebuildOracle:
+    """The naive competitor: full history, rebuilt from scratch.
+
+    Keeps every ``(external_id, vector, row)`` ever inserted plus the
+    tombstone set, and answers queries by brute force over the live
+    set — the semantics the lifecycle index must match exactly at
+    every epoch.
+    """
+
+    def __init__(self, vectors, table):
+        self.vectors = [np.asarray(v, dtype=np.float32)
+                        for v in np.asarray(vectors)]
+        self.rows = [table.row(i) for i in range(len(table))]
+        self.deleted = set()
+
+    def insert(self, vector, row):
+        self.vectors.append(np.asarray(vector, dtype=np.float32))
+        self.rows.append(dict(row))
+        return len(self.vectors) - 1
+
+    def delete(self, external_id):
+        if external_id in self.deleted:
+            return False
+        self.deleted.add(int(external_id))
+        return True
+
+    def live_ids(self):
+        return np.asarray(
+            [i for i in range(len(self.vectors)) if i not in self.deleted],
+            dtype=np.int64,
+        )
+
+    def live_table(self):
+        live = self.live_ids()
+        table = AttributeTable(live.shape[0])
+        table.add_int_column(
+            "v", np.asarray([self.rows[i]["v"] for i in live.tolist()])
+        )
+        return live, table
+
+    def topk(self, query, predicate, k):
+        """Exact ``[(distance, id), ...]`` over live, passing entities."""
+        live, table = self.live_table()
+        if live.shape[0] == 0:
+            return []
+        mask = np.asarray(predicate.mask(table), dtype=bool)
+        passing = live[mask]
+        if passing.shape[0] == 0:
+            return []
+        mat = np.stack([self.vectors[i] for i in passing.tolist()])
+        q = np.asarray(query, dtype=np.float32)
+        dists = np.sum((mat - q[None, :]) ** 2, axis=1)
+        order = np.lexsort((passing, dists))[:k]
+        return [(float(dists[i]), int(passing[i])) for i in order.tolist()]
+
+    def topk_ids(self, query, predicate, k):
+        return [e for _, e in self.topk(query, predicate, k)]
+
+
+def apply_ops(lifecycle, oracle, ops):
+    """Replay one op tape against both sides, asserting id agreement."""
+    for op in ops:
+        if op[0] == "insert":
+            got = lifecycle.insert(op[1], op[2])
+            want = oracle.insert(op[1], op[2])
+            assert got == want, f"id drift: lifecycle {got}, oracle {want}"
+        else:
+            got = lifecycle.delete(op[1])
+            want = oracle.delete(op[1])
+            assert got == want
+
+
+def assert_matches_oracle(lifecycle, oracle, queries, predicates, k=5):
+    """Every query's lifecycle ids equal the brute-force oracle's."""
+    for q in queries:
+        for pred in predicates:
+            res = lifecycle.search(q, pred, k, ef_search=EF_EXHAUSTIVE)
+            want = oracle.topk_ids(q, pred, k)
+            assert res.ids.tolist() == want, (
+                f"lifecycle {res.ids.tolist()} != oracle {want} "
+                f"at epoch {res.epoch}"
+            )
+
+
+@pytest.fixture
+def small_world():
+    return make_world(seed=11, n=32)

@@ -1,0 +1,210 @@
+"""Golden + corruption tests for the WAL journal and epoch manifest.
+
+The journal's line format and the manifest's key set are wire formats:
+other tooling (and future versions of this code) parse them, so their
+shape is pinned here.  Every corruption test asserts the error message
+names the broken file (and line, for journal records) — the
+operator-first contract shared with the shard manifest loader.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import (
+    DeltaJournal,
+    JournalError,
+    LifecycleConfig,
+    LifecycleIndex,
+    LifecycleLoadError,
+    load_lifecycle,
+    save_lifecycle,
+)
+from repro.predicates import TruePredicate
+
+from tests.lifecycle.conftest import (
+    DIM,
+    EF_EXHAUSTIVE,
+    PARAMS,
+    make_world,
+)
+
+pytestmark = pytest.mark.lifecycle
+
+MANIFEST_KEYS = {
+    "format", "format_version", "epoch", "next_external_id",
+    "n_base", "n_delta", "tombstones", "files", "checksums",
+}
+
+
+def make_saved(tmp_path, seed=91, n=16, n_writes=6):
+    vectors, table, rng = make_world(seed, n)
+    lc = LifecycleIndex.build(vectors, table, params=PARAMS, seed=0)
+    for i in range(n_writes):
+        lc.insert(rng.standard_normal(DIM).astype(np.float32),
+                  {"v": i % 4})
+    lc.delete(0)
+    lc.delete(n + 1)
+    root = save_lifecycle(lc, tmp_path / "archive")
+    return lc, root, rng
+
+
+class TestJournalGolden:
+    def test_record_shapes(self):
+        rec = DeltaJournal.insert_record(
+            0, 7, np.array([1.0, 2.0], dtype=np.float32),
+            {"v": np.int64(3)},
+        )
+        assert rec == {
+            "op": "insert", "seq": 0, "external_id": 7,
+            "vector": [1.0, 2.0], "row": {"v": 3},
+        }
+        assert DeltaJournal.delete_record(4, 9) == {
+            "op": "delete", "seq": 4, "external_id": 9,
+        }
+
+    def test_line_format_pinned(self, tmp_path):
+        journal = DeltaJournal(tmp_path / "j.jsonl")
+        journal.append(DeltaJournal.delete_record(0, 3))
+        line = (tmp_path / "j.jsonl").read_text().strip()
+        wrapper = json.loads(line)
+        assert set(wrapper) == {"crc", "data"}
+        assert len(wrapper["crc"]) == 12
+        # canonical encoding: sorted keys, no spaces
+        assert line.startswith('{"crc":"')
+        assert journal.replay() == [
+            {"op": "delete", "seq": 0, "external_id": 3}
+        ]
+
+    def test_roundtrip_many(self, tmp_path):
+        journal = DeltaJournal(tmp_path / "j.jsonl")
+        records = [
+            DeltaJournal.insert_record(
+                i, 10 + i, np.arange(3, dtype=np.float32) + i, {"v": i}
+            )
+            for i in range(5)
+        ]
+        journal.append_many(records)
+        assert journal.replay() == records
+        assert len(journal) == 5
+
+
+class TestJournalCorruption:
+    def _write_one(self, tmp_path):
+        journal = DeltaJournal(tmp_path / "j.jsonl")
+        journal.append(DeltaJournal.delete_record(0, 3))
+        journal.append(DeltaJournal.delete_record(1, 4))
+        return journal
+
+    def test_missing_file_named(self, tmp_path):
+        with pytest.raises(JournalError, match="j.jsonl.*missing"):
+            DeltaJournal(tmp_path / "j.jsonl").replay()
+
+    def test_torn_line_names_file_and_line(self, tmp_path):
+        journal = self._write_one(tmp_path)
+        raw = journal.path.read_text().splitlines()
+        journal.path.write_text(raw[0] + "\n" + raw[1][: len(raw[1]) // 2])
+        with pytest.raises(JournalError, match=r"j\.jsonl: line 2:"):
+            journal.replay()
+
+    def test_flipped_payload_fails_crc(self, tmp_path):
+        journal = self._write_one(tmp_path)
+        text = journal.path.read_text().replace(
+            '"external_id":4', '"external_id":5'
+        )
+        journal.path.write_text(text)
+        with pytest.raises(
+            JournalError, match=r"line 2: checksum mismatch"
+        ):
+            journal.replay()
+
+    def test_dropped_record_breaks_sequence(self, tmp_path):
+        journal = self._write_one(tmp_path)
+        raw = journal.path.read_text().splitlines()
+        journal.path.write_text(raw[1] + "\n")
+        with pytest.raises(JournalError, match=r"line 1: sequence break"):
+            journal.replay()
+
+
+class TestManifestGolden:
+    def test_manifest_keys_and_files(self, tmp_path):
+        _, root, _ = make_saved(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert set(manifest) == MANIFEST_KEYS
+        assert manifest["format"] == "repro-lifecycle-epoch"
+        assert manifest["format_version"] == 1
+        assert manifest["files"] == [
+            "base.npz", "base_ids.npz", "delta.jsonl"
+        ]
+        assert set(manifest["checksums"]) == set(manifest["files"])
+        for name in manifest["files"]:
+            assert (root / name).exists()
+
+    def test_roundtrip_preserves_search_and_state(self, tmp_path):
+        lc, root, rng = make_saved(tmp_path)
+        restored = load_lifecycle(
+            root, config=LifecycleConfig(), clock=lc.clock
+        )
+        assert restored.current_epoch == lc.current_epoch
+        assert restored.next_external_id == lc.next_external_id
+        assert np.array_equal(restored.live_ids(), lc.live_ids())
+        for _ in range(3):
+            q = rng.standard_normal(DIM).astype(np.float32)
+            a = lc.search(q, TruePredicate(), 5, ef_search=EF_EXHAUSTIVE)
+            b = restored.search(q, TruePredicate(), 5,
+                                ef_search=EF_EXHAUSTIVE)
+            assert a.ids.tolist() == b.ids.tolist()
+            assert a.distances.tolist() == b.distances.tolist()
+
+    def test_restored_lifecycle_keeps_writing(self, tmp_path):
+        lc, root, rng = make_saved(tmp_path)
+        restored = load_lifecycle(root)
+        new_id = restored.insert(
+            rng.standard_normal(DIM).astype(np.float32), {"v": 0}
+        )
+        assert new_id == lc.next_external_id
+        restored.compact(seed=0)
+        assert restored.delta_size() == 0
+
+
+class TestManifestCorruption:
+    def test_missing_manifest_named(self, tmp_path):
+        with pytest.raises(LifecycleLoadError, match="manifest.json"):
+            load_lifecycle(tmp_path / "nope")
+
+    def test_missing_piece_named(self, tmp_path):
+        _, root, _ = make_saved(tmp_path)
+        (root / "base_ids.npz").unlink()
+        with pytest.raises(LifecycleLoadError, match="base_ids.npz"):
+            load_lifecycle(root)
+
+    def test_corrupt_base_named(self, tmp_path):
+        _, root, _ = make_saved(tmp_path)
+        payload = bytearray((root / "base.npz").read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        (root / "base.npz").write_bytes(bytes(payload))
+        with pytest.raises(
+            LifecycleLoadError, match=r"checksum mismatch for .*base\.npz"
+        ):
+            load_lifecycle(root)
+
+    def test_corrupt_journal_line_named(self, tmp_path):
+        _, root, _ = make_saved(tmp_path)
+        journal_path = root / "delta.jsonl"
+        lines = journal_path.read_text().splitlines()
+        lines[0] = lines[0].replace('"op":"insert"', '"op":"INSERT"')
+        journal_path.write_text("\n".join(lines) + "\n")
+        # manifest checksum catches the edit first and names the file
+        with pytest.raises(
+            LifecycleLoadError, match=r"delta\.jsonl"
+        ):
+            load_lifecycle(root)
+
+    def test_wrong_version_refused(self, tmp_path):
+        _, root, _ = make_saved(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(LifecycleLoadError, match="format_version"):
+            load_lifecycle(root)

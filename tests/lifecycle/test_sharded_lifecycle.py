@@ -1,0 +1,176 @@
+"""Sharded lifecycles: scatter-gather equivalence and hot-shard splits.
+
+The sharded composition must be invisible to readers: global-id
+results equal the brute-force oracle over all live entities, before
+and after per-shard compactions and median splits of the hottest
+attribute range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.lifecycle import LifecycleConfig, ShardedLifecycleIndex
+from repro.predicates import Between, TruePredicate
+
+from tests.lifecycle.conftest import DIM, EF_EXHAUSTIVE, PARAMS
+
+pytestmark = pytest.mark.lifecycle
+
+
+def make_sharded_world(seed: int, n: int, n_shards: int = 3):
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, DIM)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("r", rng.integers(0, 100, size=n))
+    table.add_int_column("v", rng.integers(0, 4, size=n))
+    sharded = ShardedLifecycleIndex.build(
+        vectors, table, route_key="r", n_shards=n_shards,
+        params=PARAMS, seed=0, config=LifecycleConfig(),
+    )
+    return sharded, vectors, table, rng
+
+
+class GlobalOracle:
+    """Brute force over every live (global id, vector, row)."""
+
+    def __init__(self, vectors, table):
+        self.entries = {
+            i: (np.asarray(vectors[i], dtype=np.float32), table.row(i))
+            for i in range(len(table))
+        }
+        self.deleted = set()
+        self.next_id = len(table)
+
+    def insert(self, vector, row):
+        self.entries[self.next_id] = (
+            np.asarray(vector, dtype=np.float32), dict(row)
+        )
+        self.next_id += 1
+        return self.next_id - 1
+
+    def delete(self, global_id):
+        if global_id in self.deleted or global_id not in self.entries:
+            return False
+        self.deleted.add(global_id)
+        return True
+
+    def live_ids(self):
+        return np.asarray(
+            sorted(g for g in self.entries if g not in self.deleted),
+            dtype=np.int64,
+        )
+
+    def topk_ids(self, query, predicate, k):
+        live = self.live_ids().tolist()
+        if not live:
+            return []
+        table = AttributeTable(len(live))
+        table.add_int_column(
+            "r", np.asarray([self.entries[g][1]["r"] for g in live])
+        )
+        table.add_int_column(
+            "v", np.asarray([self.entries[g][1]["v"] for g in live])
+        )
+        mask = np.asarray(predicate.mask(table), dtype=bool)
+        passing = np.asarray(live, dtype=np.int64)[mask]
+        if passing.shape[0] == 0:
+            return []
+        mat = np.stack([self.entries[g][0] for g in passing.tolist()])
+        q = np.asarray(query, dtype=np.float32)
+        dists = np.sum((mat - q[None, :]) ** 2, axis=1)
+        order = np.lexsort((passing, dists))[:k]
+        return [int(passing[i]) for i in order.tolist()]
+
+
+PREDICATES = [TruePredicate(), Between("v", 1, 2), Between("r", 10, 60)]
+
+
+def assert_sharded_matches(sharded, oracle, queries, k=5):
+    for q in queries:
+        for pred in PREDICATES:
+            got = sharded.search(q, pred, k, ef_search=EF_EXHAUSTIVE)
+            want = oracle.topk_ids(q, pred, k)
+            assert got.ids.tolist() == want
+    assert np.array_equal(sharded.live_global_ids(), oracle.live_ids())
+
+
+def seeded_mutations(sharded, oracle, rng, n_ops, hot_range=None):
+    for _ in range(n_ops):
+        if rng.random() < 0.3 and oracle.next_id > 0:
+            target = int(rng.integers(0, oracle.next_id))
+            assert sharded.delete(target) == oracle.delete(target)
+        else:
+            if hot_range is not None:
+                key = int(rng.integers(*hot_range))
+            else:
+                key = int(rng.integers(0, 100))
+            vec = rng.standard_normal(DIM).astype(np.float32)
+            row = {"r": key, "v": int(rng.integers(0, 4))}
+            assert sharded.insert(vec, row) == oracle.insert(vec, row)
+
+
+class TestScatterGatherEquivalence:
+    def test_matches_oracle_through_mutations_and_compaction(self):
+        sharded, vectors, table, rng = make_sharded_world(5, 30)
+        oracle = GlobalOracle(vectors, table)
+        queries = rng.standard_normal((3, DIM)).astype(np.float32)
+        assert_sharded_matches(sharded, oracle, queries)
+        seeded_mutations(sharded, oracle, rng, 25)
+        assert_sharded_matches(sharded, oracle, queries)
+        sharded.compact_all(seed=0)
+        assert_sharded_matches(sharded, oracle, queries)
+
+    def test_epoch_telemetry_sums_shards(self):
+        sharded, vectors, table, rng = make_sharded_world(7, 20)
+        q = rng.standard_normal(DIM).astype(np.float32)
+        res = sharded.search(q, TruePredicate(), 5,
+                             ef_search=EF_EXHAUSTIVE)
+        want = sum(s.current_epoch for s in sharded.shards)
+        assert res.epoch == want
+
+
+class TestHotShardSplit:
+    def test_split_preserves_reads_and_global_ids(self):
+        sharded, vectors, table, rng = make_sharded_world(11, 24)
+        oracle = GlobalOracle(vectors, table)
+        queries = rng.standard_normal((3, DIM)).astype(np.float32)
+        # Hammer one attribute range so a single shard heats up.
+        seeded_mutations(sharded, oracle, rng, 30, hot_range=(0, 30))
+        n_before = sharded.n_shards
+        report = sharded.maybe_split(
+            max_live=max(sharded.shard_live_counts()) - 1, seed=0
+        )
+        assert report is not None
+        assert sharded.n_shards == n_before + 1
+        assert report["left_live"] + report["right_live"] >= 2
+        assert sharded.splits == 1
+        assert_sharded_matches(sharded, oracle, queries)
+
+    def test_split_then_more_mutations_stay_consistent(self):
+        sharded, vectors, table, rng = make_sharded_world(13, 24)
+        oracle = GlobalOracle(vectors, table)
+        queries = rng.standard_normal((2, DIM)).astype(np.float32)
+        seeded_mutations(sharded, oracle, rng, 25, hot_range=(40, 80))
+        sharded.maybe_split(
+            max_live=max(sharded.shard_live_counts()) - 1, seed=0
+        )
+        # Writes keep routing correctly across the rewritten table,
+        # including deletes of ids the split physically dropped.
+        seeded_mutations(sharded, oracle, rng, 25)
+        assert_sharded_matches(sharded, oracle, queries)
+        sharded.compact_all(seed=0)
+        assert_sharded_matches(sharded, oracle, queries)
+
+    def test_no_split_when_cold(self):
+        sharded, _, _, _ = make_sharded_world(17, 18)
+        assert sharded.maybe_split(max_live=10_000) is None
+        assert sharded.splits == 0
+
+    def test_stats_shape(self):
+        sharded, _, _, _ = make_sharded_world(19, 18)
+        stats = sharded.stats()
+        assert stats["n_shards"] == sharded.n_shards
+        assert len(stats["shard_live"]) == sharded.n_shards
+        assert stats["live"] == sum(stats["shard_live"])
+        assert len(stats["shards"]) == sharded.n_shards

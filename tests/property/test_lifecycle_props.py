@@ -1,0 +1,148 @@
+"""Property-based tests: lifecycle reads respect the tombstone ledger.
+
+Two safety properties over random op tapes, predicates, and
+compaction points, in the exhaustive regime (``M * gamma >= n``,
+``ef_search`` above any live-set size) where graph search is exact:
+
+* **no ghosts** — a tombstoned external id never appears in any
+  result, from the graph base, a sealed delta, or the active delta;
+* **no holes** — every id the brute-force oracle returns over the live
+  set is returned, in the same order (exactness makes recall@k == 1 a
+  theorem, so a miss is a bug, not noise).
+
+``derandomize=True`` keeps example selection deterministic: the
+suite's verdict never depends on hypothesis' RNG.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes.table import AttributeTable
+from repro.core.params import AcornParams
+from repro.lifecycle import LifecycleConfig, LifecycleIndex
+from repro.predicates import Between, Equals, TruePredicate
+
+pytestmark = pytest.mark.lifecycle
+
+PARAMS = AcornParams(m=8, gamma=8, m_beta=16, ef_construction=48)
+DIM = 6
+EF = 512
+
+
+def make_world(seed, n):
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, DIM)).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("v", rng.integers(0, 3, size=n))
+    return vectors, table, rng
+
+
+def brute_force_ids(entries, deleted, query, predicate, k):
+    """Oracle top-k ids over the live entries dict {id: (vec, row)}."""
+    live = sorted(g for g in entries if g not in deleted)
+    if not live:
+        return []
+    table = AttributeTable(len(live))
+    table.add_int_column(
+        "v", np.asarray([entries[g][1]["v"] for g in live])
+    )
+    mask = np.asarray(predicate.mask(table), dtype=bool)
+    passing = np.asarray(live, dtype=np.int64)[mask]
+    if passing.shape[0] == 0:
+        return []
+    mat = np.stack([entries[g][0] for g in passing.tolist()])
+    dists = np.sum((mat - np.asarray(query)[None, :]) ** 2, axis=1)
+    order = np.lexsort((passing, dists))[:k]
+    return [int(passing[i]) for i in order.tolist()]
+
+
+op_tapes = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 2**20),
+                  st.integers(0, 2)),
+        st.tuples(st.just("delete"), st.integers(0, 60)),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(0, 2**16),
+    n_initial=st.integers(4, 16),
+    tape=op_tapes,
+    compact_every=st.integers(0, 9),
+    k=st.integers(1, 8),
+)
+def test_no_ghosts_and_no_holes(seed, n_initial, tape, compact_every, k):
+    vectors, table, rng = make_world(seed, n_initial)
+    lc = LifecycleIndex.build(
+        vectors, table, params=PARAMS, seed=seed % 31,
+        config=LifecycleConfig(build_seed=seed % 31),
+    )
+    entries = {
+        i: (vectors[i], table.row(i)) for i in range(n_initial)
+    }
+    deleted = set()
+    queries = rng.standard_normal((2, DIM)).astype(np.float32)
+    predicates = [TruePredicate(), Equals("v", 1), Between("v", 0, 1)]
+
+    for i, op in enumerate(tape):
+        if op[0] == "insert":
+            vec_seed, v = op[1], op[2]
+            vec = np.random.default_rng(vec_seed).standard_normal(
+                DIM
+            ).astype(np.float32)
+            ext = lc.insert(vec, {"v": v})
+            entries[ext] = (vec, {"v": v})
+        else:
+            target = op[1]
+            if target < lc.next_external_id:
+                lc.delete(target)
+                if target in entries:
+                    deleted.add(target)
+        if compact_every and i % compact_every == 0:
+            lc.compact(seed=seed % 31)
+
+        for q in queries:
+            for pred in predicates:
+                res = lc.search(q, pred, k, ef_search=EF)
+                got = res.ids.tolist()
+                # no ghosts: tombstoned ids never surface
+                assert not (set(got) & deleted), (
+                    f"tombstoned ids {set(got) & deleted} surfaced "
+                    f"at epoch {res.epoch}"
+                )
+                # no holes: exactly the oracle's ids, in order
+                want = brute_force_ids(entries, deleted, q, pred, k)
+                assert got == want, (
+                    f"lifecycle {got} != oracle {want} at epoch "
+                    f"{res.epoch}"
+                )
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 2**16), n=st.integers(4, 14))
+def test_snapshot_exact_search_is_self_consistent(seed, n):
+    """The snapshot's built-in oracle agrees with its graph search in
+    the exhaustive regime — the invariant that makes it a valid
+    ground-truth source for the bench."""
+    vectors, table, rng = make_world(seed, n)
+    lc = LifecycleIndex.build(vectors, table, params=PARAMS,
+                              seed=seed % 31)
+    for i in range(4):
+        lc.insert(rng.standard_normal(DIM).astype(np.float32),
+                  {"v": i % 3})
+    lc.delete(int(rng.integers(0, n)))
+    snap = lc.acquire_read_snapshot()
+    try:
+        q = rng.standard_normal(DIM).astype(np.float32)
+        for pred in (TruePredicate(), Equals("v", 1)):
+            walk = snap.search(q, pred, 5, ef_search=EF)
+            oracle = snap.exact_search(q, pred, 5)
+            assert walk.ids.tolist() == oracle.ids.tolist()
+            assert np.allclose(walk.distances, oracle.distances)
+    finally:
+        lc.release_read_snapshot(snap)

@@ -9,6 +9,7 @@ from repro.cli import (
     main,
     validate_build_entry,
     validate_chaos_entry,
+    validate_lifecycle_entry,
     validate_quant_entry,
     validate_route_entry,
     validate_serving_entry,
@@ -90,6 +91,21 @@ class TestParser:
         assert args.duration == 2.0
         assert args.flash_multiplier == 4.0
         assert args.out == "BENCH_serving.json"
+        assert args.smoke is False
+
+    def test_bench_lifecycle_defaults(self):
+        args = build_parser().parse_args(["bench-lifecycle"])
+        assert args.n == 8000
+        assert args.dim == 32
+        assert args.k == 10
+        assert args.m == 12
+        assert args.gamma == 12
+        assert args.ef == 64
+        assert args.ops == 2000
+        assert args.reads == 200
+        assert args.delete_fraction == 0.3
+        assert args.recall_floor == 0.7
+        assert args.out == "BENCH_lifecycle.json"
         assert args.smoke is False
 
     def test_bench_quant_rejects_unknown_codec(self):
@@ -311,6 +327,26 @@ class TestCommands:
         # exits nonzero otherwise, but pin it here too.
         assert entry["schedules"]["flash"]["rejected"] >= 1
         assert entry["schedules"]["poisson"]["ok"] >= 1
+
+    def test_bench_lifecycle_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_lifecycle.json"
+        main([
+            "bench-lifecycle", "--n", "300", "--dim", "10", "--m", "8",
+            "--gamma", "8", "--ops", "60", "--reads", "12",
+            "--recall-floor", "0.5", "--smoke", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "-> pass" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        entry = entries[0]
+        validate_lifecycle_entry(entry)
+        assert entry["smoke"] is True
+        assert entry["determinism"] == "pass"
+        assert entry["failed_reads_during_compaction"] == 0
+        assert entry["blocked_reads"] == 0
+        assert entry["compactions"] >= 1
 
     def test_bench_serving_deterministic_across_runs(self, tmp_path):
         """Same seed, same trace — identical entries modulo the

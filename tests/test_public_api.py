@@ -51,6 +51,35 @@ class TestExports:
                 f"repro.serving.__all__ exports missing {name}"
             )
 
+    def test_lifecycle_namespace(self):
+        from repro import lifecycle
+
+        for name in lifecycle.__all__:
+            assert hasattr(lifecycle, name), (
+                f"repro.lifecycle.__all__ exports missing {name}"
+            )
+
+    def test_lifecycle_exports_pinned(self):
+        """The lifecycle surface the docs and serving layer rely on."""
+        from repro import lifecycle
+
+        expected = {
+            "LifecycleIndex", "LifecycleConfig", "EpochSnapshot",
+            "BackgroundCompactor", "CompactorFaultPlan",
+            "ShardedLifecycleIndex", "DeltaJournal",
+            "save_lifecycle", "load_lifecycle",
+        }
+        missing = expected - set(dir(lifecycle))
+        assert not missing, f"repro.lifecycle missing exports: {missing}"
+        # The headline names are also re-exported at top level.
+        import repro
+
+        for name in ("LifecycleIndex", "LifecycleConfig",
+                     "EpochSnapshot", "BackgroundCompactor",
+                     "ShardedLifecycleIndex"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
+
     def test_serving_exports_pinned(self):
         """The serving surface other layers and docs rely on."""
         from repro import serving
