@@ -45,10 +45,15 @@ class PredicateCache:
     """Thread-safe LRU cache of :class:`CompiledPredicate` masks.
 
     Keys are :meth:`Predicate.fingerprint` strings, so two structurally
-    identical predicate objects share one cached mask.  Entries whose
-    mask length no longer matches the table (the table grew) are treated
-    as misses and recompiled, which keeps a long-lived cache correct
-    across snapshot generations.
+    identical predicate objects share one cached mask.  Entries are
+    validated by the *identity* of the table they were compiled against
+    (``compiled.table is table``): a lookup against any other table
+    object — the table grew, or a lifecycle compaction swapped in a new
+    base of the same size — is a miss that recompiles and replaces the
+    entry.  Length comparison is not enough: delete+reinsert churn
+    routinely produces a new base with the old base's length but
+    different rows, and a stale mask applied to it silently filters the
+    wrong entities.
 
     Args:
         capacity: maximum cached masks; least-recently-used entries are
@@ -78,7 +83,7 @@ class PredicateCache:
         key = predicate.fingerprint()
         with self._lock:
             cached = self._entries.get(key)
-            if cached is not None and len(cached) == len(table):
+            if cached is not None and cached.table is table:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return cached, True

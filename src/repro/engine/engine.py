@@ -324,9 +324,23 @@ class SearchEngine:
     ) -> None:
         self.searcher = searcher
         self.num_workers = 1 if num_workers is None else max(int(num_workers), 1)
-        self.table = table if table is not None else resolve_table(searcher)
+        self._table_override = table
         self.cache = PredicateCache(cache_size)
         self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def table(self):
+        """The table predicates currently compile against.
+
+        Re-resolved from the searcher on every read (unless an explicit
+        ``table=`` was given) because lifecycle searchers swap their
+        base table on compaction — a table pinned at construction would
+        go stale and compile masks against rows the published epoch no
+        longer serves.
+        """
+        if self._table_override is not None:
+            return self._table_override
+        return resolve_table(self.searcher)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -408,7 +422,20 @@ class SearchEngine:
             begin_batch = getattr(self.searcher, "begin_batch", None)
             if callable(begin_batch):
                 begin_batch()
-            compiled, hit_flags = self._compile_predicates(batch.predicates)
+            # Compile against the pinned snapshot's base table when one
+            # exists: the searcher's current table can move to a newer
+            # epoch mid-batch, and masks must match the table the
+            # queries will actually be filtered over.
+            table = self._table_override
+            if table is None and snapshot is not None:
+                table = getattr(
+                    getattr(snapshot, "base", None), "table", None
+                )
+            if table is None:
+                table = self.table
+            compiled, hit_flags = self._compile_predicates(
+                batch.predicates, table
+            )
 
             if len(batch) == 0:
                 return BatchResult(
@@ -477,12 +504,14 @@ class SearchEngine:
             num_workers=self.num_workers,
         )
 
-    def _compile_predicates(self, predicates) -> tuple[list, list]:
+    def _compile_predicates(self, predicates, table=None) -> tuple[list, list]:
         """Compile each predicate through the LRU cache (main thread).
 
         Pre-compiled predicates pass through untouched and count as
         cache hits (no mask materialization happened on their behalf).
         """
+        if table is None:
+            table = self.table
         compiled: list[CompiledPredicate] = []
         hit_flags: list[bool] = []
         for predicate in predicates:
@@ -490,12 +519,12 @@ class SearchEngine:
                 compiled.append(predicate)
                 hit_flags.append(True)
                 continue
-            if self.table is None:
+            if table is None:
                 raise ValueError(
                     "engine has no attribute table to compile predicates "
                     "against; pass CompiledPredicate inputs or table="
                 )
-            mask, was_hit = self.cache.get_or_compile(predicate, self.table)
+            mask, was_hit = self.cache.get_or_compile(predicate, table)
             compiled.append(mask)
             hit_flags.append(was_hit)
         return compiled, hit_flags

@@ -22,6 +22,7 @@ from repro.lifecycle.delta import DeltaIndex, DeltaView
 from repro.lifecycle.epoch import EpochSnapshot, LifecycleSearchResult
 from repro.lifecycle.journal import DeltaJournal, JournalError
 from repro.lifecycle.manager import (
+    CompactionInProgress,
     CompactionReport,
     LifecycleConfig,
     LifecycleIndex,
@@ -36,6 +37,7 @@ from repro.lifecycle.sharded import ShardedLifecycleIndex
 __all__ = [
     "BackgroundCompactor",
     "COMPACTION_STAGES",
+    "CompactionInProgress",
     "CompactionReport",
     "CompactorFaultPlan",
     "CompactorKilled",

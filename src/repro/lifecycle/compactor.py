@@ -23,7 +23,11 @@ import dataclasses
 
 import numpy as np
 
-from repro.lifecycle.manager import CompactionReport, LifecycleIndex
+from repro.lifecycle.manager import (
+    CompactionInProgress,
+    CompactionReport,
+    LifecycleIndex,
+)
 from repro.utils.clock import Clock
 
 __all__ = [
@@ -127,8 +131,11 @@ class BackgroundCompactor:
         """One scheduling step: compact if due, survive injected death.
 
         Returns the :class:`CompactionReport` when a compaction ran to
-        completion, None when the policy held it back or the attempt
-        crashed (the crash is counted and the old epoch stays live).
+        completion, None when the policy held it back, the attempt lost
+        the admission race to a concurrent compaction (routine when two
+        hosts tick the same lifecycle — ``should_compact`` drops the
+        lock before ``compact`` reacquires it), or the attempt crashed
+        (the crash is counted and the old epoch stays live).
         """
         now = self.clock.monotonic()
         if (self.last_run_s is not None
@@ -141,6 +148,12 @@ class BackgroundCompactor:
         self.attempts += 1
         try:
             report = self.lifecycle.compact(on_stage=hook)
+        except CompactionInProgress:
+            # Lost the race; nothing ran, so the attempt index (which
+            # drives the seeded fault schedule) is handed back to the
+            # next real attempt.
+            self.attempts -= 1
+            return None
         except CompactorKilled as death:
             self.crashes += 1
             self.last_error = str(death)

@@ -169,9 +169,12 @@ class EpochSnapshot:
         """Merged hybrid search over base + deltas, minus tombstones.
 
         Result ids are **external ids**.  A pre-compiled predicate is
-        honored on the base side when its mask covers the base table
-        (the batch engine compiles against the lifecycle's current base
-        table); otherwise the raw predicate is recompiled per segment.
+        honored on the base side only when it was compiled against
+        *this snapshot's* base table (``compiled.table is base.table``
+        — the batch engine compiles against the table of the epoch it
+        pins); anything else — including a mask of coincidentally equal
+        length compiled before a compaction swapped the base — is
+        recompiled from the raw predicate.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -183,7 +186,7 @@ class EpochSnapshot:
 
         if self.base is not None and len(self.base) > 0:
             if (isinstance(predicate, CompiledPredicate)
-                    and len(predicate) == len(self.base.table)):
+                    and predicate.table is self.base.table):
                 base_mask = predicate.mask
             else:
                 base_mask = np.asarray(

@@ -41,7 +41,18 @@ from repro.lifecycle.delta import DeltaIndex, build_table, table_schema
 from repro.lifecycle.epoch import EpochSnapshot, LifecycleSearchResult
 from repro.utils.clock import Clock, SystemClock
 
-__all__ = ["LifecycleConfig", "LifecycleIndex", "CompactionReport"]
+__all__ = [
+    "CompactionInProgress", "CompactionReport", "LifecycleConfig",
+    "LifecycleIndex",
+]
+
+
+class CompactionInProgress(RuntimeError):
+    """Raised by :meth:`LifecycleIndex.compact` when another compaction
+    holds the merge.  A :class:`RuntimeError` subclass so existing
+    callers keep working; schedulers (``maybe_compact``, the background
+    compactor's ``tick``) catch it and treat the attempt as a no-op —
+    losing the race is routine, not a failure."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -450,7 +461,8 @@ class LifecycleIndex(BatchSearchMixin):
                 the chaos harness's fault-injection point.
 
         Raises:
-            RuntimeError: if a compaction is already in progress.
+            CompactionInProgress: if a compaction is already in
+                progress.
         """
         seed = self.config.build_seed if seed is None else int(seed)
         n_workers = (self.config.n_workers if n_workers is None
@@ -458,7 +470,9 @@ class LifecycleIndex(BatchSearchMixin):
         started = self.clock.monotonic()
         with self._lock:
             if self._compacting:
-                raise RuntimeError("compaction already in progress")
+                raise CompactionInProgress(
+                    "compaction already in progress"
+                )
             self._compacting = True
         try:
             # Stage 1 — cut: seal the active delta and snapshot the
@@ -558,7 +572,11 @@ class LifecycleIndex(BatchSearchMixin):
                 self._compacting = False
 
     def maybe_compact(self, **kwargs) -> CompactionReport | None:
-        """Run :meth:`compact` if the policy fires (cool-down aware)."""
+        """Run :meth:`compact` if the policy fires (cool-down aware).
+
+        Returns None when the policy holds it back — including losing
+        the admission race to a concurrent compaction (the policy check
+        drops the lock before :meth:`compact` reacquires it)."""
         with self._lock:
             if self._compacting:
                 return None
@@ -569,7 +587,10 @@ class LifecycleIndex(BatchSearchMixin):
                 return None
         if not self.should_compact():
             return None
-        return self.compact(**kwargs)
+        try:
+            return self.compact(**kwargs)
+        except CompactionInProgress:
+            return None
 
     # ------------------------------------------------------------------
     # Persistence handoff (see repro.lifecycle.persistence)

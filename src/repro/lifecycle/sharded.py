@@ -31,6 +31,31 @@ from repro.utils.clock import Clock
 __all__ = ["ShardedLifecycleIndex"]
 
 
+def _check_monotone_rev(rev: dict[int, int], where: str) -> None:
+    """Enforce that a shard's local→global id mapping is strictly
+    increasing in local id.
+
+    The scatter-gather top-k contract rests on this invariant: each
+    shard selects its k survivors on ``(distance, local external id)``
+    ties, and only a strictly increasing mapping makes that selection
+    identical to a selection on ``(distance, global id)`` — otherwise,
+    when equal distances straddle the shard's k cut, the shard could
+    drop the tie member with the *smallest* global id and the merged
+    result would differ from the brute-force/``exact_search``
+    tie-break contract.  The mapping is monotone by construction
+    (inserts append on both sides; splits re-home members in ascending
+    global order), so this check is a cheap structural tripwire at the
+    two places the mapping is (re)built.
+    """
+    ordered = [rev[local] for local in sorted(rev)]
+    if any(b <= a for a, b in zip(ordered, ordered[1:])):
+        raise RuntimeError(
+            f"shard local→global id mapping is not strictly increasing "
+            f"after {where}; per-shard tie-breaking would no longer "
+            "match the global (distance, global_id) selection contract"
+        )
+
+
 class ShardedLifecycleIndex:
     """Range-sharded lifecycles over one int route-key column.
 
@@ -130,6 +155,7 @@ class ShardedLifecycleIndex:
             for local, global_id in enumerate(bucket):
                 sharded._route[global_id] = (s, local)
                 rev[local] = global_id
+            _check_monotone_rev(rev, f"build of shard {s}")
             sharded._rev.append(rev)
         sharded.shards = shards
         return sharded
@@ -168,6 +194,9 @@ class ShardedLifecycleIndex:
         global_id = self._next_global
         self._next_global += 1
         self._route[global_id] = (s, local)
+        # Both ids are fresh maxima, so the shard's local→global
+        # mapping stays strictly increasing (the tie-break invariant
+        # _check_monotone_rev pins at build/split time).
         self._rev[s][local] = global_id
         return global_id
 
@@ -200,8 +229,14 @@ class ShardedLifecycleIndex:
                 for d, local in zip(result.distances.tolist(),
                                     result.ids.tolist())
             ])
-        # Re-sort each stream by (distance, global id) — local-id ties
-        # may reorder under the global mapping.
+        # Each shard selected its k survivors on (distance, local id)
+        # ties; because every shard's local→global mapping is strictly
+        # increasing (enforced by _check_monotone_rev wherever the
+        # mapping is built), that selection is identical to selecting
+        # on (distance, global id) — a shard never drops a tie member
+        # the global top-k needs, so the standard scatter-gather merge
+        # argument holds exactly.  The mapped streams are already
+        # sorted under that invariant; the re-sort is cheap insurance.
         streams = [sorted(stream) for stream in streams]
         merged = merge_topk(streams, k)
         from repro.lifecycle.epoch import LifecycleSearchResult
@@ -306,9 +341,13 @@ class ShardedLifecycleIndex:
                 config=self.config, clock=self.clock,
             )
             halves.append(half)
-            half_revs.append({
+            half_rev = {
                 new_local: g for new_local, (g, _) in enumerate(members)
-            })
+            }
+            _check_monotone_rev(
+                half_rev, f"split of shard {shard_idx}"
+            )
+            half_revs.append(half_rev)
 
         # The split shard's tombstoned entities are physically dropped
         # (splits rebuild from the live set); remember them so a repeat

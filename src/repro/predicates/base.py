@@ -37,7 +37,7 @@ class Predicate(abc.ABC):
 
     def compile(self, table: AttributeTable) -> "CompiledPredicate":
         """Materialize this predicate over ``table`` for fast evaluation."""
-        return CompiledPredicate(self, self.mask(table))
+        return CompiledPredicate(self, self.mask(table), table=table)
 
     def fingerprint(self) -> str:
         """Stable identity key for compiled-mask caching.
@@ -86,13 +86,26 @@ class CompiledPredicate:
     Attributes:
         predicate: the source predicate.
         mask: boolean array, ``mask[i]`` iff entity ``i`` passes.
+        table: the table the mask was materialized against, or None for
+            ad-hoc masks (e.g. a predicate mask composed with a
+            tombstone filter).  Consumers that may outlive the table a
+            mask was compiled for — the engine's LRU cache, epoch
+            snapshots whose base is swapped by compaction — validate
+            with ``compiled.table is current_table``: two different
+            tables of equal length must never share a mask.
     """
 
-    __slots__ = ("predicate", "mask", "_passing", "_count")
+    __slots__ = ("predicate", "mask", "table", "_passing", "_count")
 
-    def __init__(self, predicate: Predicate, mask: np.ndarray) -> None:
+    def __init__(
+        self,
+        predicate: Predicate,
+        mask: np.ndarray,
+        table: AttributeTable | None = None,
+    ) -> None:
         self.predicate = predicate
         self.mask = np.asarray(mask, dtype=bool)
+        self.table = table
         self._passing: np.ndarray | None = None
         self._count = int(self.mask.sum())
 

@@ -252,7 +252,7 @@ class AcornService:
         self.clock = clock or SystemClock()
         self.realtime = isinstance(self.clock, SystemClock)
         self.searcher = searcher
-        self.table = table if table is not None else resolve_table(searcher)
+        self._table_override = table
         if self.table is None:
             raise ValueError(
                 "AcornService needs an attribute table to compile tenant "
@@ -260,7 +260,7 @@ class AcornService:
                 "carries one"
             )
         self.engine = SearchEngine(
-            searcher, num_workers=self.config.engine_workers, table=self.table
+            searcher, num_workers=self.config.engine_workers, table=table
         )
         self.tenants = TenantRegistry(
             self.config.default_quota, self.config.quotas, self.clock
@@ -294,6 +294,21 @@ class AcornService:
             "deletes": 0,
             "compactor_ticks": 0,
         }
+
+    @property
+    def table(self):
+        """The table tenant predicates currently compile against.
+
+        Re-resolved from the searcher on every read (unless an explicit
+        ``table=`` was given): lifecycle searchers swap their base
+        table on compaction, and a mask compiled against a stale table
+        must not be applied to the new base.  Epoch snapshots validate
+        masks by table identity, so a mask compiled here just before a
+        compaction is recompiled snapshot-side rather than misapplied.
+        """
+        if self._table_override is not None:
+            return self._table_override
+        return resolve_table(self.searcher)
 
     # ------------------------------------------------------------------
     # Admission + submission
@@ -433,7 +448,10 @@ class AcornService:
         verdict = self._admission_verdict(tenant)
         self.admission_log.append((tenant_id, verdict or f"admit-{op}"))
         if verdict is not None:
-            tenant.rejected += 1
+            # Billed to the tenant's write ledger, not `rejected`:
+            # read-side offered/admitted/rejected must keep reconciling
+            # in summary() under mixed read/write load.
+            tenant.writes_rejected += 1
             self.write_counters["rejected"] += 1
             return WriteResponse(
                 tenant_id=tenant_id, op=op, status=STATUS_REJECTED,

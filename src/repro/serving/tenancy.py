@@ -118,8 +118,13 @@ class TenantState:
         cache: the tenant's private predicate-bitmask cache.
         queue_depth: requests currently waiting in the coalescing
             buffer on this tenant's behalf.
-        admitted / rejected / ok / degraded: cumulative outcome
-            counters (``admitted == ok + degraded`` once drained).
+        admitted / rejected / ok / degraded: cumulative *read-side*
+            outcome counters (``admitted == ok + degraded`` once
+            drained, ``admitted + rejected`` == queries offered).
+        writes_rejected: write submissions shed at admission.  Kept
+            out of ``rejected`` so the read-side reconciliation above
+            survives mixed read/write workloads — the service-level
+            write ledger is likewise separate.
     """
 
     tenant_id: str
@@ -131,6 +136,7 @@ class TenantState:
     rejected: int = 0
     ok: int = 0
     degraded: int = 0
+    writes_rejected: int = 0
 
     def counters(self) -> dict:
         """JSON-serializable outcome counters for this tenant."""
@@ -139,6 +145,7 @@ class TenantState:
             "rejected": self.rejected,
             "ok": self.ok,
             "degraded": self.degraded,
+            "writes_rejected": self.writes_rejected,
         }
 
 

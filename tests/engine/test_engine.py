@@ -218,6 +218,28 @@ def test_predicate_cache_recompiles_on_table_growth(labeled_table):
     assert len(bigger) == len(labeled_table) != len(first)
 
 
+def test_predicate_cache_recompiles_on_same_length_table_swap():
+    """A table swap of *equal* length (a lifecycle compaction after
+    delete+reinsert churn) must miss: length alone cannot tell the new
+    base from the old, and a stale mask filters the wrong rows."""
+    from repro.attributes import AttributeTable
+
+    old = AttributeTable(4)
+    old.add_int_column("label", np.array([0, 0, 1, 1]))
+    new = AttributeTable(4)
+    new.add_int_column("label", np.array([1, 1, 0, 0]))
+    cache = PredicateCache(capacity=4)
+    pred = Equals("label", 0)
+    stale, _ = cache.get_or_compile(pred, old)
+    fresh, was_hit = cache.get_or_compile(pred, new)
+    assert not was_hit
+    assert fresh.table is new and stale.table is old
+    assert fresh.mask.tolist() == [False, False, True, True]
+    # and the new entry replaced the old one under the same fingerprint
+    again, was_hit = cache.get_or_compile(pred, new)
+    assert was_hit and again is fresh
+
+
 def test_predicate_cache_clear_and_capacity_validation(labeled_table):
     with pytest.raises(ValueError, match="capacity"):
         PredicateCache(capacity=0)

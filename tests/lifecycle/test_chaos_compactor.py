@@ -162,3 +162,77 @@ class TestSeededBackgroundChaos:
         got = snap.search(q, TruePredicate(), 5, ef_search=EF_EXHAUSTIVE)
         assert got.ids.tolist() == want_ids
         lc.release_read_snapshot(snap)
+
+
+class TestCompactionContention:
+    """Losing the compaction admission race is a no-op, not a failure.
+
+    ``should_compact()`` drops the lock before ``compact()`` reacquires
+    it, so two concurrent tickers can both see the policy fire; the
+    loser must quietly yield instead of propagating a RuntimeError out
+    of whatever host drove the tick (e.g. an applied write's
+    ``AcornService.submit_write``)."""
+
+    def test_compact_raises_typed_in_progress_error(self):
+        from repro.lifecycle import CompactionInProgress
+
+        lc, _, _ = make_mutated(seed=89)
+        lc._compacting = True
+        try:
+            with pytest.raises(CompactionInProgress):
+                lc.compact(seed=0)
+        finally:
+            lc._compacting = False
+        # still a RuntimeError for callers catching the old contract
+        assert issubclass(CompactionInProgress, RuntimeError)
+
+    def _eager_lifecycle(self, seed):
+        vectors, table, rng = make_world(seed, 20)
+        lc = LifecycleIndex.build(
+            vectors, table, params=PARAMS, seed=0,
+            config=LifecycleConfig(compact_min_delta=1),
+        )
+        apply_ops(lc, RebuildOracle(vectors, table), ops_tape(rng, 20, 10))
+        assert lc.should_compact()
+        return lc
+
+    def test_tick_yields_when_losing_the_race(self):
+        lc = self._eager_lifecycle(seed=91)
+        compactor = BackgroundCompactor(lc)
+
+        def racy_should_compact():
+            # the moment between this ticker's policy check and its
+            # compact() call, a concurrent compaction claims the merge
+            lc._compacting = True
+            return True
+
+        lc.should_compact = racy_should_compact
+        try:
+            assert compactor.tick() is None
+        finally:
+            lc._compacting = False
+            del lc.should_compact
+        # nothing ran: no crash counted, and the attempt index driving
+        # the seeded fault schedule was handed back
+        assert compactor.attempts == 0
+        assert compactor.crashes == 0
+        assert compactor.compactions == 0
+        # with the contention gone, the same compactor completes
+        report = compactor.tick()
+        assert report is not None
+        assert compactor.compactions == 1
+
+    def test_maybe_compact_yields_when_losing_the_race(self):
+        lc = self._eager_lifecycle(seed=97)
+
+        def racy_should_compact():
+            lc._compacting = True
+            return True
+
+        lc.should_compact = racy_should_compact
+        try:
+            assert lc.maybe_compact(seed=0) is None
+        finally:
+            lc._compacting = False
+            del lc.should_compact
+        assert lc.maybe_compact(seed=0) is not None

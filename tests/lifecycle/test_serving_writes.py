@@ -117,6 +117,49 @@ class TestSubmitWrite:
         # the read ledger never saw these writes
         assert service.summary()["offered"] == 0
 
+    def test_write_rejections_stay_off_tenant_read_ledger(self):
+        """A shed write bills tenant.writes_rejected, never the shared
+        `rejected` counter — per-tenant read accounting (admitted +
+        rejected == reads offered, admitted == ok + degraded) must
+        keep reconciling in summary() under mixed read/write load."""
+        service, _, _, clock, rng = make_lifecycle_service(
+            quotas={"greedy": TenantQuota(rate_qps=0.001, burst=2.0,
+                                          max_queue=4)},
+        )
+
+        async def drive():
+            q = rng.standard_normal(DIM).astype(np.float32)
+            read = asyncio.ensure_future(
+                service.submit(q, TruePredicate(), tenant_id="greedy")
+            )
+            await asyncio.sleep(0)  # let the read take its burst token
+            await service.drain()
+            r = await read
+            assert r.ok  # first burst token goes to the read
+            w = await service.submit_write(
+                "insert", tenant_id="greedy",
+                vector=rng.standard_normal(DIM).astype(np.float32),
+                row={"v": 0},
+            )
+            assert w.ok  # second burst token
+            w2 = await service.submit_write(
+                "insert", tenant_id="greedy",
+                vector=rng.standard_normal(DIM).astype(np.float32),
+                row={"v": 0},
+            )
+            assert w2.rejected
+            await service.aclose()
+
+        run(drive())
+        tenant = service.summary()["tenants"]["greedy"]
+        assert tenant["writes_rejected"] == 1
+        assert tenant["rejected"] == 0  # read side untouched
+        assert tenant["admitted"] == 1
+        assert tenant["admitted"] + tenant["rejected"] == 1  # == reads offered
+        assert tenant["ok"] + tenant["degraded"] == tenant["admitted"]
+        # the service-level write ledger still records the shed write
+        assert service.write_counters["rejected"] == 1
+
     def test_closed_service_rejects_writes(self):
         service, _, _, _, rng = make_lifecycle_service()
 

@@ -174,3 +174,68 @@ class TestHotShardSplit:
         assert len(stats["shard_live"]) == sharded.n_shards
         assert stats["live"] == sum(stats["shard_live"])
         assert len(stats["shards"]) == sharded.n_shards
+
+
+class TestGlobalTieBreakContract:
+    """Equal distances straddling a shard's k cut must resolve exactly
+    as the global (distance, global_id) lexsort the oracle uses.
+
+    This works because each shard's local→global id mapping is strictly
+    increasing (enforced by ``_check_monotone_rev``), so the k
+    survivors a shard picks on local-id ties are exactly the k it
+    would pick on global-id ties — a shard can never drop a tie member
+    the global top-k needs.
+    """
+
+    def _tied_world(self, n=18, n_shards=3):
+        rng = np.random.default_rng(41)
+        # every entity shares one vector: all distances tie, so the
+        # entire selection is decided by id tie-breaking alone
+        base_vec = rng.standard_normal(DIM).astype(np.float32)
+        vectors = np.tile(base_vec, (n, 1))
+        table = AttributeTable(n)
+        table.add_int_column("r", np.arange(n) * 5)  # spread over shards
+        table.add_int_column("v", np.zeros(n, dtype=np.int64))
+        sharded = ShardedLifecycleIndex.build(
+            vectors, table, route_key="r", n_shards=n_shards,
+            params=PARAMS, seed=0, config=LifecycleConfig(),
+        )
+        return sharded, vectors, table, base_vec, rng
+
+    def test_all_tied_distances_select_smallest_global_ids(self):
+        sharded, vectors, table, q, _ = self._tied_world()
+        oracle = GlobalOracle(vectors, table)
+        for k in (1, 4, 5, 7, 18):
+            got = sharded.search(q, TruePredicate(), k,
+                                 ef_search=EF_EXHAUSTIVE)
+            assert got.ids.tolist() == oracle.topk_ids(q, TruePredicate(), k)
+            assert got.ids.tolist() == list(range(min(k, 18)))
+
+    def test_ties_across_mutations_and_compaction(self):
+        sharded, vectors, table, q, rng = self._tied_world()
+        oracle = GlobalOracle(vectors, table)
+        # delete low globals so the tie-group membership shifts, then
+        # insert more duplicates of the same vector into every range
+        for g in (0, 2, 4, 7):
+            assert sharded.delete(g) == oracle.delete(g)
+        for r in (1, 31, 61):
+            row = {"r": r, "v": 0}
+            assert sharded.insert(q, row) == oracle.insert(q, row)
+        for k in (3, 5, 8):
+            got = sharded.search(q, TruePredicate(), k,
+                                 ef_search=EF_EXHAUSTIVE)
+            assert got.ids.tolist() == oracle.topk_ids(q, TruePredicate(), k)
+        sharded.compact_all(seed=0)
+        for k in (3, 5, 8):
+            got = sharded.search(q, TruePredicate(), k,
+                                 ef_search=EF_EXHAUSTIVE)
+            assert got.ids.tolist() == oracle.topk_ids(q, TruePredicate(), k)
+
+    def test_monotone_rev_tripwire_fires_on_corrupt_mapping(self):
+        from repro.lifecycle.sharded import _check_monotone_rev
+
+        _check_monotone_rev({0: 3, 1: 7, 2: 9}, "ok")  # strictly increasing
+        with pytest.raises(RuntimeError, match="strictly increasing"):
+            _check_monotone_rev({0: 7, 1: 3}, "corrupt")
+        with pytest.raises(RuntimeError, match="tie-break"):
+            _check_monotone_rev({0: 3, 1: 3}, "duplicate")
