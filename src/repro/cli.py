@@ -32,8 +32,16 @@ float32 search on the same graph — batch-QPS speedup, recall floor,
 and a double-run determinism gate) and ``bench-lifecycle`` to
 ``BENCH_lifecycle.json`` (read QPS and exact recall under a concurrent
 seeded write stream with online compaction — gated on a double
-virtual-replay determinism check and on zero failed or blocked reads;
+virtual-replay determinism check and on zero failed or blocked reads)
+and ``bench-parallel`` to ``BENCH_parallel.json`` (the zero-copy
+shared-memory process executor vs the thread executor at 1/2/4/8
+workers — gated on byte-identity to the sequential loop, a double-run
+determinism check, in-worker shared-memory buffer identity, and, on
+machines with >= 4 CPUs, a 2x process-vs-thread batch-QPS floor;
 ``--smoke`` turns any of them into a CI regression gate).
+``bench-report`` aggregates every ``BENCH_*.json`` in a directory into
+one markdown perf-trajectory table (``BENCH_REPORT.md``) and an
+optional CSV.
 """
 
 from __future__ import annotations
@@ -263,6 +271,7 @@ from repro.eval.benchschema import (  # noqa: E402  (re-export)
     BUILD_SCHEMA_KEYS,
     CHAOS_SCHEMA_KEYS,
     LIFECYCLE_SCHEMA_KEYS,
+    PARALLEL_SCHEMA_KEYS,
     QUANT_SCHEMA_KEYS,
     ROUTE_SCHEMA_KEYS,
     SERVING_SCHEMA_KEYS,
@@ -271,6 +280,7 @@ from repro.eval.benchschema import (  # noqa: E402  (re-export)
     validate_build_entry,
     validate_chaos_entry,
     validate_lifecycle_entry,
+    validate_parallel_entry,
     validate_quant_entry,
     validate_route_entry,
     validate_serving_entry,
@@ -1572,6 +1582,269 @@ def _cmd_bench_lifecycle(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_bench_parallel(args: argparse.Namespace) -> None:
+    import os
+
+    from repro.parallel import (
+        COPY_FIXUPS,
+        parallel_available,
+        reset_fixup_counters,
+    )
+
+    if args.smoke:
+        args.n = min(args.n, 1500)
+        args.queries = min(args.queries, 32)
+        args.workers = "1,2"
+
+    worker_counts = sorted({int(w) for w in args.workers.split(",")})
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+
+    if not parallel_available():
+        # CI containers without /dev/shm: report and exit clean so the
+        # smoke job can skip gracefully instead of failing.
+        print("shared memory unavailable on this host; "
+              "bench-parallel skipped")
+        return
+
+    print(f"generating parallel workload (n={args.n}, dim={args.dim}, "
+          f"queries={args.queries}, {args.distinct_predicates} distinct "
+          f"regex predicates, {cpus} cpus)...")
+    vectors, table, queries, predicates = _make_bench_world(
+        args.n, args.dim, args.queries, args.distinct_predicates, args.seed
+    )
+    params = AcornParams(m=args.m, gamma=args.gamma, m_beta=2 * args.m,
+                         ef_construction=40)
+    with Timer() as t:
+        index = AcornIndex.build(vectors, table, params=params,
+                                 seed=args.seed)
+    print(f"built ACORN-gamma (m={args.m}, gamma={args.gamma}) "
+          f"in {t.elapsed:.1f}s")
+    index.freeze()
+    reset_fixup_counters()
+
+    batch = QueryBatch.build(queries, predicates, k=args.k,
+                             ef_search=args.ef)
+
+    def result_key(outcome):
+        return [
+            (r.ids.tobytes(), r.distances.tobytes(),
+             r.distance_computations, s.hops, s.visited_nodes)
+            for r, s in zip(outcome.results, outcome.stats)
+        ]
+
+    with SearchEngine(index, num_workers=1, executor="sync") as engine:
+        engine.search_batch(batch)  # warm the predicate cache
+        with Timer() as t:
+            sync_outcome = engine.search_batch(batch)
+        sync_qps = len(queries) / t.elapsed
+    sync_key = result_key(sync_outcome)
+    print(f"\nsync baseline       : {sync_qps:10.1f} qps")
+
+    thread_qps = {}
+    for workers in worker_counts:
+        with SearchEngine(index, num_workers=workers,
+                          executor="thread") as engine:
+            engine.search_batch(batch)  # warm the pool
+            with Timer() as t:
+                outcome = engine.search_batch(batch)
+            thread_qps[workers] = len(queries) / t.elapsed
+        if result_key(outcome) != sync_key:
+            raise SystemExit(
+                f"thread executor at {workers} workers diverged from sync"
+            )
+        print(f"thread, {workers:2d} worker(s) : "
+              f"{thread_qps[workers]:10.1f} qps")
+
+    process_qps = {}
+    results_identical = True
+    deterministic = True
+    zero_copy = False
+    arena_nbytes = 0
+    pool_stats = {"spawns": 0, "deaths": 0}
+    for workers in worker_counts:
+        with SearchEngine(index, num_workers=workers,
+                          executor="process") as engine:
+            engine.search_batch(batch)  # warm spawn + arena pins
+            with Timer() as t:
+                outcome_a = engine.search_batch(batch)
+            process_qps[workers] = len(queries) / t.elapsed
+            outcome_b = engine.search_batch(batch)
+            if engine.process_fallbacks:
+                raise SystemExit(
+                    "process executor fell back to threads: "
+                    f"{engine.last_fallback_reason}"
+                )
+            key_a = result_key(outcome_a)
+            results_identical &= key_a == sync_key
+            deterministic &= key_a == result_key(outcome_b)
+            if workers == worker_counts[-1]:
+                # Zero-copy evidence from inside a worker: its hot
+                # arrays must alias the mapped arena buffer.
+                record = engine._arena_manager.current
+                report = engine._proc_pool.call(
+                    0, "introspect", {"token": record.token},
+                    pin=(record.token,
+                         {"manifest": record.arena.manifest(),
+                          "spec": record.spec}),
+                )
+                zero_copy = bool(report["vectors_shared"]
+                                 and report["csr_shared"]
+                                 and not report["vectors_writeable"])
+                arena_nbytes = int(report["arena_nbytes"])
+                pool_stats = {
+                    key: engine._proc_pool.stats()[key]
+                    for key in ("spawns", "deaths")
+                }
+        ratio = process_qps[workers] / thread_qps[workers]
+        print(f"process, {workers:2d} worker(s): "
+              f"{process_qps[workers]:10.1f} qps ({ratio:.2f}x thread)")
+
+    ratios = {w: process_qps[w] / thread_qps[w] for w in worker_counts}
+    at4 = ratios.get(4, max(ratios.values()))
+    fixup_copies = int(sum(COPY_FIXUPS.values()))
+    gate_enforced = bool(cpus >= 4 and 4 in worker_counts
+                         and not args.smoke)
+    print(f"\nbyte-identical to sync : {results_identical}")
+    print(f"double-run determinism : {deterministic}")
+    print(f"zero-copy (in-worker)  : {zero_copy} "
+          f"({arena_nbytes / 1e6:.1f} MB arena, "
+          f"{fixup_copies} fixup copies)")
+    gate_label = ("enforced" if gate_enforced
+                  else f"recorded only — {cpus} cpu(s)")
+    print(f"process/thread at 4    : {at4:.2f}x ({gate_label})")
+
+    entry = {
+        "bench": "parallel",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": args.n,
+        "dim": args.dim,
+        "queries": args.queries,
+        "k": args.k,
+        "ef_search": args.ef,
+        "m": args.m,
+        "gamma": args.gamma,
+        "smoke": bool(args.smoke),
+        "cpus": int(cpus),
+        "index": "acorn-gamma",
+        "sync_qps": round(sync_qps, 2),
+        "thread_qps_by_workers": {
+            str(w): round(q, 2) for w, q in thread_qps.items()
+        },
+        "process_qps_by_workers": {
+            str(w): round(q, 2) for w, q in process_qps.items()
+        },
+        "process_vs_thread_at_4": round(at4, 3),
+        "best_process_vs_thread": round(max(ratios.values()), 3),
+        "results_identical": bool(results_identical),
+        "deterministic": bool(deterministic),
+        "zero_copy": bool(zero_copy),
+        "arena_nbytes": arena_nbytes,
+        "fixup_copies": fixup_copies,
+        "pool": pool_stats,
+        "gate_enforced": gate_enforced,
+    }
+    validate_parallel_entry(entry)
+    out = Path(args.out)
+    entries = json.loads(out.read_text()) if out.exists() else []
+    entries.append(entry)
+    out.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"recorded entry in {out}")
+
+
+# bench-report: headline metrics pulled per bench kind, in the order
+# they should appear in the table.  Keys absent from an entry are
+# skipped, so older records with narrower schemas still render.
+_REPORT_HEADLINES = {
+    "engine-batch": ("engine_qps", "speedup_vs_sequential"),
+    "traversal-kernel": ("batch_qps_speedup", "hops_per_s_speedup"),
+    "shard-scatter-gather": ("sharded_qps", "qps_ratio", "prune_fraction"),
+    "shard-chaos": ("degraded_queries", "min_recall_ceiling"),
+    "build-tti": ("speedup", "recall_gap"),
+    "route": ("adaptive_qps_speedup", "adaptive_dc_speedup",
+              "recall_delta"),
+    "quant": ("batch_qps_speedup", "quantization"),
+    "serving": ("rate_qps", "deterministic"),
+    "lifecycle": ("read_qps", "recall_at_k", "compactions"),
+    "parallel": ("process_vs_thread_at_4", "best_process_vs_thread",
+                 "cpus", "zero_copy"),
+}
+
+
+def _report_rows(bench_dir: Path) -> list[dict]:
+    """One row per recorded bench entry across every BENCH_*.json."""
+    rows = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path.name}: {exc}")
+            continue
+        if not isinstance(entries, list):
+            print(f"skipping {path.name}: not a JSON array")
+            continue
+        for run, entry in enumerate(entries):
+            bench = str(entry.get("bench", path.stem))
+            headline_keys = _REPORT_HEADLINES.get(bench, ())
+            headline = "  ".join(
+                f"{key}={entry[key]}" for key in headline_keys
+                if key in entry
+            )
+            rows.append({
+                "file": path.name,
+                "bench": bench,
+                "run": run + 1,
+                "timestamp": str(entry.get("timestamp", "")),
+                "n": entry.get("n", ""),
+                "queries": entry.get("queries", ""),
+                "smoke": entry.get("smoke", False),
+                "headline": headline,
+            })
+    return rows
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> None:
+    bench_dir = Path(args.dir)
+    rows = _report_rows(bench_dir)
+    if not rows:
+        raise SystemExit(f"no BENCH_*.json files found in {bench_dir}")
+
+    columns = ("file", "bench", "run", "timestamp", "n", "queries",
+               "smoke", "headline")
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Aggregated from every `BENCH_*.json` in this directory by "
+        "`python -m repro bench-report`.  One row per recorded run, in "
+        "file order then run order — the per-file sequence is the "
+        "perf trajectory across PRs.",
+        "",
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row[col]) for col in columns) + " |"
+        )
+    lines.append("")
+    report = "\n".join(lines)
+    out = Path(args.out)
+    out.write_text(report)
+    print(f"wrote {out} ({len(rows)} runs across "
+          f"{len({row['file'] for row in rows})} files)")
+
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {args.csv}")
+
+
 def _cmd_info(_args: argparse.Namespace) -> None:
     print(f"repro {repro.__version__} — ACORN (SIGMOD 2024) reproduction")
     print(f"numpy {np.__version__}")
@@ -1846,6 +2119,47 @@ def build_parser() -> argparse.ArgumentParser:
              "compaction, and concurrent recall clears the floor",
     )
     lifecycle.set_defaults(func=_cmd_bench_lifecycle)
+
+    par = sub.add_parser(
+        "bench-parallel",
+        help="zero-copy shared-memory process executor vs the thread "
+             "executor, gated on byte-identity, double-run determinism, "
+             "and in-worker buffer identity",
+    )
+    par.add_argument("--n", type=int, default=10000)
+    par.add_argument("--queries", type=int, default=256)
+    par.add_argument("--dim", type=int, default=32)
+    par.add_argument("--k", type=int, default=10)
+    par.add_argument("--m", type=int, default=12)
+    par.add_argument("--gamma", type=int, default=12)
+    par.add_argument("--ef", type=int, default=32)
+    par.add_argument("--workers", default="1,2,4,8",
+                     help="comma-separated worker counts to sweep")
+    par.add_argument("--distinct-predicates", type=int, default=8)
+    par.add_argument("--seed", type=int, default=0)
+    par.add_argument("--out", default="BENCH_parallel.json")
+    par.add_argument(
+        "--smoke", action="store_true",
+        help="small workload at 1,2 workers; exit nonzero unless "
+             "process results are byte-identical to the sequential "
+             "loop, deterministic across a double run, and served "
+             "zero-copy from shared memory (the 2x QPS gate applies "
+             "to full runs on >= 4 CPUs only); exits clean with a "
+             "skip notice when shared memory is unavailable",
+    )
+    par.set_defaults(func=_cmd_bench_parallel)
+
+    report = sub.add_parser(
+        "bench-report",
+        help="aggregate every BENCH_*.json into one markdown "
+             "perf-trajectory table (and optional CSV)",
+    )
+    report.add_argument("--dir", default=".",
+                        help="directory to scan for BENCH_*.json")
+    report.add_argument("--out", default="BENCH_REPORT.md")
+    report.add_argument("--csv", default=None,
+                        help="also write the rows as CSV to this path")
+    report.set_defaults(func=_cmd_bench_report)
 
     info = sub.add_parser("info", help="version and environment summary")
     info.set_defaults(func=_cmd_info)

@@ -27,6 +27,7 @@ class BatchSearchMixin:
         ef_search: int = 64,
         num_workers: int | None = None,
         with_stats: bool = False,
+        executor: str = "thread",
     ):
         """Answer many hybrid queries through the batch engine.
 
@@ -43,6 +44,11 @@ class BatchSearchMixin:
                 :class:`~repro.engine.engine.BatchResult` (per-query
                 :class:`~repro.engine.instrumentation.QueryStats`,
                 latency percentiles) instead of the bare result list.
+            executor: fan-out mechanism forwarded to the engine
+                (``"thread"``/``"process"``/``"sync"``).  Note the
+                throwaway engine here rebuilds the shared-memory arena
+                every call — long-lived process dispatch should hold a
+                :class:`~repro.engine.engine.SearchEngine` instead.
 
         Returns:
             ``list[SearchResult]`` in query order, or a ``BatchResult``
@@ -51,6 +57,8 @@ class BatchSearchMixin:
         from repro.engine.engine import QueryBatch, SearchEngine
 
         batch = QueryBatch.build(queries, predicates, k=k, ef_search=ef_search)
-        with SearchEngine(self, num_workers=num_workers) as engine:
+        with SearchEngine(
+            self, num_workers=num_workers, executor=executor
+        ) as engine:
             result = engine.search_batch(batch)
         return result if with_stats else result.results

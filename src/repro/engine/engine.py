@@ -22,6 +22,7 @@ Thread safety rests on two invariants established elsewhere:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -31,6 +32,35 @@ from repro.engine.cache import CacheInfo, PredicateCache
 from repro.engine.instrumentation import QueryStats
 from repro.hnsw.hnsw import SearchResult
 from repro.predicates.base import CompiledPredicate, Predicate
+
+
+def _result_stats(
+    index: int, result: SearchResult, elapsed: float, cache_hit: bool
+) -> QueryStats:
+    """One query's QueryStats from its SearchResult (shared by every
+    executor path, so counters are identical across them)."""
+    return QueryStats(
+        query_index=index,
+        distance_computations=int(result.distance_computations),
+        hops=int(getattr(result, "hops", 0)),
+        visited_nodes=int(getattr(result, "visited_nodes", 0)),
+        predicate_cache_hit=cache_hit,
+        wall_time_s=elapsed,
+        shards_probed=int(getattr(result, "shards_probed", 0)),
+        shards_pruned=int(getattr(result, "shards_pruned", 0)),
+        shards_failed=int(getattr(result, "shards_failed", 0)),
+        shards_timed_out=int(getattr(result, "shards_timed_out", 0)),
+        degraded=bool(getattr(result, "degraded", False)),
+        recall_ceiling=float(getattr(result, "recall_ceiling", 1.0)),
+        route_chosen=str(getattr(result, "route_chosen", "")),
+        route_reason=str(getattr(result, "route_reason", "")),
+        fallback_triggered=bool(getattr(result, "fallback_triggered", False)),
+        estimator_error=float(getattr(result, "estimator_error", 0.0)),
+        quantized_distances=int(getattr(result, "quantized_distances", 0)),
+        rerank_distances=int(getattr(result, "rerank_distances", 0)),
+        rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
+        epoch=int(getattr(result, "epoch", 0)),
+    )
 
 
 def resolve_table(searcher):
@@ -313,6 +343,20 @@ class SearchEngine:
         table: attribute table for predicate compilation; defaults to
             the searcher's own table (``searcher.table`` or
             ``searcher.index.table``).
+        executor: batch fan-out mechanism.  ``"thread"`` (default)
+            keeps the historical ``ThreadPoolExecutor`` path;
+            ``"sync"`` forces the inline sequential loop regardless of
+            ``num_workers``; ``"process"`` fans chunks across a
+            persistent spawned worker pool reading the index through a
+            zero-copy shared-memory arena (``docs/parallelism.md``).
+            All three produce byte-identical results — the process path
+            falls back to threads when shared memory is unavailable or
+            the searcher cannot be snapshotted (``process_fallbacks`` /
+            ``last_fallback_reason`` record every such downgrade).
+        process_pool: a shared
+            :class:`~repro.parallel.pool.ProcessPool` to dispatch on;
+            ``None`` lazily creates a pool owned (and closed) by this
+            engine.
     """
 
     def __init__(
@@ -321,12 +365,30 @@ class SearchEngine:
         num_workers: int | None = None,
         cache_size: int = 64,
         table=None,
+        executor: str = "thread",
+        process_pool=None,
     ) -> None:
+        from repro.parallel import resolve_executor
+
         self.searcher = searcher
         self.num_workers = 1 if num_workers is None else max(int(num_workers), 1)
         self._table_override = table
         self.cache = PredicateCache(cache_size)
         self._pool: ThreadPoolExecutor | None = None
+        self.executor = resolve_executor(executor)
+        self._proc_pool = process_pool
+        self._own_proc_pool = process_pool is None
+        self._arena_manager = None
+        self._closed = False
+        #: process→thread downgrades this engine performed, and why the
+        #: latest one happened (telemetry; tests pin clean fallback).
+        self.process_fallbacks = 0
+        self.last_fallback_reason = ""
+        #: chunks re-dispatched after a worker crash, and chunks that
+        #: ultimately ran inline because the respawned worker crashed
+        #: again (the never-fail ladder: process → retry → inline).
+        self.chunk_retries = 0
+        self.chunk_inline_fallbacks = 0
 
     @property
     def table(self):
@@ -347,17 +409,34 @@ class SearchEngine:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down.
+        """Shut the worker pools and shared-memory arenas down.
 
         Idempotent and interpreter-teardown safe: a second ``close``
         (including the implicit one from ``__del__`` after an explicit
         close, or a ``__del__`` racing a failed ``__init__``) is a
-        no-op rather than an error.
+        no-op rather than an error.  After an explicit close,
+        :meth:`search_batch` raises ``RuntimeError`` — a closed engine
+        has unlinked its shared-memory segments and must not silently
+        re-create them.
         """
+        self._closed = True
         pool = getattr(self, "_pool", None)
         if pool is not None:
             self._pool = None
             pool.shutdown(wait=True)
+        proc_pool = getattr(self, "_proc_pool", None)
+        if proc_pool is not None and getattr(self, "_own_proc_pool", False):
+            self._proc_pool = None
+            proc_pool.close()
+        manager = getattr(self, "_arena_manager", None)
+        if manager is not None:
+            self._arena_manager = None
+            manager.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
 
     def __enter__(self) -> "SearchEngine":
         return self
@@ -380,6 +459,129 @@ class SearchEngine:
         return self._pool
 
     # ------------------------------------------------------------------
+    # Process executor plumbing
+    # ------------------------------------------------------------------
+
+    def _process_pool(self):
+        """The engine's process pool (lazily created when owned)."""
+        if self._proc_pool is None:
+            from repro.parallel import ProcessPool
+
+            self._proc_pool = ProcessPool(self.num_workers)
+            self._own_proc_pool = True
+        return self._proc_pool
+
+    def _ensure_arena(self, searcher, token: str):
+        """The live arena record for ``token``, publishing on change.
+
+        Publishing retires the previous epoch's arena (unlinked once
+        its refcount drains) and broadcasts an unpin so warm workers
+        drop their stale mappings instead of accumulating them.
+        """
+        from repro.parallel import ArenaManager, build_snapshot, snapshot_refs
+
+        if self._arena_manager is None:
+            self._arena_manager = ArenaManager()
+        manager = self._arena_manager
+        record = manager.current
+        if record is not None and record.token == token:
+            return record
+        old_token = record.token if record is not None else None
+        spec, arrays = build_snapshot(searcher)
+        record = manager.publish(
+            token, arrays, spec, refs=snapshot_refs(searcher)
+        )
+        if old_token is not None and self._proc_pool is not None \
+                and not self._proc_pool.closed:
+            self._proc_pool.unpin_all(old_token)
+        return record
+
+    def _process_pairs(self, searcher, batch, compiled, hit_flags, run_one):
+        """Fan contiguous query chunks across the process pool.
+
+        Returns ordered ``(result, stats)`` pairs, or ``None`` when the
+        process path cannot run (unsupported searcher, shared memory
+        unavailable) and the caller should use the thread path instead —
+        the fallback is counted, never silent.  A chunk whose worker
+        crashes is retried once on the respawned slot, then runs inline
+        in the parent: a dying worker degrades throughput, never the
+        batch.
+        """
+        from repro import parallel as par
+
+        try:
+            token = par.snapshot_token(searcher)
+        except par.UnsupportedSearcher as exc:
+            self.process_fallbacks += 1
+            self.last_fallback_reason = f"unsupported searcher: {exc}"
+            return None
+        if not par.parallel_available():
+            self.process_fallbacks += 1
+            self.last_fallback_reason = "shared memory unavailable"
+            return None
+
+        record = self._ensure_arena(searcher, token)
+        manager = self._arena_manager
+        manager.acquire(record)
+        try:
+            pool = self._process_pool()
+            pin = (token, {"manifest": record.arena.manifest(),
+                           "spec": record.spec})
+            nq = len(batch)
+            bounds = np.linspace(
+                0, nq, min(self.num_workers, nq) + 1
+            ).astype(int)
+            jobs = []
+            for slot in range(len(bounds) - 1):
+                lo, hi = int(bounds[slot]), int(bounds[slot + 1])
+                if lo == hi:
+                    continue
+                digests = []
+                masks = {}
+                for row in range(lo, hi):
+                    mask = compiled[row].mask
+                    digest = hashlib.sha1(mask.tobytes()).digest()
+                    digests.append(digest)
+                    if digest not in masks:
+                        masks[digest] = mask.tobytes()
+                payload = {
+                    "token": token,
+                    "queries": np.ascontiguousarray(batch.queries[lo:hi]),
+                    "k": batch.k,
+                    "ef_search": batch.ef_search,
+                    "mask_digests": digests,
+                    "masks": masks,
+                }
+                jobs.append((slot, lo, hi, payload))
+
+            def run_chunk(job):
+                slot, lo, hi, payload = job
+                try:
+                    out = pool.call(slot, "search_chunk", payload, pin=pin)
+                except par.WorkerCrash:
+                    self.chunk_retries += 1
+                    try:
+                        out = pool.call(
+                            slot, "search_chunk", payload, pin=pin
+                        )
+                    except par.WorkerCrash:
+                        self.chunk_inline_fallbacks += 1
+                        return [run_one(i) for i in range(lo, hi)]
+                return [
+                    (result, _result_stats(lo + offset, result, elapsed,
+                                           hit_flags[lo + offset]))
+                    for offset, (result, elapsed) in enumerate(out)
+                ]
+
+            if len(jobs) == 1:
+                chunk_outputs = [run_chunk(jobs[0])]
+            else:
+                chunk_outputs = list(self._executor().map(run_chunk, jobs))
+            return [pair for output in chunk_outputs for pair in output]
+        finally:
+            manager.release(record)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
@@ -396,6 +598,11 @@ class SearchEngine:
         (``queries, predicates, k, ef_search``) which are normalized via
         :meth:`QueryBatch.build`.
         """
+        if self._closed:
+            raise RuntimeError(
+                "SearchEngine is closed; create a new engine (close() "
+                "released its worker pools and shared-memory arenas)"
+            )
         if not isinstance(batch, QueryBatch):
             if k is None:
                 raise ValueError(
@@ -451,48 +658,26 @@ class SearchEngine:
                     ef_search=batch.ef_search,
                 )
                 elapsed = time.perf_counter() - begin
-                stats = QueryStats(
-                    query_index=index,
-                    distance_computations=int(result.distance_computations),
-                    hops=int(getattr(result, "hops", 0)),
-                    visited_nodes=int(getattr(result, "visited_nodes", 0)),
-                    predicate_cache_hit=hit_flags[index],
-                    wall_time_s=elapsed,
-                    shards_probed=int(getattr(result, "shards_probed", 0)),
-                    shards_pruned=int(getattr(result, "shards_pruned", 0)),
-                    shards_failed=int(getattr(result, "shards_failed", 0)),
-                    shards_timed_out=int(
-                        getattr(result, "shards_timed_out", 0)
-                    ),
-                    degraded=bool(getattr(result, "degraded", False)),
-                    recall_ceiling=float(
-                        getattr(result, "recall_ceiling", 1.0)
-                    ),
-                    route_chosen=str(getattr(result, "route_chosen", "")),
-                    route_reason=str(getattr(result, "route_reason", "")),
-                    fallback_triggered=bool(
-                        getattr(result, "fallback_triggered", False)
-                    ),
-                    estimator_error=float(
-                        getattr(result, "estimator_error", 0.0)
-                    ),
-                    quantized_distances=int(
-                        getattr(result, "quantized_distances", 0)
-                    ),
-                    rerank_distances=int(
-                        getattr(result, "rerank_distances", 0)
-                    ),
-                    rerank_factor=float(getattr(result, "rerank_factor", 0.0)),
-                    epoch=int(getattr(result, "epoch", 0)),
+                return result, _result_stats(
+                    index, result, elapsed, hit_flags[index]
                 )
-                return result, stats
 
-            if self.num_workers == 1 or len(batch) == 1:
-                pairs = [run_one(i) for i in range(len(batch))]
-            else:
-                # executor.map yields in submission order, so result
-                # ordering is deterministic whatever the completion order.
-                pairs = list(self._executor().map(run_one, range(len(batch))))
+            pairs = None
+            if self.executor == "process":
+                pairs = self._process_pairs(
+                    searcher, batch, compiled, hit_flags, run_one
+                )
+            if pairs is None:
+                if (self.executor == "sync" or self.num_workers == 1
+                        or len(batch) == 1):
+                    pairs = [run_one(i) for i in range(len(batch))]
+                else:
+                    # executor.map yields in submission order, so result
+                    # ordering is deterministic whatever the completion
+                    # order.
+                    pairs = list(
+                        self._executor().map(run_one, range(len(batch)))
+                    )
         finally:
             if snapshot is not None:
                 self.searcher.release_read_snapshot(snapshot)

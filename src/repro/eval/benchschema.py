@@ -656,3 +656,90 @@ def validate_lifecycle_entry(entry: dict) -> None:
             f"determinism gate did not pass: {entry['determinism']!r} "
             "(two seeded runs must produce identical read results)"
         )
+
+
+PARALLEL_SCHEMA_KEYS = {
+    "bench", "timestamp", "n", "dim", "queries", "k", "ef_search", "m",
+    "gamma", "smoke", "cpus", "index", "sync_qps",
+    "thread_qps_by_workers", "process_qps_by_workers",
+    "process_vs_thread_at_4", "best_process_vs_thread",
+    "results_identical", "deterministic", "zero_copy", "arena_nbytes",
+    "fixup_copies", "pool", "gate_enforced",
+}
+
+
+def validate_parallel_entry(entry: dict) -> None:
+    """Check one BENCH_parallel.json record against the schema.
+
+    Beyond key presence and types, enforces the process-executor
+    contract the bench exists to witness: results byte-identical to the
+    sequential loop, deterministic across a double run, workers reading
+    the index through shared memory with zero one-time canonicalization
+    copies, and — when ``gate_enforced`` (>= 4 CPUs, full run) — the
+    >= 2x process-vs-thread batch-QPS floor at 4 workers.
+
+    Raises:
+        ValueError: if required keys are missing, mis-typed, or the
+            invariants are violated.  Used by the CI parallel job and
+            ``tests/test_cli.py``.
+    """
+    missing = PARALLEL_SCHEMA_KEYS - entry.keys()
+    if missing:
+        raise ValueError(
+            f"bench-parallel entry missing keys: {sorted(missing)}"
+        )
+    for key in ("n", "dim", "queries", "k", "ef_search", "m", "gamma",
+                "cpus", "arena_nbytes", "fixup_copies"):
+        if not isinstance(entry[key], int):
+            raise ValueError(f"{key} must be an int")
+    for key in ("sync_qps", "process_vs_thread_at_4",
+                "best_process_vs_thread"):
+        if not isinstance(entry[key], (int, float)):
+            raise ValueError(f"{key} must be numeric")
+    for key in ("smoke", "results_identical", "deterministic",
+                "zero_copy", "gate_enforced"):
+        if not isinstance(entry[key], bool):
+            raise ValueError(f"{key} must be a bool")
+    for key in ("thread_qps_by_workers", "process_qps_by_workers"):
+        sub = entry[key]
+        if not isinstance(sub, dict) or not sub:
+            raise ValueError(f"{key} must be a non-empty object")
+        for workers, qps in sub.items():
+            if not isinstance(qps, (int, float)) or qps <= 0:
+                raise ValueError(
+                    f"{key}[{workers!r}] must be positive, got {qps!r}"
+                )
+    if not isinstance(entry["pool"], dict):
+        raise ValueError("pool must be an object")
+    for key in ("spawns", "deaths"):
+        if not isinstance(entry["pool"].get(key), int):
+            raise ValueError(f"pool.{key} must be an int")
+    if not entry["results_identical"]:
+        raise ValueError(
+            "process results diverged from the sequential loop — the "
+            "byte-identity contract is broken"
+        )
+    if not entry["deterministic"]:
+        raise ValueError(
+            "two identical process runs diverged — the executor is "
+            "reading non-deterministic state"
+        )
+    if not entry["zero_copy"]:
+        raise ValueError(
+            "workers are not reading the index through shared memory — "
+            "the zero-copy contract is broken"
+        )
+    if entry["fixup_copies"] != 0:
+        raise ValueError(
+            f"{entry['fixup_copies']} arrays needed canonicalization "
+            "copies at freeze — the hot path is producing non-C-"
+            "contiguous or mis-typed arrays"
+        )
+    if entry["arena_nbytes"] <= 0:
+        raise ValueError("arena_nbytes must be positive")
+    if entry["gate_enforced"] and entry["process_vs_thread_at_4"] < 2.0:
+        raise ValueError(
+            "process executor did not reach 2x thread batch QPS at 4 "
+            f"workers (got {entry['process_vs_thread_at_4']:.2f}x) on a "
+            "machine with >= 4 CPUs"
+        )

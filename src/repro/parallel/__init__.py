@@ -1,0 +1,79 @@
+"""Process-parallel execution over zero-copy shared-memory snapshots.
+
+The GIL serializes the Python-level beam-walk loops that dominate
+ACORN-γ traversal, so thread fan-out only overlaps the NumPy kernels.
+This package provides the escape hatch: an epoch's read-only arrays are
+frozen into a named shared-memory :class:`SnapshotArena`, a persistent
+spawn-based :class:`ProcessPool` maps them zero-copy, and workers run
+the library's *own* search methods over reconstructed index objects —
+so ``executor="process"`` results are byte-identical to the thread and
+sync paths.  See ``docs/parallelism.md``.
+"""
+
+from repro.parallel.arena import (
+    COPY_FIXUPS,
+    ArenaManager,
+    ArenaRecord,
+    ArraySpec,
+    SnapshotArena,
+    attach_arena,
+    canonical_array,
+    parallel_available,
+    reset_fixup_counters,
+)
+from repro.parallel.pool import ProcessPool, RemoteError, WorkerCrash
+from repro.parallel.snapshot import (
+    IndexSpec,
+    ShardedSpec,
+    UnsupportedSearcher,
+    build_sharded_snapshot,
+    build_snapshot,
+    materialize,
+    materialize_shard,
+    searcher_kind,
+    sharded_snapshot_refs,
+    sharded_snapshot_token,
+    snapshot_refs,
+    snapshot_token,
+)
+
+EXECUTORS = ("thread", "process", "sync")
+
+
+def resolve_executor(executor: str) -> str:
+    """Validate an ``executor=`` argument."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    return executor
+
+
+__all__ = [
+    "ArenaManager",
+    "ArenaRecord",
+    "ArraySpec",
+    "COPY_FIXUPS",
+    "EXECUTORS",
+    "IndexSpec",
+    "ProcessPool",
+    "RemoteError",
+    "ShardedSpec",
+    "SnapshotArena",
+    "UnsupportedSearcher",
+    "WorkerCrash",
+    "attach_arena",
+    "build_sharded_snapshot",
+    "build_snapshot",
+    "canonical_array",
+    "materialize",
+    "materialize_shard",
+    "parallel_available",
+    "reset_fixup_counters",
+    "resolve_executor",
+    "searcher_kind",
+    "sharded_snapshot_refs",
+    "sharded_snapshot_token",
+    "snapshot_refs",
+    "snapshot_token",
+]

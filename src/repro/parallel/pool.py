@@ -1,0 +1,321 @@
+"""Spawn-safe persistent worker pool with warm arena pins.
+
+A :class:`ProcessPool` owns N spawned worker processes, each with a
+duplex pipe.  Workers start lazily and stay warm across batches; the
+pool tracks which arena epochs each worker has pinned and prepends a
+``pin`` op exactly once per (worker, epoch) — after that, dispatching a
+chunk ships only query rows and mask bytes, never index data.
+
+Failure model: a worker that dies mid-call (chaos ``die`` op, SIGKILL,
+OOM) surfaces as :class:`WorkerCrash` — an ``Exception`` subclass so
+the shard resilience layer folds it into breaker/degraded accounting
+exactly like any other probe failure — and the dead slot respawns
+lazily on its next use (``deaths``/``spawns`` counters record both
+sides).  An op that *raises* inside a healthy worker comes back as
+:class:`RemoteError` carrying the worker's traceback; the worker
+survives.
+
+Dispatch is ``spawn``-based (never ``fork``: a forked child would
+inherit live locks and thread state from the parent's executors), and
+every pipe is guarded by a per-worker lock so concurrent parent threads
+— the engine's chunk fan-out, the scatter-gather's probe fan-out —
+serialize cleanly per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.parallel.worker import worker_main
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died before answering.
+
+    Deliberately an ``Exception`` (not ``BaseException``): crashes must
+    flow into :func:`~repro.shard.resilience.resilient_probe`'s failure
+    accounting, where they degrade the query instead of killing it.
+    """
+
+    def __init__(self, worker_id: int, detail: str = "") -> None:
+        self.worker_id = worker_id
+        message = f"worker {worker_id} died"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class RemoteError(RuntimeError):
+    """An op raised inside a (still healthy) worker.
+
+    Carries the worker-side traceback text so the real failure is
+    debuggable from the parent process.
+    """
+
+    def __init__(self, worker_id: int, remote_traceback: str) -> None:
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker {worker_id} op failed; remote traceback:\n"
+            f"{remote_traceback}"
+        )
+
+
+class _Worker:
+    """One live worker process + its parent end of the pipe."""
+
+    __slots__ = ("process", "conn", "pinned")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.pinned: set[str] = set()
+
+
+class ProcessPool:
+    """N persistent spawned workers, addressed by slot id.
+
+    Args:
+        num_workers: worker slots (processes spawn lazily per slot).
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self._ctx = mp.get_context("spawn")
+        self._workers: list[_Worker | None] = [None] * self.num_workers
+        self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._fanout: ThreadPoolExecutor | None = None
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self.spawns = 0
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main, args=(child_conn,),
+            name=f"repro-worker-{worker_id}", daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with self._state_lock:
+            self.spawns += 1
+        return _Worker(process, parent_conn)
+
+    def _ensure(self, worker_id: int) -> _Worker:
+        worker = self._workers[worker_id]
+        if worker is not None and worker.process.is_alive():
+            return worker
+        if worker is not None:
+            self._reap(worker_id, worker)
+        worker = self._spawn(worker_id)
+        self._workers[worker_id] = worker
+        return worker
+
+    def _reap(self, worker_id: int, worker: _Worker) -> None:
+        """Collect a dead worker: close pipe, join, count the death."""
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        try:
+            worker.process.join(timeout=5)
+        except Exception:
+            pass
+        self._workers[worker_id] = None
+        with self._state_lock:
+            self.deaths += 1
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def call(self, worker_id: int, op: str, payload=None, pin=None):
+        """Run one op on one worker (serialized per worker).
+
+        Args:
+            worker_id: slot in ``[0, num_workers)``.
+            op: worker op name.
+            payload: picklable op payload.
+            pin: optional ``(token, pin_payload)``; the pin op is
+                prepended once per (worker, token) so warm workers skip
+                straight to the query.
+
+        Raises:
+            WorkerCrash: the process died mid-call (slot respawns on
+                next use).
+            RemoteError: the op raised inside the worker.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessPool is closed")
+        worker_id = int(worker_id) % self.num_workers
+        with self._locks[worker_id]:
+            worker = self._ensure(worker_id)
+            try:
+                if pin is not None:
+                    token, pin_payload = pin
+                    if token not in worker.pinned:
+                        self._roundtrip(worker_id, worker, "pin",
+                                        pin_payload)
+                        worker.pinned.add(token)
+                return self._roundtrip(worker_id, worker, op, payload)
+            except (BrokenPipeError, EOFError, ConnectionResetError,
+                    OSError) as exc:
+                self._reap(worker_id, worker)
+                raise WorkerCrash(worker_id, type(exc).__name__) from exc
+
+    def _roundtrip(self, worker_id: int, worker: _Worker, op, payload):
+        worker.conn.send((op, payload))
+        status, value = worker.conn.recv()
+        if status == "err":
+            raise RemoteError(worker_id, value)
+        return value
+
+    def map_calls(self, calls):
+        """Run ``(worker_id, op, payload, pin)`` tuples concurrently.
+
+        Fans out over an internal thread pool (one thread per slot —
+        the threads only block on pipe IO, the actual compute happens
+        in the worker processes) and returns results in call order.
+        Exceptions propagate to the caller exactly as :meth:`call`
+        raises them.
+        """
+        calls = list(calls)
+        if len(calls) <= 1:
+            return [self.call(*entry) for entry in calls]
+        if self._fanout is None:
+            self._fanout = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-pool-io",
+            )
+        futures = [self._fanout.submit(self.call, *entry)
+                   for entry in calls]
+        return [future.result() for future in futures]
+
+    def unpin_all(self, token: str) -> None:
+        """Unpin a retired arena epoch from every live worker.
+
+        Best-effort hygiene after an epoch swap: workers keep old
+        mappings alive even after the parent unlinks the segment, so
+        dropping them promptly bounds shared-memory residency at one
+        epoch per worker.
+        """
+        for worker_id, worker in enumerate(self._workers):
+            if worker is None or not worker.process.is_alive():
+                continue
+            if token in worker.pinned:
+                try:
+                    self.call(worker_id, "unpin", {"token": token})
+                except Exception:
+                    pass
+                worker.pinned.discard(token)
+
+    def broadcast(self, op: str, payload=None) -> list:
+        """Run one op on every *live* slot (spawning none)."""
+        out = []
+        for worker_id, worker in enumerate(self._workers):
+            if worker is not None and worker.process.is_alive():
+                out.append(self.call(worker_id, op, payload))
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / chaos hooks
+    # ------------------------------------------------------------------
+
+    def worker_pids(self) -> dict[int, int]:
+        """Live slot → pid map (empty slots omitted)."""
+        return {
+            worker_id: worker.process.pid
+            for worker_id, worker in enumerate(self._workers)
+            if worker is not None and worker.process.is_alive()
+        }
+
+    def kill_worker(self, worker_id: int) -> bool:
+        """SIGKILL one worker (chaos hook); True if a process was hit.
+
+        The death is *not* counted or reaped here — it surfaces (and
+        respawns) through the next call's crash path, exactly like an
+        organic death.
+        """
+        worker = self._workers[worker_id]
+        if worker is None or not worker.process.is_alive():
+            return False
+        os.kill(worker.process.pid, signal.SIGKILL)
+        worker.process.join(timeout=5)
+        return True
+
+    def stats(self) -> dict:
+        """Pool health counters for telemetry and the chaos suite."""
+        alive = sum(
+            1 for worker in self._workers
+            if worker is not None and worker.process.is_alive()
+        )
+        return {
+            "num_workers": self.num_workers,
+            "alive": alive,
+            "spawns": self.spawns,
+            "deaths": self.deaths,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Stop every worker (idempotent, interpreter-teardown safe)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            self._workers[worker_id] = None
+            try:
+                if worker.process.is_alive():
+                    worker.conn.send(("shutdown", None))
+                    if worker.conn.poll(2):
+                        worker.conn.recv()
+            except Exception:
+                pass
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            try:
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+            except Exception:
+                pass
+        fanout = self._fanout
+        self._fanout = None
+        if fanout is not None:
+            fanout.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,444 @@
+"""Searcher ⇄ arena translation: build specs, materialize workers' views.
+
+:func:`build_snapshot` decomposes a built ACORN index into (a) a small
+picklable :class:`IndexSpec` — parameters, entry point, codec constants
+— and (b) the big read-only arrays destined for a
+:class:`~repro.parallel.arena.SnapshotArena`.  :func:`materialize`
+inverts it inside a worker: a *real* ``AcornIndex`` /
+``AcornOneIndex`` / ``FlatAcornIndex`` instance is reconstructed whose
+store, frozen CSR levels, and quantized codes are views straight into
+the shared block.  Because workers then execute the exact same search
+methods over byte-identical arrays, process-parallel results match the
+thread path bit for bit — the determinism contract
+``docs/parallelism.md`` documents and the equivalence suite pins.
+
+Searchers outside the supported set (routers, lifecycle indices whose
+epoch state lives in Python objects, fault-injection wrappers) raise
+:class:`UnsupportedSearcher`; the engine catches it and falls back to
+the thread executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.core.acorn import AcornIndex, AcornOneIndex
+from repro.core.flat import FlatAcornIndex
+from repro.core.search import FrozenLevel
+from repro.parallel.arena import canonical_array
+from repro.vectors.distance import Metric
+from repro.vectors.quantized_store import QuantizedStore
+from repro.vectors.store import VectorStore
+
+
+class UnsupportedSearcher(RuntimeError):
+    """The searcher cannot be shipped to worker processes.
+
+    Raised by :func:`snapshot_token` / :func:`build_snapshot`; callers
+    treat it as "fall back to the thread executor", never as an error.
+    """
+
+
+#: Exact-type registry of process-executable searchers.  Exact on
+#: purpose: an unknown subclass may carry Python-side state the spec
+#: would silently drop, so it must take the thread path instead.
+_KINDS: dict[type, str] = {
+    AcornIndex: "acorn",
+    AcornOneIndex: "acorn1",
+    FlatAcornIndex: "flat",
+}
+_CLASSES = {kind: cls for cls, kind in _KINDS.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexSpec:
+    """Everything a worker needs beyond the arena arrays.
+
+    Attributes:
+        kind: registry key naming the concrete index class.
+        dim / n / n_rows: vector dim, stored vectors, table rows.
+        metric: metric value string.
+        entry_point / entry_level / graph_len: the graph stub's state.
+        params: the index's ``AcornParams`` (picklable dataclass).
+        expansions: per level, the ``m_beta`` keys whose materialized
+            expansion CSRs ride in the arena.
+        has_norms: whether a cosine norm cache array is present.
+        quant: ``None`` or the codec constants dict (config plus the
+            small ``min``/``scale`` or ``codebooks`` arrays — these are
+            KBs, so they ship in the spec pickle rather than the arena).
+    """
+
+    kind: str
+    dim: int
+    n: int
+    n_rows: int
+    metric: str
+    entry_point: int
+    entry_level: int
+    graph_len: int
+    params: object
+    expansions: tuple
+    has_norms: bool
+    quant: dict | None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedSpec:
+    """Spec for a sharded front: one (possibly empty) entry per shard.
+
+    Array roles are prefixed ``s{i}.`` in the shared arena; empty
+    shards contribute no arrays and a ``None`` spec slot.
+    """
+
+    shards: tuple
+
+
+class _GraphStub:
+    """The slice of ``LayeredGraph`` the search path reads.
+
+    Search needs the entry point, its level, and the node count;
+    everything else lives in the frozen CSR snapshot.  Asking for any
+    other node's level is a contract violation, not a fallback.
+    """
+
+    __slots__ = ("entry_point", "_entry_level", "_n")
+
+    def __init__(self, entry_point: int, entry_level: int, n: int) -> None:
+        self.entry_point = entry_point
+        self._entry_level = entry_level
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def node_level(self, node_id: int) -> int:
+        if node_id != self.entry_point:
+            raise RuntimeError(
+                "snapshot graph stub only knows the entry point's level; "
+                f"asked for node {node_id}"
+            )
+        return self._entry_level
+
+
+class _TableStub:
+    """Length-only table stand-in.
+
+    Workers receive predicates pre-compiled to masks, so the index's
+    ``_compile`` only ever length-checks the table.  Anything that
+    would *evaluate* a predicate must not reach a worker.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def _quant_spec_and_arrays(index, arrays: dict, prefix: str) -> dict | None:
+    """Extract the quantized store's codes + codec constants, if any."""
+    qs = index._quant_store()
+    if qs is None:
+        return None
+    if qs.codec is None or qs.codes is None:
+        return None
+    arrays[prefix + "quant.codes"] = canonical_array(
+        prefix + "quant.codes", qs.codes, dtype=np.uint8
+    )
+    quant: dict = {"config": qs.config, "kind": qs.config.kind}
+    if qs._row_sq is not None:
+        arrays[prefix + "quant.row_sq"] = canonical_array(
+            prefix + "quant.row_sq", qs._row_sq
+        )
+        quant["has_row_sq"] = True
+    else:
+        quant["has_row_sq"] = False
+    if qs._row_norm is not None:
+        arrays[prefix + "quant.row_norm"] = canonical_array(
+            prefix + "quant.row_norm", qs._row_norm
+        )
+        quant["has_row_norm"] = True
+    else:
+        quant["has_row_norm"] = False
+    if qs.config.kind == "sq8":
+        quant["codec"] = {
+            "min": np.asarray(qs.codec.min, dtype=np.float32),
+            "scale": np.asarray(qs.codec.scale, dtype=np.float32),
+        }
+    else:
+        quant["codec"] = {
+            "codebooks": np.stack(qs.codec.codebooks).astype(
+                np.float32, copy=False
+            ),
+        }
+    return quant
+
+
+def searcher_kind(searcher) -> str | None:
+    """The registry key for a process-executable searcher, else None."""
+    return _KINDS.get(type(searcher))
+
+
+def snapshot_token(searcher) -> str:
+    """Cheap epoch identity for one searcher's current frozen state.
+
+    Built from the object identities of the frozen snapshot, the code
+    mirror, and the vector buffer plus the tombstone version — each of
+    which changes whenever search-visible state changes (``add``
+    invalidates ``_frozen``, deletes bump ``_deleted_version``,
+    quantization toggles swap ``_quant``).  The arena record pins those
+    same objects, so a live token can never collide via id reuse.
+
+    Raises:
+        UnsupportedSearcher: for searcher types outside the registry or
+            an empty index (nothing to ship; the sync path answers
+            empty batches anyway).
+    """
+    kind = searcher_kind(searcher)
+    if kind is None:
+        raise UnsupportedSearcher(
+            f"{type(searcher).__name__} is not process-executable"
+        )
+    if len(searcher.store) == 0 or len(searcher.graph) == 0:
+        raise UnsupportedSearcher("empty index has no snapshot to share")
+    frozen = searcher.freeze()
+    quant = searcher._quant_store() if searcher.quantization is not None else None
+    return (
+        f"{kind}:{id(searcher):x}:f{id(frozen):x}:"
+        f"d{searcher._deleted_version}:n{len(searcher.store)}:"
+        f"q{id(quant):x}:b{id(searcher.store._data):x}"
+    )
+
+
+def snapshot_refs(searcher) -> tuple:
+    """The objects a live arena record must pin (see token docstring)."""
+    return (searcher, searcher._frozen, searcher._quant,
+            searcher.store._data)
+
+
+def build_snapshot(
+    searcher, prefix: str = ""
+) -> tuple[IndexSpec, dict[str, np.ndarray]]:
+    """Decompose one index into a spec and its arena-bound arrays.
+
+    All arrays pass through
+    :func:`~repro.parallel.arena.canonical_array` with their canonical
+    dtypes (float32 vectors, int32 CSR, uint8 codes, bool tombstones),
+    so a mis-dtyped or Fortran-ordered producer is repaired — counted
+    and warned — rather than shipped.
+    """
+    kind = searcher_kind(searcher)
+    if kind is None:
+        raise UnsupportedSearcher(
+            f"{type(searcher).__name__} is not process-executable"
+        )
+    if len(searcher.store) == 0 or len(searcher.graph) == 0:
+        raise UnsupportedSearcher("empty index has no snapshot to share")
+    frozen = searcher.freeze()
+    n = len(searcher.store)
+    arrays: dict[str, np.ndarray] = {}
+    arrays[prefix + "vectors"] = canonical_array(
+        prefix + "vectors", searcher.store.vectors, dtype=np.float32
+    )
+    has_norms = searcher.store.metric is Metric.COSINE
+    if has_norms:
+        arrays[prefix + "norms"] = canonical_array(
+            prefix + "norms", searcher.store.base_norms()
+        )
+    tombstones = np.zeros(n, dtype=bool)
+    if searcher._deleted:
+        tombstones[list(searcher._deleted)] = True
+    arrays[prefix + "tombstones"] = tombstones
+    expansions = []
+    for lev, level in enumerate(frozen):
+        arrays[prefix + f"L{lev}.indptr"] = canonical_array(
+            prefix + f"L{lev}.indptr", level.indptr, dtype=np.int32
+        )
+        arrays[prefix + f"L{lev}.indices"] = canonical_array(
+            prefix + f"L{lev}.indices", level.indices, dtype=np.int32
+        )
+        arrays[prefix + f"L{lev}.node_ids"] = canonical_array(
+            prefix + f"L{lev}.node_ids", level.node_ids, dtype=np.int32
+        )
+        betas = tuple(sorted(level._expansions))
+        expansions.append(betas)
+        for m_beta in betas:
+            exp_indptr, exp_indices = level._expansions[m_beta]
+            arrays[prefix + f"L{lev}.e{m_beta}.indptr"] = canonical_array(
+                prefix + f"L{lev}.e{m_beta}.indptr", exp_indptr,
+                dtype=np.int32,
+            )
+            arrays[prefix + f"L{lev}.e{m_beta}.indices"] = canonical_array(
+                prefix + f"L{lev}.e{m_beta}.indices", exp_indices,
+                dtype=np.int32,
+            )
+    quant = _quant_spec_and_arrays(searcher, arrays, prefix)
+    entry = searcher.graph.entry_point
+    spec = IndexSpec(
+        kind=kind,
+        dim=searcher.store.dim,
+        n=n,
+        n_rows=len(searcher.table),
+        metric=searcher.store.metric.value,
+        entry_point=entry,
+        entry_level=searcher.graph.node_level(entry),
+        graph_len=len(searcher.graph),
+        params=searcher.params,
+        expansions=tuple(expansions),
+        has_norms=has_norms,
+        quant=quant,
+    )
+    return spec, arrays
+
+
+def _materialize_store(spec: IndexSpec, arrays, prefix: str) -> VectorStore:
+    store = VectorStore.__new__(VectorStore)
+    store.dim = spec.dim
+    store.metric = Metric(spec.metric)
+    store._data = arrays[prefix + "vectors"]
+    store._size = spec.n
+    if spec.has_norms:
+        store._norms = arrays[prefix + "norms"]
+        store._norm_size = spec.n
+    else:
+        store._norms = np.empty(0, dtype=np.float32)
+        store._norm_size = 0
+    return store
+
+
+def _materialize_quant(spec: IndexSpec, arrays, prefix: str, metric):
+    if spec.quant is None:
+        return None
+    from repro.vectors.quantization import ProductQuantizer, ScalarQuantizer
+
+    quant = spec.quant
+    qs = QuantizedStore.__new__(QuantizedStore)
+    qs.config = quant["config"]
+    qs.metric = metric
+    if quant["kind"] == "sq8":
+        codec = ScalarQuantizer.__new__(ScalarQuantizer)
+        codec.min = quant["codec"]["min"]
+        codec.scale = quant["codec"]["scale"]
+        codec.dim = int(codec.min.shape[0])
+    else:
+        books = quant["codec"]["codebooks"]
+        codec = ProductQuantizer.__new__(ProductQuantizer)
+        codec.n_subspaces = int(books.shape[0])
+        codec.sub_dim = int(books.shape[2])
+        codec.dim = codec.n_subspaces * codec.sub_dim
+        codec.codebooks = [books[sub] for sub in range(books.shape[0])]
+    qs.codec = codec
+    qs.codes = arrays[prefix + "quant.codes"]
+    qs._row_sq = (arrays[prefix + "quant.row_sq"]
+                  if quant["has_row_sq"] else None)
+    qs._row_norm = (arrays[prefix + "quant.row_norm"]
+                    if quant["has_row_norm"] else None)
+    return qs
+
+
+def materialize(spec: IndexSpec, arrays, prefix: str = ""):
+    """Reconstruct a searchable index over arena-backed array views.
+
+    ``arrays`` is any mapping of role name → ndarray — an attached
+    arena's :meth:`~repro.parallel.arena.SnapshotArena.views` in
+    workers, or the raw freeze-time dict for in-process equivalence
+    tests.  No array data is copied: the store, every frozen level, and
+    the code mirror reference the provided buffers directly.
+    """
+    cls = _CLASSES[spec.kind]
+    index = cls.__new__(cls)
+    index.params = spec.params
+    index.table = _TableStub(spec.n_rows)
+    index.store = _materialize_store(spec, arrays, prefix)
+    index.graph = _GraphStub(spec.entry_point, spec.entry_level,
+                             spec.graph_len)
+    frozen = []
+    for lev, betas in enumerate(spec.expansions):
+        level = FrozenLevel(
+            arrays[prefix + f"L{lev}.indptr"],
+            arrays[prefix + f"L{lev}.indices"],
+            arrays[prefix + f"L{lev}.node_ids"],
+        )
+        for m_beta in betas:
+            level._expansions[int(m_beta)] = (
+                arrays[prefix + f"L{lev}.e{m_beta}.indptr"],
+                arrays[prefix + f"L{lev}.e{m_beta}.indices"],
+            )
+        frozen.append(level)
+    index._frozen = frozen
+    index._labels = None
+    index._levels = None
+    index._edge_dists = []
+    index.quantization = (spec.quant["config"]
+                          if spec.quant is not None else None)
+    index._quant = _materialize_quant(spec, arrays, prefix,
+                                      index.store.metric)
+    deleted = np.flatnonzero(arrays[prefix + "tombstones"])
+    index._deleted = set(int(node) for node in deleted)
+    index._deleted_version = 0
+    index._mask_cache = {}
+    index._mask_cache_lock = threading.Lock()
+    index._masked_csr_cache = {}
+    index._masked_csr_lock = threading.Lock()
+    return index
+
+
+def build_sharded_snapshot(sharded) -> tuple[ShardedSpec, dict[str, np.ndarray]]:
+    """Decompose a ``ShardedAcornIndex``'s shards into one shared arena.
+
+    Raises:
+        UnsupportedSearcher: when any shard is outside the registry
+            (e.g. fault-injection wrappers) or per-shard route planners
+            are attached (their feedback state is parent-side Python).
+    """
+    if getattr(sharded, "_shard_planners", None) is not None:
+        raise UnsupportedSearcher(
+            "per-shard route planners keep parent-side feedback state"
+        )
+    specs = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, shard in enumerate(sharded.shards):
+        if len(shard) == 0:
+            specs.append(None)
+            continue
+        spec, shard_arrays = build_snapshot(shard, prefix=f"s{i}.")
+        specs.append(spec)
+        arrays.update(shard_arrays)
+    return ShardedSpec(shards=tuple(specs)), arrays
+
+
+def sharded_snapshot_token(sharded) -> str:
+    """Epoch token over every shard (see :func:`snapshot_token`)."""
+    if getattr(sharded, "_shard_planners", None) is not None:
+        raise UnsupportedSearcher(
+            "per-shard route planners keep parent-side feedback state"
+        )
+    parts = []
+    for shard in sharded.shards:
+        if len(shard) == 0:
+            parts.append("empty")
+        else:
+            parts.append(snapshot_token(shard))
+    return f"sharded:{id(sharded):x}:" + "|".join(parts)
+
+
+def sharded_snapshot_refs(sharded) -> tuple:
+    """Pinned objects for a sharded arena record."""
+    refs: list = [sharded]
+    for shard in sharded.shards:
+        if len(shard):
+            refs.extend(snapshot_refs(shard))
+    return tuple(refs)
+
+
+def materialize_shard(spec: ShardedSpec, arrays, shard_id: int):
+    """Reconstruct one shard of a sharded arena (None when empty)."""
+    shard_spec = spec.shards[shard_id]
+    if shard_spec is None:
+        return None
+    return materialize(shard_spec, arrays, prefix=f"s{shard_id}.")

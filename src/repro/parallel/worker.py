@@ -1,0 +1,231 @@
+"""Worker-process entry point for the process-parallel executor.
+
+Each worker is a spawned process holding one duplex pipe to the parent
+pool.  It serves a tiny op loop: ``pin`` maps a published arena
+(verifying sha256 stamps) and materializes real index objects over the
+shared views; ``search_chunk`` / ``probe_shard`` run the library's own
+``search`` methods over those objects; ``introspect`` answers the
+zero-copy assertions the test suite makes *from inside the worker*.
+
+Everything protocol-level is defensive: any ``Exception`` during an op
+is caught and shipped back as a traceback string (the parent raises
+:class:`~repro.parallel.pool.RemoteError`), so one bad query never
+kills a warm worker.  Actual worker death (``die`` op, SIGKILL from a
+chaos test, OOM) surfaces parent-side as a broken pipe →
+:class:`~repro.parallel.pool.WorkerCrash`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+import numpy as np
+
+
+class _Pin:
+    """One pinned arena epoch inside a worker.
+
+    Attributes:
+        arena: the attached (verified) shared block.
+        spec: the :class:`~repro.parallel.snapshot.IndexSpec` or
+            :class:`~repro.parallel.snapshot.ShardedSpec`.
+        searchers: lazily materialized index objects, keyed by shard id
+            (``None`` for the unsharded searcher).
+        masks: compiled-predicate cache keyed by mask digest, so a mask
+            shipped once per chunk is reused across its queries.
+    """
+
+    __slots__ = ("arena", "spec", "searchers", "masks")
+
+    def __init__(self, arena, spec) -> None:
+        self.arena = arena
+        self.spec = spec
+        self.searchers: dict = {}
+        self.masks: dict = {}
+
+
+def _searcher(pin: _Pin, shard: int | None):
+    """The pinned epoch's searcher (materialized on first use)."""
+    from repro.parallel import snapshot as snap
+
+    got = pin.searchers.get(shard)
+    if got is None:
+        views = pin.arena.views()
+        if shard is None:
+            got = snap.materialize(pin.spec, views)
+        else:
+            got = snap.materialize_shard(pin.spec, views, shard)
+        pin.searchers[shard] = got
+    return got
+
+
+def _compiled_mask(pin: _Pin, digest: bytes, payload_masks: dict,
+                   key_prefix=None):
+    """Rebuild (and cache) a CompiledPredicate from shipped mask bytes."""
+    from repro.predicates.base import CompiledPredicate
+
+    key = (key_prefix, digest)
+    got = pin.masks.get(key)
+    if got is None:
+        mask = np.frombuffer(payload_masks[digest], dtype=bool)
+        got = CompiledPredicate(None, mask)
+        if len(pin.masks) >= 32:
+            pin.masks.pop(next(iter(pin.masks)))
+        pin.masks[key] = got
+    return got
+
+
+def _op_pin(pins: dict, payload: dict):
+    from repro.parallel.arena import attach_arena
+
+    token = payload["manifest"]["token"]
+    if token not in pins:
+        arena = attach_arena(payload["manifest"], verify=True)
+        pins[token] = _Pin(arena, payload["spec"])
+    return {"pinned": token, "pid": os.getpid()}
+
+
+def _op_unpin(pins: dict, payload: dict):
+    pin = pins.pop(payload["token"], None)
+    if pin is not None:
+        pin.arena.close()
+    return {"unpinned": payload["token"]}
+
+
+def _op_search_chunk(pins: dict, payload: dict):
+    pin = pins[payload["token"]]
+    searcher = _searcher(pin, payload.get("shard"))
+    queries = payload["queries"]
+    k = payload["k"]
+    ef = payload["ef_search"]
+    masks = payload["masks"]
+    out = []
+    for row, digest in enumerate(payload["mask_digests"]):
+        compiled = _compiled_mask(pin, digest, masks,
+                                  key_prefix=payload.get("shard"))
+        begin = time.perf_counter()
+        result = searcher.search(queries[row], compiled, k, ef_search=ef)
+        out.append((result, time.perf_counter() - begin))
+    return out
+
+
+def _op_probe_shard(pins: dict, payload: dict):
+    pin = pins[payload["token"]]
+    shard = payload["shard"]
+    searcher = _searcher(pin, shard)
+    compiled = _compiled_mask(pin, payload["mask_digest"],
+                              payload["masks"], key_prefix=shard)
+    begin = time.perf_counter()
+    result = searcher.search(payload["query"], compiled, payload["k"],
+                             ef_search=payload["ef_search"])
+    return result, time.perf_counter() - begin
+
+
+def _op_introspect(pins: dict, payload: dict):
+    """Zero-copy evidence from inside the worker.
+
+    For each requested searcher, reports whether its hot arrays share
+    memory with the mapped arena buffer — the in-worker half of the
+    buffer-identity assertions (the in-process half lives in
+    ``tests/parallel/test_snapshot.py``).
+    """
+    pin = pins[payload["token"]]
+    shard = payload.get("shard")
+    searcher = _searcher(pin, shard)
+    arena = pin.arena
+    prefix = "" if shard is None else f"s{shard}."
+
+    def shares(role: str, arr) -> bool:
+        view = arena.view(role)
+        if view.size == 0 and np.asarray(arr).size == 0:
+            # np.shares_memory is False for empty arrays, but a
+            # zero-byte payload (e.g. a single-node top level's edge
+            # list) has nothing to copy — trivially shared.
+            return True
+        return bool(np.shares_memory(view, arr))
+
+    report = {
+        "pid": os.getpid(),
+        "shm_name": arena.shm.name,
+        "arena_nbytes": arena.nbytes,
+        "vectors_shared": shares(prefix + "vectors",
+                                 searcher.store._data),
+        "csr_shared": all(
+            shares(prefix + f"L{lev}.indices", level.indices)
+            and shares(prefix + f"L{lev}.indptr", level.indptr)
+            for lev, level in enumerate(searcher._frozen)
+        ),
+        "vectors_writeable": bool(
+            searcher.store._data.flags.writeable
+        ),
+    }
+    if searcher._quant is not None:
+        report["codes_shared"] = shares(prefix + "quant.codes",
+                                        searcher._quant.codes)
+    return report
+
+
+_OPS = {
+    "pin": _op_pin,
+    "unpin": _op_unpin,
+    "search_chunk": _op_search_chunk,
+    "probe_shard": _op_probe_shard,
+    "introspect": _op_introspect,
+}
+
+
+def worker_main(conn) -> None:
+    """The spawned worker's serve loop (module top level for spawn).
+
+    Protocol: recv ``(op, payload)``; send ``("ok", value)`` or
+    ``("err", traceback_text)``.  ``shutdown`` acknowledges then
+    returns; ``die`` hard-exits without a reply (deterministic crash
+    for the chaos suite and the respawn accounting tests).
+    """
+    pins: dict[str, _Pin] = {}
+    die_next = False
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "shutdown":
+                conn.send(("ok", None))
+                break
+            if op == "die":
+                os._exit(1)
+            if op == "die_next":
+                # Chaos hook: acknowledge now, then hard-exit while the
+                # *next* op's caller is blocked on its reply — a
+                # deterministic mid-call crash (kill_worker's SIGKILL is
+                # healed by lazy respawn before any call notices).
+                die_next = True
+                conn.send(("ok", None))
+                continue
+            if die_next:
+                os._exit(1)
+            if op == "ping":
+                conn.send(("ok", {"pid": os.getpid(),
+                                  "pinned": sorted(pins)}))
+                continue
+            handler = _OPS.get(op)
+            if handler is None:
+                conn.send(("err", f"unknown op {op!r}"))
+                continue
+            try:
+                conn.send(("ok", handler(pins, payload)))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        for pin in pins.values():
+            try:
+                pin.arena.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -89,6 +89,12 @@ class ServingConfig:
             (``None`` disables breaker-aware shedding).
         engine_workers: worker threads of the internal
             :class:`~repro.engine.engine.SearchEngine`.
+        executor: the engine's batch fan-out mechanism — ``"thread"``
+            (default), ``"sync"``, or ``"process"`` for the zero-copy
+            shared-memory worker pool (``docs/parallelism.md``).
+            Byte-identical results either way; ``"process"`` moves the
+            GIL-bound traversal loops off the event loop's host
+            process.
     """
 
     k: int = 10
@@ -100,8 +106,12 @@ class ServingConfig:
     quotas: dict[str, TenantQuota] = dataclasses.field(default_factory=dict)
     shed_breaker_fraction: float | None = None
     engine_workers: int = 1
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
+        from repro.parallel import resolve_executor
+
+        resolve_executor(self.executor)
         if self.k <= 0:
             raise ValueError(f"k must be positive, got {self.k}")
         if self.max_batch < 1:
@@ -260,7 +270,8 @@ class AcornService:
                 "carries one"
             )
         self.engine = SearchEngine(
-            searcher, num_workers=self.config.engine_workers, table=table
+            searcher, num_workers=self.config.engine_workers, table=table,
+            executor=self.config.executor,
         )
         self.tenants = TenantRegistry(
             self.config.default_quota, self.config.quotas, self.clock

@@ -33,6 +33,7 @@ The class plugs straight into the PR-1 batch engine: it exposes
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import heapq
 from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
@@ -192,6 +193,25 @@ class ShardedAcornIndex(BatchSearchMixin):
             selectivity estimate as the prior; route telemetry
             surfaces on :class:`ShardedSearchResult` and in per-shard
             records.
+        executor: probe fan-out mechanism.  ``"thread"`` (default)
+            keeps the historical in-process probes (threaded when
+            ``shard_workers > 1``); ``"sync"`` behaves identically
+            (probes are already sequential at ``shard_workers <= 1``);
+            ``"process"`` runs each probed shard's local search in a
+            spawned worker over a zero-copy shared-memory arena of all
+            shards (``docs/parallelism.md``).  Results are
+            byte-identical across executors; the process path falls
+            back to in-process probes — counted in
+            ``process_fallbacks`` / ``last_fallback_reason`` — when
+            shared memory is unavailable or the shards cannot be
+            snapshotted (fault-injection wrappers, per-shard route
+            planners).  Worker crashes surface as ordinary probe
+            ``Exception``s, so the resilience policy's
+            failed/degraded/recall-ceiling accounting applies to a
+            dying worker process exactly as to a throwing shard.
+        process_pool: a shared
+            :class:`~repro.parallel.pool.ProcessPool`; ``None`` lazily
+            creates one owned (and closed) by this index.
     """
 
     def __init__(
@@ -205,7 +225,10 @@ class ShardedAcornIndex(BatchSearchMixin):
         resilience: ResiliencePolicy | None = None,
         shard_workers: int | None = None,
         route_policy: str | None = None,
+        executor: str = "thread",
+        process_pool=None,
     ) -> None:
+        from repro.parallel import resolve_executor
         if len(shards) != assignment.n_shards:
             raise ValueError(
                 f"{len(shards)} shard indexes but assignment has "
@@ -246,6 +269,13 @@ class ShardedAcornIndex(BatchSearchMixin):
                 for shard in self.shards
             ]
         self._scatter_pool: ThreadPoolExecutor | None = None
+        self.executor = resolve_executor(executor)
+        self._proc_pool = process_pool
+        self._own_proc_pool = process_pool is None
+        self._arena_manager = None
+        self._closed = False
+        self.process_fallbacks = 0
+        self.last_fallback_reason = ""
 
     # ------------------------------------------------------------------
     # Construction
@@ -270,6 +300,8 @@ class ShardedAcornIndex(BatchSearchMixin):
         build_workers: int = 1,
         n_workers: int = 1,
         route_policy: str | None = None,
+        executor: str = "thread",
+        process_pool=None,
     ) -> "ShardedAcornIndex":
         """Partition ``vectors``/``table`` and build one index per shard.
 
@@ -301,6 +333,8 @@ class ShardedAcornIndex(BatchSearchMixin):
                 supplied).  1 keeps every shard on the sequential
                 reference path.
             route_policy: forwarded to the instance (see class docs).
+            executor: forwarded to the instance (see class docs).
+            process_pool: forwarded to the instance (see class docs).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if len(table) != vectors.shape[0]:
@@ -331,6 +365,7 @@ class ShardedAcornIndex(BatchSearchMixin):
             shards=shards, assignment=assignment, partitioner=partitioner,
             table=table, scale_ef=scale_ef, resilience=resilience,
             shard_workers=shard_workers, route_policy=route_policy,
+            executor=executor, process_pool=process_pool,
         )
 
     def with_faults(self, injector) -> "ShardedAcornIndex":
@@ -351,6 +386,10 @@ class ShardedAcornIndex(BatchSearchMixin):
             resilience=self.resilience,
             shard_workers=self.shard_workers,
             route_policy=self.route_policy,
+            # Process probes cannot reach fault-injection wrappers (they
+            # live outside the snapshot registry), so the chaos view
+            # always probes in-process regardless of this executor.
+            executor=self.executor,
         )
 
     def __len__(self) -> int:
@@ -380,15 +419,34 @@ class ShardedAcornIndex(BatchSearchMixin):
                 planner.begin_batch()
 
     # ------------------------------------------------------------------
-    # Lifecycle (only needed when shard_workers > 1)
+    # Lifecycle (worker pools and shared-memory arenas)
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the scatter worker pool down (idempotent, teardown safe)."""
+        """Shut the probe pools and shared-memory arenas down.
+
+        Idempotent and teardown safe; after an explicit close,
+        :meth:`search` raises ``RuntimeError`` (the arenas are
+        unlinked — silently re-creating them would hide leaks).
+        """
+        self._closed = True
         pool = getattr(self, "_scatter_pool", None)
         if pool is not None:
             self._scatter_pool = None
             pool.shutdown(wait=True)
+        proc_pool = getattr(self, "_proc_pool", None)
+        if proc_pool is not None and getattr(self, "_own_proc_pool", False):
+            self._proc_pool = None
+            proc_pool.close()
+        manager = getattr(self, "_arena_manager", None)
+        if manager is not None:
+            self._arena_manager = None
+            manager.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
 
     def __enter__(self) -> "ShardedAcornIndex":
         return self
@@ -409,6 +467,50 @@ class ShardedAcornIndex(BatchSearchMixin):
                 thread_name_prefix="repro-scatter",
             )
         return self._scatter_pool
+
+    def _process_pool(self):
+        """The probe process pool (lazily created when owned)."""
+        if self._proc_pool is None:
+            from repro.parallel import ProcessPool
+
+            self._proc_pool = ProcessPool(max(self.shard_workers, 1))
+            self._own_proc_pool = True
+        return self._proc_pool
+
+    def _remote_record(self):
+        """The live arena record for process probes, or ``None``.
+
+        ``None`` means this query probes in-process instead: the shards
+        cannot be snapshotted (fault wrappers, route planners) or shared
+        memory is unavailable.  Every ``None`` is counted.
+        """
+        from repro import parallel as par
+
+        try:
+            token = par.sharded_snapshot_token(self)
+        except par.UnsupportedSearcher as exc:
+            self.process_fallbacks += 1
+            self.last_fallback_reason = f"unsupported searcher: {exc}"
+            return None
+        if not par.parallel_available():
+            self.process_fallbacks += 1
+            self.last_fallback_reason = "shared memory unavailable"
+            return None
+        if self._arena_manager is None:
+            self._arena_manager = par.ArenaManager()
+        manager = self._arena_manager
+        record = manager.current
+        if record is not None and record.token == token:
+            return record
+        old_token = record.token if record is not None else None
+        spec, arrays = par.build_sharded_snapshot(self)
+        record = manager.publish(
+            token, arrays, spec, refs=par.sharded_snapshot_refs(self)
+        )
+        if old_token is not None and self._proc_pool is not None \
+                and not self._proc_pool.closed:
+            self._proc_pool.unpin_all(old_token)
+        return record
 
     # ------------------------------------------------------------------
     # Search
@@ -440,6 +542,7 @@ class ShardedAcornIndex(BatchSearchMixin):
         compiled: CompiledPredicate,
         query: np.ndarray,
         k: int,
+        remote=None,
     ) -> tuple[dict, object | None, np.ndarray]:
         """Execute one probed shard's local search.
 
@@ -448,6 +551,13 @@ class ShardedAcornIndex(BatchSearchMixin):
         :class:`~repro.hnsw.hnsw.SearchResult` (``None`` when the shard
         had nothing to search or its probe failed under the resilience
         policy), and ``gids`` maps local ids back to global ids.
+
+        With ``remote`` (an arena record from :meth:`_remote_record`),
+        the local search runs in a pool worker over the shared-memory
+        snapshot instead of in-process; a crashed worker raises
+        :class:`~repro.parallel.pool.WorkerCrash` out of the closure,
+        which the resilience machinery below treats like any probe
+        exception.
 
         Exceptions from the shard propagate when no resilience policy
         is attached (fail-fast).  With a policy, ``Exception``s are
@@ -490,6 +600,29 @@ class ShardedAcornIndex(BatchSearchMixin):
                     query, local, k, ef_search=decision.ef_search,
                     selectivity_hint=decision.est_selectivity,
                 )
+        elif remote is not None:
+            pool = self._process_pool()
+            token = remote.token
+            pin = (token, {"manifest": remote.arena.manifest(),
+                           "spec": remote.spec})
+            mask_bytes = local_mask.tobytes()
+            payload = {
+                "token": token,
+                "shard": decision.shard_id,
+                "query": np.ascontiguousarray(query, dtype=np.float32),
+                "k": k,
+                "ef_search": decision.ef_search,
+                "mask_digest": hashlib.sha1(mask_bytes).digest(),
+                "masks": {hashlib.sha1(mask_bytes).digest(): mask_bytes},
+            }
+            worker_id = decision.shard_id % pool.num_workers
+
+            def run_search():
+                """One attempt in a pool worker (resilience closure)."""
+                found, _elapsed = pool.call(
+                    worker_id, "probe_shard", payload, pin=pin
+                )
+                return found
         else:
             def run_search():
                 """One attempt of the local search (resilience closure)."""
@@ -544,23 +677,42 @@ class ShardedAcornIndex(BatchSearchMixin):
         result degrades to the survivors' partial top-k with exact
         ``shards_failed``/``shards_timed_out`` accounting.
         """
+        if self._closed:
+            raise RuntimeError(
+                "ShardedAcornIndex is closed; close() released its "
+                "probe pools and shared-memory arenas"
+            )
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         compiled = self._compile(predicate)
         plan = self.plan(compiled, k=k, ef_search=ef_search)
 
-        probed = [d for d in plan.decisions if not d.pruned]
-        if self.shard_workers > 1 and len(probed) > 1:
-            # Futures fan-out: executor.map re-raises anything a probe
-            # raised — including BaseException, which must never be
-            # folded into failure accounting.
-            probe_outcomes = list(self._scatter_executor().map(
-                lambda d: self._probe_shard(d, compiled, query, k), probed
-            ))
-        else:
-            probe_outcomes = [
-                self._probe_shard(d, compiled, query, k) for d in probed
-            ]
+        remote = None
+        if self.executor == "process":
+            remote = self._remote_record()
+        if remote is not None:
+            self._arena_manager.acquire(remote)
+        try:
+            probed = [d for d in plan.decisions if not d.pruned]
+            if self.shard_workers > 1 and len(probed) > 1:
+                # Futures fan-out: executor.map re-raises anything a
+                # probe raised — including BaseException, which must
+                # never be folded into failure accounting.  On the
+                # process path the threads only block on worker pipes.
+                probe_outcomes = list(self._scatter_executor().map(
+                    lambda d: self._probe_shard(
+                        d, compiled, query, k, remote=remote
+                    ),
+                    probed,
+                ))
+            else:
+                probe_outcomes = [
+                    self._probe_shard(d, compiled, query, k, remote=remote)
+                    for d in probed
+                ]
+        finally:
+            if remote is not None:
+                self._arena_manager.release(remote)
 
         outcomes = {rec["shard"]: (rec, found, gids)
                     for rec, found, gids in probe_outcomes}

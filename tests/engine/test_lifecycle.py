@@ -70,18 +70,19 @@ class TestEngineClose:
             assert engine._pool is not None
         assert engine._pool is None
 
-    def test_usable_after_close(self, acorn_index, small_vectors):
-        """close() releases threads; a later batch re-creates the pool."""
+    def test_search_after_close_raises(self, acorn_index, small_vectors):
+        """close() is terminal: it may have unlinked shared-memory
+        arenas, so a later batch raises instead of silently re-creating
+        pools (the contract the process executor relies on)."""
         engine = self._engine(acorn_index)
         batch = QueryBatch.build(
             small_vectors[0][:4], TruePredicate(), k=3, ef_search=16
         )
-        first = engine.search_batch(batch)
+        engine.search_batch(batch)
         engine.close()
-        second = engine.search_batch(batch)
-        engine.close()
-        for a, b in zip(first.results, second.results):
-            assert np.array_equal(a.ids, b.ids)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.search_batch(batch)
+        engine.close()  # still idempotent after the failed call
 
     def test_gc_collects_closed_engine(self, acorn_index):
         engine = self._engine(acorn_index)

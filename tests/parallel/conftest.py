@@ -1,0 +1,63 @@
+"""Fixtures for the process-parallelism suite.
+
+Spawning workers is the dominant cost here (each spawn re-imports numpy
+and the library), so one warm session-scoped :class:`ProcessPool` is
+shared by every test that does not specifically exercise pool
+*lifetime*; those build their own short-lived pools.  Index fixtures
+reuse the session-scoped dataset from the top-level conftest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attributes.table import AttributeTable
+from repro.core.acorn import AcornIndex
+from repro.core.params import AcornParams
+from repro.parallel import ProcessPool
+
+
+@pytest.fixture(scope="session")
+def shared_pool():
+    """A warm 2-slot worker pool shared across the suite."""
+    pool = ProcessPool(2)
+    yield pool
+    pool.close()
+
+
+@pytest.fixture(scope="session")
+def quant_acorn(small_vectors, labeled_table):
+    """An ACORN-gamma build with SQ8 quantization enabled."""
+    params = AcornParams(m=8, gamma=6, m_beta=16, ef_construction=32)
+    index = AcornIndex.build(
+        small_vectors[0], labeled_table, params=params, seed=2
+    )
+    index.enable_quantization("sq8")
+    return index
+
+
+@pytest.fixture(scope="session")
+def result_key():
+    """Byte-level identity key for a BatchResult (ids, distances, counters)."""
+
+    def key(outcome):
+        return [
+            (r.ids.tobytes(), r.distances.tobytes(),
+             r.distance_computations, s.hops, s.visited_nodes)
+            for r, s in zip(outcome.results, outcome.stats)
+        ]
+
+    return key
+
+
+def make_labeled_world(n=240, dim=12, n_labels=3, seed=7):
+    """Small clustered vectors + a single int ``label`` column."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_labels, dim)).astype(np.float32)
+    assign = rng.integers(0, n_labels, size=n)
+    vectors = (centers[assign]
+               + 0.25 * rng.standard_normal((n, dim))).astype(np.float32)
+    table = AttributeTable(n)
+    table.add_int_column("label", assign)
+    return vectors, table

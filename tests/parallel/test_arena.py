@@ -1,0 +1,182 @@
+"""SnapshotArena packing, canonicalization fixups, and manager lifecycle."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    COPY_FIXUPS,
+    ArenaManager,
+    SnapshotArena,
+    attach_arena,
+    canonical_array,
+    parallel_available,
+    reset_fixup_counters,
+)
+
+
+def sample_arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "vectors": rng.standard_normal((20, 6)).astype(np.float32),
+        "L0.indptr": np.arange(21, dtype=np.int32),
+        "tombstones": rng.random(20) < 0.2,
+    }
+
+
+class TestCanonicalArray:
+    def test_canonical_input_is_returned_unchanged(self):
+        reset_fixup_counters()
+        arr = np.zeros((4, 3), dtype=np.float32)
+        assert canonical_array("vectors", arr, dtype=np.float32) is arr
+        assert COPY_FIXUPS == {}
+
+    def test_fortran_float64_input_is_repaired_once(self):
+        """The satellite regression: a Fortran-ordered float64 matrix
+        smuggled into a freeze is copied (and counted) exactly once."""
+        reset_fixup_counters()
+        bad = np.asfortranarray(
+            np.arange(12, dtype=np.float64).reshape(3, 4)
+        )
+        with pytest.warns(RuntimeWarning, match="copied once at freeze"):
+            fixed = canonical_array("vectors", bad, dtype=np.float32)
+        assert fixed.flags.c_contiguous
+        assert fixed.dtype == np.float32
+        assert np.array_equal(fixed, bad.astype(np.float32))
+        assert COPY_FIXUPS["vectors"] == 1
+
+    def test_repeat_offender_counts_but_warns_once(self):
+        reset_fixup_counters()
+        bad = np.zeros((3, 4), dtype=np.float64, order="F")
+        with pytest.warns(RuntimeWarning):
+            canonical_array("vectors", bad, dtype=np.float32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            canonical_array("vectors", bad, dtype=np.float32)
+        assert COPY_FIXUPS["vectors"] == 2
+
+    def test_strided_view_is_repaired(self):
+        reset_fixup_counters()
+        base = np.arange(40, dtype=np.int32).reshape(10, 4)
+        view = base[::2]
+        with pytest.warns(RuntimeWarning, match="non-contiguous"):
+            fixed = canonical_array("L0.indices", view, dtype=np.int32)
+        assert fixed.flags.c_contiguous
+        assert np.array_equal(fixed, view)
+        assert COPY_FIXUPS["L0.indices"] == 1
+
+
+class TestSnapshotArena:
+    def test_pack_attach_roundtrip(self):
+        arrays = sample_arrays()
+        arena = SnapshotArena.create(arrays, "tok-roundtrip")
+        try:
+            attached = attach_arena(arena.manifest())
+            try:
+                for name, arr in arrays.items():
+                    view = attached.view(name)
+                    assert view.dtype == arr.dtype
+                    assert np.array_equal(view, arr)
+                    assert not view.flags.writeable
+            finally:
+                attached.close()
+        finally:
+            arena.unlink()
+
+    def test_offsets_are_cache_line_aligned(self):
+        arena = SnapshotArena.create(sample_arrays(), "tok-align")
+        try:
+            for spec in arena.specs.values():
+                assert spec.offset % 64 == 0
+            assert arena.nbytes >= sum(
+                spec.nbytes for spec in arena.specs.values()
+            )
+        finally:
+            arena.unlink()
+
+    def test_views_reject_writes(self):
+        arena = SnapshotArena.create(sample_arrays(), "tok-ro")
+        try:
+            with pytest.raises(ValueError, match="read-only"):
+                arena.view("vectors")[0, 0] = 1.0
+        finally:
+            arena.unlink()
+
+    def test_tampered_manifest_is_rejected(self):
+        arena = SnapshotArena.create(sample_arrays(), "tok-sha")
+        try:
+            manifest = arena.manifest()
+            manifest["arrays"][0]["sha256"] = "0" * 64
+            name = manifest["arrays"][0]["name"]
+            with pytest.raises(ValueError, match=name):
+                attach_arena(manifest)
+        finally:
+            arena.unlink()
+
+    def test_corrupted_bytes_fail_verification(self):
+        arena = SnapshotArena.create(sample_arrays(), "tok-corrupt")
+        try:
+            spec = arena.specs["L0.indptr"]
+            writable = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=arena.shm.buf, offset=spec.offset,
+            )
+            writable[0] = 999
+            with pytest.raises(ValueError, match="L0.indptr"):
+                arena.verify()
+        finally:
+            arena.unlink()
+
+    def test_unlink_is_idempotent(self):
+        arena = SnapshotArena.create(sample_arrays(), "tok-unlink")
+        arena.unlink()
+        arena.unlink()
+        arena.close()
+
+    def test_parallel_available_on_this_platform(self):
+        assert parallel_available() is True
+
+
+class TestArenaManager:
+    def test_publish_retires_and_unlinks_unread_epoch(self):
+        manager = ArenaManager()
+        manager.publish("epoch-1", sample_arrays(0), spec=None)
+        manager.publish("epoch-2", sample_arrays(1), spec=None)
+        assert manager.current.token == "epoch-2"
+        assert manager.published == 2
+        assert manager.retired_unlinked == 1
+        assert manager.live_arenas() == 1
+        manager.close()
+
+    def test_inflight_reader_defers_unlink_until_release(self):
+        manager = ArenaManager()
+        old = manager.publish("epoch-1", sample_arrays(0), spec=None)
+        manager.acquire(old)
+        manager.publish("epoch-2", sample_arrays(1), spec=None)
+        assert old.retired
+        assert manager.live_arenas() == 2
+        assert manager.retired_unlinked == 0
+        manager.release(old)
+        assert manager.live_arenas() == 1
+        assert manager.retired_unlinked == 1
+        manager.close()
+
+    def test_refs_pin_source_objects(self):
+        manager = ArenaManager()
+        source = np.zeros(8, dtype=np.float32)
+        record = manager.publish(
+            "epoch-1", {"vectors": source}, spec=None, refs=(source,)
+        )
+        assert source is record.refs[0]
+        manager.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        manager = ArenaManager()
+        held = manager.publish("epoch-1", sample_arrays(0), spec=None)
+        manager.acquire(held)
+        manager.publish("epoch-2", sample_arrays(1), spec=None)
+        manager.close()
+        assert manager.live_arenas() == 0
+        assert manager.current is None
+        manager.close()

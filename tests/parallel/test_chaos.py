@@ -1,0 +1,160 @@
+"""Worker-death chaos (satellite d): crashes degrade, never corrupt.
+
+Engine side: a chunk whose worker dies is retried once on the
+respawned slot, then runs inline in the parent — either way the batch
+result stays byte-identical to the sequential loop, with the downgrade
+counted.  Sharded side: a probe lost to a worker crash flows through
+``resilient_probe`` into the exact degraded accounting the resilience
+contract defines (failed shard, lowered recall ceiling), and the slot
+heals for the next query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acorn import AcornIndex
+from repro.core.params import AcornParams
+from repro.engine.engine import QueryBatch, SearchEngine
+from repro.parallel import ProcessPool, WorkerCrash
+from repro.predicates import Equals
+from repro.shard.partition import HashPartitioner
+from repro.shard.resilience import ResiliencePolicy
+from repro.shard.sharded import ShardedAcornIndex
+
+from tests.parallel.conftest import make_labeled_world
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    vectors, table = make_labeled_world(n=300, seed=71)
+    index = AcornIndex.build(
+        vectors, table,
+        params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+        seed=6,
+    )
+    return vectors, table, index
+
+
+class TestEngineChunkRecovery:
+    def _batch(self, vectors):
+        return QueryBatch.build(
+            vectors[:8], [Equals("label", i % 3) for i in range(8)],
+            k=4, ef_search=40,
+        )
+
+    def test_mid_call_death_retries_on_respawned_slot(self, chaos_world):
+        vectors, _table, index = chaos_world
+        batch = self._batch(vectors)
+        with SearchEngine(index, num_workers=1, executor="sync") as engine:
+            baseline = [r.ids.tobytes()
+                        for r in engine.search_batch(batch).results]
+        with SearchEngine(index, num_workers=1,
+                          executor="process") as engine:
+            engine.search_batch(batch)  # warm spawn + pin
+            pool = engine._proc_pool
+            pool.call(0, "die_next")
+            outcome = engine.search_batch(batch)
+            assert [r.ids.tobytes() for r in outcome.results] == baseline
+            assert engine.chunk_retries == 1
+            assert engine.chunk_inline_fallbacks == 0
+            assert pool.stats()["deaths"] == 1
+            assert pool.stats()["spawns"] == 2
+
+    def test_double_crash_falls_back_inline(self, chaos_world,
+                                            monkeypatch):
+        """When the retry slot dies too, the chunk runs in the parent:
+        throughput degrades, the batch never does."""
+        vectors, _table, index = chaos_world
+        batch = self._batch(vectors)
+        with SearchEngine(index, num_workers=1, executor="sync") as engine:
+            baseline = [r.ids.tobytes()
+                        for r in engine.search_batch(batch).results]
+        with SearchEngine(index, num_workers=1,
+                          executor="process") as engine:
+            engine.search_batch(batch)
+            pool = engine._proc_pool
+
+            def always_crash(*_args, **_kwargs):
+                raise WorkerCrash(0, "forced")
+
+            monkeypatch.setattr(pool, "call", always_crash)
+            outcome = engine.search_batch(batch)
+            assert [r.ids.tobytes() for r in outcome.results] == baseline
+            assert engine.chunk_retries == 1
+            assert engine.chunk_inline_fallbacks == 1
+            assert engine.process_fallbacks == 0
+
+
+class TestShardedDegradedAccounting:
+    @pytest.fixture()
+    def chaos_sharded(self):
+        vectors, table = make_labeled_world(n=300, seed=81)
+        sharded = ShardedAcornIndex.build(
+            vectors, table, HashPartitioner(3),
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=7, shard_workers=1, executor="process",
+            resilience=ResiliencePolicy(max_retries=0),
+        )
+        yield vectors, sharded
+        sharded.close()
+
+    def test_worker_death_degrades_then_heals(self, chaos_sharded):
+        vectors, sharded = chaos_sharded
+        query = vectors[0]
+        predicate = Equals("label", 0)
+
+        healthy = sharded.search(query, predicate, 5, ef_search=40)
+        assert not healthy.degraded
+        assert sharded.process_fallbacks == 0
+
+        # deterministic mid-probe death: the next op hard-exits while
+        # the parent blocks on its reply
+        sharded._proc_pool.call(0, "die_next")
+        degraded = sharded.search(query, predicate, 5, ef_search=40)
+        assert degraded.degraded
+        assert degraded.shards_failed >= 1
+        assert degraded.recall_ceiling < 1.0
+        statuses = [probe.get("status") for probe in degraded.per_shard
+                    if not probe.get("pruned")]
+        assert "failed" in statuses
+
+    def test_slot_respawns_for_the_next_query(self, chaos_sharded):
+        vectors, sharded = chaos_sharded
+        query = vectors[0]
+        predicate = Equals("label", 0)
+        sharded.search(query, predicate, 5, ef_search=40)
+        sharded._proc_pool.call(0, "die_next")
+        sharded.search(query, predicate, 5, ef_search=40)
+        healed = sharded.search(query, predicate, 5, ef_search=40)
+        assert not healed.degraded
+        stats = sharded._proc_pool.stats()
+        assert stats["deaths"] == 1
+        assert stats["spawns"] == 2
+
+    def test_degraded_results_match_surviving_shards(self):
+        """The degraded answer equals scatter-gather over the shards
+        that did answer — crash loss is shard loss, never corruption."""
+        vectors, table = make_labeled_world(n=300, seed=91)
+        params = AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40)
+        sharded = ShardedAcornIndex.build(
+            vectors, table, HashPartitioner(3), params=params, seed=8,
+            shard_workers=1, executor="process",
+            resilience=ResiliencePolicy(max_retries=0),
+        )
+        try:
+            query = vectors[1]
+            predicate = Equals("label", 1)
+            sharded.search(query, predicate, 5, ef_search=40)
+            sharded._proc_pool.call(0, "die_next")
+            degraded = sharded.search(query, predicate, 5, ef_search=40)
+            failed = {probe["shard"] for probe in degraded.per_shard
+                      if probe.get("status") == "failed"}
+            assert failed
+            lost_rows = {
+                int(i)
+                for shard_id in failed
+                for i in sharded.assignment.global_ids[shard_id]
+            }
+            assert not set(int(i) for i in degraded.ids) & lost_rows
+        finally:
+            sharded.close()

@@ -1,0 +1,141 @@
+"""Close contract (satellite c): terminal, idempotent, no shm leaks.
+
+``SearchEngine`` and ``ShardedAcornIndex`` are context managers whose
+``close()`` shuts worker pools and unlinks arenas exactly once; a
+closed front raises on use instead of silently resurrecting pools
+over unlinked shared memory.
+"""
+
+import os
+
+import pytest
+
+from repro.core.params import AcornParams
+from repro.engine.engine import QueryBatch, SearchEngine
+from repro.predicates import Equals, TruePredicate
+from repro.shard.partition import HashPartitioner
+from repro.shard.sharded import ShardedAcornIndex
+
+from tests.parallel.conftest import make_labeled_world
+
+
+def shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestEngineClose:
+    def _batch(self, small_vectors):
+        return QueryBatch.build(
+            small_vectors[0][:6], TruePredicate(), k=4, ef_search=32
+        )
+
+    def test_owned_pool_and_arena_shut_down(self, acorn_index,
+                                            small_vectors):
+        engine = SearchEngine(acorn_index, num_workers=1,
+                              executor="process")
+        engine.search_batch(self._batch(small_vectors))
+        pool = engine._proc_pool
+        shm_name = engine._arena_manager.current.arena.shm.name
+        assert shm_exists(shm_name)
+        engine.close()
+        assert pool.closed
+        assert engine._proc_pool is None
+        assert engine._arena_manager is None
+        assert not shm_exists(shm_name)
+        engine.close()  # idempotent
+        assert engine.closed
+
+    def test_external_pool_survives_engine_close(self, acorn_index,
+                                                 small_vectors,
+                                                 shared_pool):
+        with SearchEngine(acorn_index, num_workers=2, executor="process",
+                          process_pool=shared_pool) as engine:
+            engine.search_batch(self._batch(small_vectors))
+        assert engine.closed
+        assert not shared_pool.closed
+        assert shared_pool.call(0, "ping")["pid"] > 0
+
+    def test_double_close_and_use_after_close(self, acorn_index,
+                                              small_vectors):
+        engine = SearchEngine(acorn_index, num_workers=2)
+        batch = self._batch(small_vectors)
+        engine.search_batch(batch)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.search_batch(batch)
+
+
+class TestShardedClose:
+    @pytest.fixture()
+    def world(self):
+        return make_labeled_world(n=240, seed=101)
+
+    def _build(self, world, **kwargs):
+        vectors, table = world
+        return ShardedAcornIndex.build(
+            vectors, table, HashPartitioner(3),
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=9, **kwargs,
+        )
+
+    def test_context_manager_closes(self, world):
+        vectors, _ = world
+        with self._build(world) as sharded:
+            result = sharded.search(vectors[0], Equals("label", 0), 4,
+                                    ef_search=40)
+            assert len(result.ids)
+        assert sharded.closed
+
+    def test_double_close_and_use_after_close(self, world):
+        vectors, _ = world
+        sharded = self._build(world)
+        sharded.search(vectors[0], Equals("label", 0), 4, ef_search=40)
+        sharded.close()
+        sharded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.search(vectors[0], Equals("label", 0), 4,
+                           ef_search=40)
+
+    def test_process_front_unlinks_its_arena(self, world):
+        vectors, _ = world
+        sharded = self._build(world, shard_workers=1, executor="process")
+        sharded.search(vectors[0], Equals("label", 0), 4, ef_search=40)
+        pool = sharded._proc_pool
+        shm_name = sharded._arena_manager.current.arena.shm.name
+        assert shm_exists(shm_name)
+        sharded.close()
+        assert pool.closed
+        assert not shm_exists(shm_name)
+
+    def test_close_before_any_search(self, world):
+        sharded = self._build(world, executor="process")
+        sharded.close()
+        assert sharded.closed
+
+
+class TestEpochSwapRetiresArena:
+    def test_new_epoch_retires_and_unlinks_the_old(self):
+        """A search-visible mutation between batches publishes a fresh
+        arena; the drained old epoch unlinks (no shm accumulation)."""
+        vectors, table = make_labeled_world(n=240, seed=111)
+        from repro.core.acorn import AcornIndex
+
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=10,
+        )
+        batch = QueryBatch.build(vectors[:4], TruePredicate(), k=4,
+                                 ef_search=32)
+        with SearchEngine(index, num_workers=1,
+                          executor="process") as engine:
+            engine.search_batch(batch)
+            manager = engine._arena_manager
+            first = manager.current.arena.shm.name
+            index.mark_deleted(3)
+            outcome = engine.search_batch(batch)
+            assert manager.published == 2
+            assert manager.live_arenas() == 1
+            assert not shm_exists(first)
+            assert all(3 not in r.ids for r in outcome.results)

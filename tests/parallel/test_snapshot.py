@@ -1,0 +1,251 @@
+"""Snapshot build/materialize: equivalence, zero-copy, and the registry.
+
+The in-process half of the zero-copy contract lives here (buffer
+identity via ``np.shares_memory`` against the freeze arrays and an
+attached arena); the in-worker half is the pool's ``introspect`` op,
+exercised by the equivalence matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acorn import AcornIndex
+from repro.core.params import AcornParams
+from repro.hnsw import HnswIndex
+from repro.parallel import (
+    COPY_FIXUPS,
+    SnapshotArena,
+    UnsupportedSearcher,
+    build_sharded_snapshot,
+    build_snapshot,
+    materialize,
+    materialize_shard,
+    reset_fixup_counters,
+    sharded_snapshot_token,
+    snapshot_token,
+)
+from repro.predicates import Equals, TruePredicate
+from repro.predicates.base import CompiledPredicate
+from repro.shard.partition import HashPartitioner
+from repro.shard.sharded import ShardedAcornIndex
+
+from tests.parallel.conftest import make_labeled_world
+
+
+def _search_pair(original, clone, table, query, predicate, k=5, ef=32):
+    """Search the real index and its materialized clone identically.
+
+    The clone's table is a length-only stub, so it gets the predicate
+    pre-compiled to a mask — exactly what workers receive.
+    """
+    mask = predicate.compile(table).mask
+    got = original.search(query, predicate, k, ef_search=ef)
+    cloned = clone.search(query, CompiledPredicate(None, mask), k,
+                          ef_search=ef)
+    return got, cloned
+
+
+def assert_identical(got, cloned):
+    assert np.array_equal(got.ids, cloned.ids)
+    assert np.array_equal(got.distances, cloned.distances)
+    assert got.distance_computations == cloned.distance_computations
+
+
+class TestMaterializeEquivalence:
+    def test_materialized_clone_matches_byte_for_byte(
+        self, acorn_index, labeled_table, small_vectors
+    ):
+        spec, arrays = build_snapshot(acorn_index)
+        clone = materialize(spec, arrays)
+        rng = np.random.default_rng(17)
+        for label in range(4):
+            query = small_vectors[0][rng.integers(0, 500)]
+            got, cloned = _search_pair(
+                acorn_index, clone, labeled_table, query,
+                Equals("label", label),
+            )
+            assert_identical(got, cloned)
+
+    def test_quantized_clone_matches(
+        self, quant_acorn, labeled_table, small_vectors
+    ):
+        spec, arrays = build_snapshot(quant_acorn)
+        assert spec.quant is not None
+        clone = materialize(spec, arrays)
+        got, cloned = _search_pair(
+            quant_acorn, clone, labeled_table, small_vectors[0][3],
+            TruePredicate(),
+        )
+        assert_identical(got, cloned)
+
+    def test_tombstones_survive_the_roundtrip(self):
+        vectors, table = make_labeled_world(seed=21)
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=4,
+        )
+        index.mark_deleted(5)
+        index.mark_deleted(17)
+        spec, arrays = build_snapshot(index)
+        clone = materialize(spec, arrays)
+        assert clone._deleted == {5, 17}
+        got, cloned = _search_pair(
+            index, clone, table, vectors[5], TruePredicate(), k=8, ef=48
+        )
+        assert_identical(got, cloned)
+        assert 5 not in got.ids
+
+
+class TestZeroCopy:
+    def test_freeze_produces_no_canonicalization_copies(self, acorn_index):
+        reset_fixup_counters()
+        build_snapshot(acorn_index)
+        assert sum(COPY_FIXUPS.values()) == 0
+
+    def test_clone_arrays_share_freeze_buffers(self, acorn_index):
+        spec, arrays = build_snapshot(acorn_index)
+        clone = materialize(spec, arrays)
+        assert np.shares_memory(clone.store._data, arrays["vectors"])
+        for lev, level in enumerate(clone._frozen):
+            assert np.shares_memory(level.indices,
+                                    arrays[f"L{lev}.indices"])
+            assert np.shares_memory(level.indptr,
+                                    arrays[f"L{lev}.indptr"])
+
+    def test_arena_backed_clone_reads_the_shared_block(self, acorn_index):
+        spec, arrays = build_snapshot(acorn_index)
+        arena = SnapshotArena.create(arrays, "tok-zero-copy")
+        try:
+            clone = materialize(spec, arena.views())
+            assert np.shares_memory(clone.store._data,
+                                    arena.view("vectors"))
+            assert not clone.store._data.flags.writeable
+            assert np.shares_memory(clone._frozen[0].indices,
+                                    arena.view("L0.indices"))
+        finally:
+            arena.unlink()
+
+    def test_quant_codes_share_buffers(self, quant_acorn):
+        spec, arrays = build_snapshot(quant_acorn)
+        clone = materialize(spec, arrays)
+        assert np.shares_memory(clone._quant.codes,
+                                arrays["quant.codes"])
+
+    def test_fortran_float64_store_is_repaired_at_freeze(self):
+        """Satellite regression: a mis-dtyped, Fortran-ordered vector
+        buffer smuggled into the store is copied once (counted, warned)
+        and the snapshot still searches identically."""
+        vectors, table = make_labeled_world(seed=31)
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=4,
+        )
+        baseline = index.search(vectors[0], TruePredicate(), 5,
+                                ef_search=32)
+        index.store._data = np.asfortranarray(
+            index.store.vectors.astype(np.float64)
+        )
+        reset_fixup_counters()
+        with pytest.warns(RuntimeWarning, match="copied once at freeze"):
+            spec, arrays = build_snapshot(index)
+        assert COPY_FIXUPS["vectors"] == 1
+        assert arrays["vectors"].dtype == np.float32
+        assert arrays["vectors"].flags.c_contiguous
+        clone = materialize(spec, arrays)
+        mask = TruePredicate().compile(table).mask
+        cloned = clone.search(vectors[0], CompiledPredicate(None, mask),
+                              5, ef_search=32)
+        assert_identical(baseline, cloned)
+
+
+class TestTokens:
+    def test_token_is_stable_across_calls(self, acorn_index):
+        assert snapshot_token(acorn_index) == snapshot_token(acorn_index)
+
+    def test_token_changes_on_delete(self):
+        vectors, table = make_labeled_world(seed=41)
+        index = AcornIndex.build(
+            vectors, table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=4,
+        )
+        before = snapshot_token(index)
+        index.mark_deleted(0)
+        assert snapshot_token(index) != before
+
+
+class TestRegistry:
+    def test_non_acorn_searcher_is_unsupported(self, small_vectors):
+        hnsw = HnswIndex.build(small_vectors[0][:100], m=8,
+                               ef_construction=32, seed=1)
+        with pytest.raises(UnsupportedSearcher, match="HnswIndex"):
+            snapshot_token(hnsw)
+        with pytest.raises(UnsupportedSearcher):
+            build_snapshot(hnsw)
+
+    def test_subclass_is_unsupported(self):
+        """Exact-type registry: a subclass may carry Python-side state
+        the spec would drop, so it must take the thread path."""
+
+        class Tweaked(AcornIndex):
+            pass
+
+        vectors, table = make_labeled_world(n=120, seed=61)
+        index = Tweaked.build(
+            vectors, table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=32),
+            seed=3,
+        )
+        with pytest.raises(UnsupportedSearcher, match="Tweaked"):
+            snapshot_token(index)
+
+    def test_empty_index_is_unsupported(self, labeled_table):
+        index = AcornIndex(
+            dim=8, table=labeled_table,
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=32),
+        )
+        with pytest.raises(UnsupportedSearcher, match="empty"):
+            snapshot_token(index)
+
+
+class TestSharded:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        vectors, table = make_labeled_world(seed=51)
+        return ShardedAcornIndex.build(
+            vectors, table, HashPartitioner(3),
+            params=AcornParams(m=8, gamma=3, m_beta=8, ef_construction=40),
+            seed=5,
+        )
+
+    def test_per_shard_materialization_matches(self, sharded):
+        spec, arrays = build_sharded_snapshot(sharded)
+        assert len(spec.shards) == 3
+        rng = np.random.default_rng(9)
+        query = rng.standard_normal(12).astype(np.float32)
+        for shard_id, shard in enumerate(sharded.shards):
+            clone = materialize_shard(spec, arrays, shard_id)
+            mask = Equals("label", 1).compile(shard.table).mask
+            got = shard.search(query, Equals("label", 1), 4, ef_search=40)
+            cloned = clone.search(query, CompiledPredicate(None, mask),
+                                  4, ef_search=40)
+            assert_identical(got, cloned)
+            assert np.shares_memory(clone.store._data,
+                                    arrays[f"s{shard_id}.vectors"])
+
+    def test_sharded_token_covers_every_shard(self, sharded):
+        token = sharded_snapshot_token(sharded)
+        assert token.startswith("sharded:")
+        assert token.count("|") == 2
+
+    def test_route_planner_state_is_unsupported(self, sharded):
+        sharded._shard_planners = []
+        try:
+            with pytest.raises(UnsupportedSearcher, match="planner"):
+                build_sharded_snapshot(sharded)
+            with pytest.raises(UnsupportedSearcher, match="planner"):
+                sharded_snapshot_token(sharded)
+        finally:
+            sharded._shard_planners = None

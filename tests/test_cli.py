@@ -10,6 +10,7 @@ from repro.cli import (
     validate_build_entry,
     validate_chaos_entry,
     validate_lifecycle_entry,
+    validate_parallel_entry,
     validate_quant_entry,
     validate_route_entry,
     validate_serving_entry,
@@ -842,3 +843,165 @@ class TestValidateServingEntry:
         entry["schedules"]["poisson"]["realtime"]["goodput_qps"] = None
         with pytest.raises(ValueError, match="goodput"):
             validate_serving_entry(entry)
+
+
+class TestBenchParallelCli:
+    def test_bench_parallel_defaults(self):
+        args = build_parser().parse_args(["bench-parallel"])
+        assert args.n == 10000
+        assert args.workers == "1,2,4,8"
+        assert args.out == "BENCH_parallel.json"
+        assert args.smoke is False
+
+    def test_bench_report_defaults(self):
+        args = build_parser().parse_args(["bench-report"])
+        assert args.dir == "."
+        assert args.out == "BENCH_REPORT.md"
+        assert args.csv is None
+
+    def test_bench_parallel_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_parallel.json"
+        main([
+            "bench-parallel", "--n", "400", "--queries", "8", "--dim",
+            "12", "--m", "8", "--gamma", "4", "--smoke",
+            "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "byte-identical to sync : True" in out
+        assert "double-run determinism : True" in out
+        assert "recorded entry" in out
+        entries = json.loads(out_path.read_text())
+        assert len(entries) == 1
+        validate_parallel_entry(entries[0])
+        entry = entries[0]
+        assert entry["smoke"] is True
+        assert entry["results_identical"] is True
+        assert entry["deterministic"] is True
+        assert entry["zero_copy"] is True
+        assert entry["fixup_copies"] == 0
+        assert set(entry["process_qps_by_workers"]) == {"1", "2"}
+        # the 2x gate is recorded, only enforced on full >=4-cpu runs
+        assert entry["gate_enforced"] is False
+
+
+class TestBenchReportCli:
+    def _seed_bench_files(self, tmp_path):
+        (tmp_path / "BENCH_parallel.json").write_text(json.dumps([{
+            "bench": "parallel", "timestamp": "2026-08-08T00:00:00",
+            "n": 400, "queries": 8, "smoke": True, "cpus": 1,
+            "process_vs_thread_at_4": 0.9, "best_process_vs_thread": 1.1,
+            "zero_copy": True,
+        }]))
+        (tmp_path / "BENCH_engine.json").write_text(json.dumps([
+            {"bench": "engine-batch", "timestamp": "2026-08-07T00:00:00",
+             "n": 500, "queries": 16, "smoke": False,
+             "engine_qps": 1234.5, "speedup_vs_sequential": 2.5},
+            {"bench": "engine-batch", "timestamp": "2026-08-08T00:00:00",
+             "n": 500, "queries": 16, "smoke": False,
+             "engine_qps": 2222.0, "speedup_vs_sequential": 3.0},
+        ]))
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+
+    def test_report_aggregates_all_bench_files(self, capsys, tmp_path):
+        self._seed_bench_files(tmp_path)
+        out_md = tmp_path / "REPORT.md"
+        out_csv = tmp_path / "report.csv"
+        main([
+            "bench-report", "--dir", str(tmp_path),
+            "--out", str(out_md), "--csv", str(out_csv),
+        ])
+        out = capsys.readouterr().out
+        assert "skipping BENCH_broken.json" in out
+        assert "3 runs across 2 files" in out
+        report = out_md.read_text()
+        assert "# Benchmark trajectory" in report
+        assert "perf trajectory" in report
+        assert "best_process_vs_thread=1.1" in report
+        assert "engine_qps=2222.0" in report
+        import csv as csv_mod
+
+        with open(out_csv) as handle:
+            rows = list(csv_mod.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["bench"] == "engine-batch"
+        assert rows[2]["bench"] == "parallel"
+        assert rows[2]["headline"].startswith("process_vs_thread_at_4=")
+
+    def test_report_with_no_bench_files_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH"):
+            main(["bench-report", "--dir", str(tmp_path)])
+
+
+class TestValidateParallelEntry:
+    def _entry(self, **overrides):
+        entry = {
+            "bench": "parallel", "timestamp": "2026-08-08T00:00:00",
+            "n": 400, "dim": 12, "queries": 8, "k": 10, "ef_search": 32,
+            "m": 8, "gamma": 4, "smoke": True, "cpus": 4,
+            "index": "acorn-gamma", "sync_qps": 100.0,
+            "thread_qps_by_workers": {"1": 110.0, "2": 120.0},
+            "process_qps_by_workers": {"1": 130.0, "2": 250.0},
+            "process_vs_thread_at_4": 2.1,
+            "best_process_vs_thread": 2.1,
+            "results_identical": True, "deterministic": True,
+            "zero_copy": True, "arena_nbytes": 1 << 20,
+            "fixup_copies": 0, "pool": {"spawns": 2, "deaths": 0},
+            "gate_enforced": True,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_entry_passes(self):
+        validate_parallel_entry(self._entry())
+
+    def test_missing_key_rejected(self):
+        entry = self._entry()
+        del entry["arena_nbytes"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_parallel_entry(entry)
+
+    def test_diverged_results_rejected(self):
+        with pytest.raises(ValueError, match="byte-identity"):
+            validate_parallel_entry(self._entry(results_identical=False))
+
+    def test_nondeterministic_run_rejected(self):
+        with pytest.raises(ValueError, match="diverged"):
+            validate_parallel_entry(self._entry(deterministic=False))
+
+    def test_copied_arrays_rejected(self):
+        with pytest.raises(ValueError, match="zero-copy"):
+            validate_parallel_entry(self._entry(zero_copy=False))
+
+    def test_fixup_copies_rejected(self):
+        with pytest.raises(ValueError, match="canonicalization"):
+            validate_parallel_entry(self._entry(fixup_copies=3))
+
+    def test_enforced_gate_below_2x_rejected(self):
+        with pytest.raises(ValueError, match="2x thread"):
+            validate_parallel_entry(
+                self._entry(process_vs_thread_at_4=1.4)
+            )
+
+    def test_unenforced_gate_records_honest_ratio(self):
+        validate_parallel_entry(self._entry(
+            process_vs_thread_at_4=0.62, best_process_vs_thread=1.29,
+            cpus=1, gate_enforced=False,
+        ))
+
+    def test_empty_qps_sweep_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_parallel_entry(
+                self._entry(process_qps_by_workers={})
+            )
+
+    def test_nonpositive_qps_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_parallel_entry(
+                self._entry(thread_qps_by_workers={"1": 0.0})
+            )
+
+    def test_mistyped_pool_counter_rejected(self):
+        with pytest.raises(ValueError, match="pool.spawns"):
+            validate_parallel_entry(
+                self._entry(pool={"spawns": "2", "deaths": 0})
+            )

@@ -131,3 +131,11 @@ class TestDeterminism:
                 )
         np.testing.assert_array_equal(result_a.ids, result_b.ids)
         assert result_a.distance_computations == result_b.distance_computations
+
+    def test_parallel_namespace(self):
+        from repro import parallel
+
+        for name in parallel.__all__:
+            assert hasattr(parallel, name), (
+                f"repro.parallel.__all__ exports missing {name}"
+            )
